@@ -1,0 +1,97 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (plus the two extension studies), printing each artifact and
+   then timing its regeneration with one Bechamel test per artifact.
+
+   Artifacts (see DESIGN.md experiment index):
+     table1   - benchmark descriptions
+     figure3  - length-2 combined sequence frequencies, three opt levels
+     figure4  - length-4 combined sequence frequencies, three opt levels
+     table2   - example sequences across opt levels
+     figure5  - per-benchmark length-2 sequences (>= 5%)
+     figure6  - per-benchmark length-4 sequences (>= 5%)
+     table3   - iterative sequence coverage with/without optimization
+     ilp      - extension X1: ops/cycle after compaction
+     asip     - extension X2: chained-instruction selection and speedup
+     vliw     - extension X3: multiple-issue speedups at widths 1/2/4/8
+     resched  - extension X4: schedule-level vs counting chain speedup
+     ablation_pipelining - A1: loop-carried search on/off
+     ablation_cleanup    - A2: scalar cleanup passes on/off
+     pipeline - full compile+profile+optimize of the suite *)
+
+open Bechamel
+open Toolkit
+
+let artifacts suite =
+  [
+    ("table1", fun () -> Asipfb.Experiments.table1 ());
+    ("figure3", fun () -> Asipfb.Experiments.figure_combined suite ~length:2);
+    ("figure4", fun () -> Asipfb.Experiments.figure_combined suite ~length:4);
+    ("figure_l3", fun () -> Asipfb.Experiments.figure_combined suite ~length:3);
+    ("figure_l5", fun () -> Asipfb.Experiments.figure_combined suite ~length:5);
+    ("table2", fun () -> Asipfb.Experiments.table2 suite);
+    ("figure5", fun () -> Asipfb.Experiments.figure_per_benchmark suite ~length:2);
+    ("figure6", fun () -> Asipfb.Experiments.figure_per_benchmark suite ~length:4);
+    ("table3", fun () -> Asipfb.Experiments.table3 suite);
+    ("ilp", fun () -> Asipfb.Experiments.ilp_report suite);
+    ("asip", fun () -> Asipfb.Experiments.asip_report suite);
+    ("vliw", fun () -> Asipfb.Experiments.vliw_report suite);
+    ("resched", fun () -> Asipfb.Experiments.resched_report suite);
+    ("ablation_pipelining",
+     fun () -> Asipfb.Experiments.ablation_pipelining suite);
+    ("ablation_cleanup", fun () -> Asipfb.Experiments.ablation_cleanup suite);
+    ("codegen", fun () -> Asipfb.Experiments.codegen_report suite);
+    ("ablation_motion", fun () -> Asipfb.Experiments.ablation_motion suite);
+    ("opmix", fun () -> Asipfb.Experiments.opmix_report suite);
+    ("extra", fun () -> Asipfb.Experiments.extra_report suite);
+    ("validation_unroll",
+     fun () -> Asipfb.Experiments.validation_unroll suite);
+  ]
+
+let print_artifacts suite =
+  List.iter
+    (fun (name, produce) ->
+      Printf.printf "==== %s ====\n%s\n" name (produce ()))
+    (artifacts suite)
+
+let time_artifacts suite =
+  let tests =
+    List.map
+      (fun (name, produce) ->
+        Test.make ~name (Staged.stage @@ fun () -> ignore (produce ())))
+      (artifacts suite)
+    @ [
+        Test.make ~name:"pipeline"
+          (Staged.stage @@ fun () -> ignore (Asipfb.Pipeline.suite ()));
+      ]
+  in
+  let grouped = Test.make_grouped ~name:"paper" ~fmt:"%s/%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  print_endline "==== regeneration cost (monotonic clock) ====";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) ->
+          Printf.printf "%-22s %12.0f ns/run (r²=%s)\n" name ns
+            (match Analyze.OLS.r_square est with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "n/a")
+      | Some [] | None -> Printf.printf "%-22s (no estimate)\n" name)
+    rows
+
+let () =
+  let timing = not (Array.mem "--no-timing" Sys.argv) in
+  let suite = Asipfb.Pipeline.suite () in
+  print_artifacts suite;
+  if timing then time_artifacts suite

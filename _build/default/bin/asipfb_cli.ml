@@ -1,0 +1,310 @@
+(* asipfb — command-line driver over the compiler-feedback pipeline.
+
+   Subcommands mirror the paper's flow: list the suite, compile a benchmark
+   to 3-address code, simulate/profile it, optimize it at a level, detect
+   chainable sequences, run the coverage analysis, design a chained
+   instruction set, and regenerate the paper's tables and figures. *)
+
+open Cmdliner
+
+let benchmark_arg =
+  let doc = "Benchmark name (one of the Table 1 suite; see 'asipfb list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let level_arg =
+  let parse s =
+    match Asipfb_sched.Opt_level.of_string s with
+    | Some level -> Ok level
+    | None -> Error (`Msg (Printf.sprintf "invalid optimization level %S" s))
+  in
+  let print fmt level =
+    Format.pp_print_string fmt (Asipfb_sched.Opt_level.to_string level)
+  in
+  let level_conv = Arg.conv (parse, print) in
+  let doc = "Optimization level: 0 (none), 1 (pipelining+percolation), 2 (+renaming)." in
+  Arg.(value & opt level_conv Asipfb_sched.Opt_level.O1
+       & info [ "O"; "level" ] ~docv:"LEVEL" ~doc)
+
+let length_arg =
+  let doc = "Sequence length to detect (2-5)." in
+  Arg.(value & opt int 2 & info [ "l"; "length" ] ~docv:"LEN" ~doc)
+
+let min_freq_arg =
+  let doc = "Minimum dynamic frequency (percent) to report." in
+  Arg.(value & opt float 0.5 & info [ "min-freq" ] ~docv:"PCT" ~doc)
+
+let area_arg =
+  let doc = "Area budget in adder-equivalents for chained units." in
+  Arg.(value & opt float 30.0 & info [ "area" ] ~docv:"AREA" ~doc)
+
+let find_benchmark name =
+  match Asipfb_bench_suite.Registry.find_opt name with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S (try: %s)" name
+           (String.concat ", " Asipfb_bench_suite.Registry.names))
+
+let or_die = function
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline ("asipfb: " ^ msg);
+      1
+
+let wrap f = or_die (try f () with
+  | Failure msg -> Error msg
+  | Asipfb_sim.Interp.Runtime_error msg -> Error ("runtime error: " ^ msg))
+
+(* --- subcommand bodies -------------------------------------------------- *)
+
+let cmd_list () =
+  wrap (fun () ->
+      print_endline (Asipfb.Experiments.table1 ());
+      Ok ())
+
+let cmd_compile name =
+  wrap (fun () ->
+      Result.map
+        (fun b ->
+          print_endline
+            (Asipfb_ir.Prog.to_string (Asipfb_bench_suite.Benchmark.compile b)))
+        (find_benchmark name))
+
+let cmd_simulate name =
+  wrap (fun () ->
+      Result.map
+        (fun b ->
+          let o = Asipfb_bench_suite.Benchmark.run b in
+          Printf.printf "%s: %d dynamic operations (= baseline cycles)\n"
+            name o.instrs_executed;
+          List.iter
+            (fun region ->
+              let data = Asipfb_sim.Memory.dump o.memory region in
+              let shown = min 8 (Array.length data) in
+              Printf.printf "  %s[0..%d] =" region (shown - 1);
+              Array.iteri
+                (fun i v ->
+                  if i < shown then
+                    Printf.printf " %s" (Asipfb_sim.Value.to_string v))
+                data;
+              print_newline ())
+            b.output_regions)
+        (find_benchmark name))
+
+let cmd_optimize name level =
+  wrap (fun () ->
+      Result.map
+        (fun b ->
+          let a = Asipfb.Pipeline.analyze b in
+          let sched = Asipfb.Pipeline.sched a level in
+          print_endline (Asipfb_ir.Prog.to_string sched.prog);
+          List.iter
+            (fun (f : Asipfb_ir.Func.t) ->
+              Printf.printf "ILP(%s) = %.2f ops/cycle\n" f.name
+                (Asipfb_sched.Schedule.ilp sched f.name))
+            sched.prog.funcs)
+        (find_benchmark name))
+
+let cmd_detect name level length min_freq =
+  wrap (fun () ->
+      Result.map
+        (fun b ->
+          let a = Asipfb.Pipeline.analyze b in
+          let ds = Asipfb.Pipeline.detect a ~level ~length ~min_freq () in
+          let rows =
+            List.map
+              (fun (d : Asipfb_chain.Detect.detected) ->
+                [ Asipfb_chain.Detect.display_name d;
+                  Asipfb_report.Table.fmt_pct d.freq;
+                  string_of_int (List.length d.occurrences) ])
+              ds
+          in
+          print_endline
+            (Asipfb_report.Table.render
+               ~aligns:
+                 [ Asipfb_report.Table.Left; Asipfb_report.Table.Right;
+                   Asipfb_report.Table.Right ]
+               ~headers:[ "Sequence"; "Frequency"; "Occurrences" ]
+               ~rows ()))
+        (find_benchmark name))
+
+let cmd_coverage name level =
+  wrap (fun () ->
+      Result.map
+        (fun b ->
+          let a = Asipfb.Pipeline.analyze b in
+          let r = Asipfb.Pipeline.coverage a ~level () in
+          List.iter
+            (fun (p : Asipfb_chain.Coverage.pick) ->
+              Printf.printf "%-30s %6.2f%%\n"
+                (Asipfb_chain.Chainop.sequence_name p.pick_classes)
+                p.pick_freq)
+            r.picks;
+          Printf.printf "coverage = %.2f%%\n" r.coverage)
+        (find_benchmark name))
+
+let cmd_design name area dot =
+  wrap (fun () ->
+      Result.map
+        (fun b ->
+          let a = Asipfb.Pipeline.analyze b in
+          let sched = Asipfb.Pipeline.sched a Asipfb_sched.Opt_level.O1 in
+          let config =
+            { Asipfb_asip.Select.default_config with area_budget = area }
+          in
+          let choices =
+            Asipfb_asip.Select.choose config sched ~profile:a.profile
+          in
+          let est =
+            Asipfb_asip.Speedup.estimate choices ~profile:a.profile
+          in
+          print_string (Asipfb_asip.Isa.render choices);
+          let nets = List.map Asipfb_asip.Netlist.of_choice choices in
+          print_string (Asipfb_asip.Netlist.summary nets);
+          Printf.printf
+            "baseline %d cycles -> %d cycles: speedup %.2fx (area %.1f)\n"
+            est.baseline_cycles est.asip_cycles est.speedup est.total_area;
+          match dot with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Asipfb_asip.Netlist.to_dot nets);
+              close_out oc;
+              Printf.printf "netlist written to %s\n" path
+          | None -> ())
+        (find_benchmark name))
+
+let artifact_names =
+  [ "table1"; "figure3"; "figure4"; "figure_l3"; "figure_l5"; "table2";
+    "figure5"; "figure6";
+    "table3"; "ilp"; "asip"; "vliw"; "resched"; "ablation_pipelining";
+    "ablation_cleanup"; "codegen"; "ablation_motion"; "opmix"; "extra";
+    "validation_unroll" ]
+
+let cmd_report artifact =
+  wrap (fun () ->
+      let suite = Asipfb.Pipeline.suite () in
+      let produce = function
+        | "table1" -> Ok (Asipfb.Experiments.table1 ())
+        | "figure3" -> Ok (Asipfb.Experiments.figure_combined suite ~length:2)
+        | "figure4" -> Ok (Asipfb.Experiments.figure_combined suite ~length:4)
+        | "figure_l3" ->
+            Ok (Asipfb.Experiments.figure_combined suite ~length:3)
+        | "figure_l5" ->
+            Ok (Asipfb.Experiments.figure_combined suite ~length:5)
+        | "table2" -> Ok (Asipfb.Experiments.table2 suite)
+        | "figure5" ->
+            Ok (Asipfb.Experiments.figure_per_benchmark suite ~length:2)
+        | "figure6" ->
+            Ok (Asipfb.Experiments.figure_per_benchmark suite ~length:4)
+        | "table3" -> Ok (Asipfb.Experiments.table3 suite)
+        | "ilp" -> Ok (Asipfb.Experiments.ilp_report suite)
+        | "asip" -> Ok (Asipfb.Experiments.asip_report suite)
+        | "vliw" -> Ok (Asipfb.Experiments.vliw_report suite)
+        | "resched" -> Ok (Asipfb.Experiments.resched_report suite)
+        | "ablation_pipelining" ->
+            Ok (Asipfb.Experiments.ablation_pipelining suite)
+        | "ablation_cleanup" ->
+            Ok (Asipfb.Experiments.ablation_cleanup suite)
+        | "codegen" -> Ok (Asipfb.Experiments.codegen_report suite)
+        | "ablation_motion" ->
+            Ok (Asipfb.Experiments.ablation_motion suite)
+        | "opmix" -> Ok (Asipfb.Experiments.opmix_report suite)
+        | "extra" -> Ok (Asipfb.Experiments.extra_report suite)
+        | "validation_unroll" ->
+            Ok (Asipfb.Experiments.validation_unroll suite)
+        | other ->
+            Error
+              (Printf.sprintf "unknown artifact %S (one of: %s)" other
+                 (String.concat ", " artifact_names))
+      in
+      match artifact with
+      | Some name -> Result.map print_endline (produce name)
+      | None ->
+          List.iter
+            (fun name ->
+              Printf.printf "==== %s ====\n" name;
+              match produce name with
+              | Ok text -> print_endline text
+              | Error _ -> ())
+            artifact_names;
+          Ok ())
+
+(* --- command wiring ------------------------------------------------------ *)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (Table 1).")
+    Term.(const cmd_list $ const ())
+
+let compile_cmd =
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark to 3-address code.")
+    Term.(const cmd_compile $ benchmark_arg)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate and profile a benchmark (step 2).")
+    Term.(const cmd_simulate $ benchmark_arg)
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Optimize a benchmark and print the transformed code (step 3).")
+    Term.(const cmd_optimize $ benchmark_arg $ level_arg)
+
+let detect_cmd =
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Detect chainable operation sequences (step 4).")
+    Term.(const cmd_detect $ benchmark_arg $ level_arg $ length_arg
+          $ min_freq_arg)
+
+let coverage_cmd =
+  Cmd.v
+    (Cmd.info "coverage" ~doc:"Iterative sequence coverage (section 7).")
+    Term.(const cmd_coverage $ benchmark_arg $ level_arg)
+
+let design_cmd =
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Also write the chained units' structural netlists as a \
+                   Graphviz file.")
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:"Select a chained-instruction set under an area budget.")
+    Term.(const cmd_design $ benchmark_arg $ area_arg $ dot)
+
+let cmd_export dir =
+  wrap (fun () ->
+      let suite = Asipfb.Pipeline.suite () in
+      let written = Asipfb.Experiments.export_csv suite ~dir in
+      List.iter print_endline written;
+      Ok ())
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "asipfb-data"
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory for CSV files.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export the raw experiment data as CSV files.")
+    Term.(const cmd_export $ dir)
+
+let report_cmd =
+  let artifact =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ARTIFACT"
+           ~doc:"Artifact to regenerate (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate the paper's tables and figures over the whole suite.")
+    Term.(const cmd_report $ artifact)
+
+let main =
+  let doc = "compiler feedback for ASIP design (DATE 1995 reproduction)" in
+  Cmd.group (Cmd.info "asipfb" ~version:"1.0.0" ~doc)
+    [ list_cmd; compile_cmd; simulate_cmd; optimize_cmd; detect_cmd;
+      coverage_cmd; design_cmd; report_cmd; export_cmd ]
+
+let () = exit (Cmd.eval' main)

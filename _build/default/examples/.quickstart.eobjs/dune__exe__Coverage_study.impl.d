@@ -1,0 +1,1 @@
+examples/coverage_study.ml: Asipfb Asipfb_bench_suite Asipfb_chain Asipfb_sched List Printf

@@ -1,0 +1,1 @@
+examples/custom_isa.ml: Asipfb Asipfb_asip Asipfb_bench_suite Asipfb_sched Asipfb_util List Printf String

@@ -1,0 +1,1 @@
+examples/mac_discovery.ml: Asipfb Asipfb_chain Asipfb_sched Float List Printf

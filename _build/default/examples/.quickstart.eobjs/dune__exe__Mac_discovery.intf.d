@@ -1,0 +1,1 @@
+examples/mac_discovery.mli:

@@ -1,0 +1,1 @@
+examples/pipeline_tour.ml: Asipfb_asip Asipfb_cfg Asipfb_chain Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Format Int List Printf

@@ -1,0 +1,50 @@
+(* MAC discovery: the paper's headline observation, reproduced.
+
+   The multiply-accumulate instruction of DSP processors (TMS320-style) is
+   justified by exactly the analysis this library implements: across a DSP
+   workload, multiply-add chains account for a large share of execution
+   time, and parallelizing optimizations reveal even more of them (the
+   add-multiply chains across loop iterations that only appear after
+   pipelining).  This example prints Table 2's five sequences and shows
+   which benchmarks contribute to each.
+
+   Run with: dune exec examples/mac_discovery.exe *)
+
+module Opt_level = Asipfb_sched.Opt_level
+module Combine = Asipfb_chain.Combine
+module Chainop = Asipfb_chain.Chainop
+
+let () =
+  let suite = Asipfb.Pipeline.suite () in
+  print_endline "Table 2 — example sequences across optimization levels:";
+  print_endline (Asipfb.Experiments.table2 suite);
+  print_newline ();
+
+  (* Which benchmarks carry the MAC? *)
+  let entries =
+    Asipfb.Experiments.combined suite ~level:Opt_level.O1 ~length:2
+  in
+  (match Combine.find entries [ "multiply"; "add" ] with
+  | Some e ->
+      print_endline "multiply-add contributions by benchmark (level 1):";
+      List.iter
+        (fun (name, freq) -> Printf.printf "  %-9s %6.2f%%\n" name freq)
+        e.per_benchmark
+  | None -> print_endline "multiply-add not detected (unexpected)");
+  print_newline ();
+
+  (* The paper's key narrative: add-multiply barely exists in the
+     sequential code but appears at high frequency once loop pipelining
+     exposes data flow from an addition in one iteration to a multiply in
+     the next. *)
+  let freq_at level =
+    let entries = Asipfb.Experiments.combined suite ~level ~length:2 in
+    match Combine.find entries [ "add"; "multiply" ] with
+    | Some e -> e.combined_freq
+    | None -> 0.0
+  in
+  Printf.printf
+    "add-multiply: %.2f%% without optimization, %.2f%% with pipelining \
+     (x%.1f exposure gain)\n"
+    (freq_at Opt_level.O0) (freq_at Opt_level.O1)
+    (freq_at Opt_level.O1 /. Float.max 0.01 (freq_at Opt_level.O0))

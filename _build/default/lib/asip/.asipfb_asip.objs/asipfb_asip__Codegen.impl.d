@@ -1,0 +1,1 @@
+lib/asip/codegen.ml: Array Asipfb_cfg Asipfb_chain Asipfb_ir Asipfb_sched Asipfb_util Fun Isa List Select Target

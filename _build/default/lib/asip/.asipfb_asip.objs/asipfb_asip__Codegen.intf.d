@@ -1,0 +1,1 @@
+lib/asip/codegen.mli: Asipfb_ir Select Target

@@ -1,0 +1,1 @@
+lib/asip/isa.ml: Buffer Char List Printf Select String

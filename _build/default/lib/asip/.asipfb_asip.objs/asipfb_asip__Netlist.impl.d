@@ -1,0 +1,1 @@
+lib/asip/netlist.ml: Asipfb_util Buffer Char Cost Isa List Printf Select String

@@ -1,0 +1,1 @@
+lib/asip/netlist.mli: Select

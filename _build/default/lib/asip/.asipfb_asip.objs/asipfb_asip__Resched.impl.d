@@ -1,0 +1,1 @@
+lib/asip/resched.ml: Array Asipfb_cfg Asipfb_chain Asipfb_ir Asipfb_sched Asipfb_sim Asipfb_util List Select

@@ -1,0 +1,1 @@
+lib/asip/resched.mli: Asipfb_chain Asipfb_sched Asipfb_sim Select

@@ -1,0 +1,1 @@
+lib/asip/select.ml: Asipfb_chain Asipfb_sim Asipfb_util Cost List

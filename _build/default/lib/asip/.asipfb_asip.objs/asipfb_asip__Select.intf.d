@@ -1,0 +1,1 @@
+lib/asip/select.mli: Asipfb_sched Asipfb_sim

@@ -1,0 +1,1 @@
+lib/asip/speedup.ml: Asipfb_sim Asipfb_util List Select

@@ -1,0 +1,1 @@
+lib/asip/speedup.mli: Asipfb_sim Select

@@ -1,0 +1,1 @@
+lib/asip/target.ml: Asipfb_chain Asipfb_ir Asipfb_util Format List

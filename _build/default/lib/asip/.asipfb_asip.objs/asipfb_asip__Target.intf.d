@@ -1,0 +1,1 @@
+lib/asip/target.mli: Asipfb_ir Format

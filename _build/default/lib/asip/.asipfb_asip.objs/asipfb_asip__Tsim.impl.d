@@ -1,0 +1,1 @@
+lib/asip/tsim.ml: Array Asipfb_ir Asipfb_sim Format Hashtbl List Option Target

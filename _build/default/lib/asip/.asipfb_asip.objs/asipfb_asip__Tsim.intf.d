@@ -1,0 +1,1 @@
+lib/asip/tsim.mli: Asipfb_sim Target

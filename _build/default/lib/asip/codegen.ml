@@ -1,0 +1,184 @@
+module Instr = Asipfb_ir.Instr
+module Reg = Asipfb_ir.Reg
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Cfg = Asipfb_cfg.Cfg
+module Ddg = Asipfb_sched.Ddg
+module Chainop = Asipfb_chain.Chainop
+
+let feeds a b =
+  match Instr.def a with
+  | Some d -> List.exists (Reg.equal d) (Instr.uses b)
+  | None -> false
+
+(* Does [classes] extend to a strict prefix (or full match) of some shape? *)
+let is_prefix_of_some shapes classes =
+  List.exists
+    (fun shape ->
+      List.length classes <= List.length shape
+      && List.for_all2
+           (fun a b -> a = b)
+           classes
+           (Asipfb_util.Listx.take (List.length classes) shape))
+    shapes
+
+let is_full_shape shapes classes = List.mem classes shapes
+
+(* Chain-aware topological emission of one block.  Returns the ops in the
+   new order together with fusion runs (start index, length). *)
+let emit_block ~shapes (ops : Instr.t array) : Target.tinstr list =
+  let n = Array.length ops in
+  if n = 0 then []
+  else begin
+    let ddg = Ddg.build ~carried:false ops in
+    let indegree = Array.make n 0 in
+    Array.iteri
+      (fun j _ ->
+        indegree.(j) <-
+          List.length
+            (List.filter
+               (fun (e : Ddg.edge) -> e.distance = 0)
+               (Ddg.preds ddg j)))
+      ops;
+    let emitted = Array.make n false in
+    let order = ref [] in
+    let emit i =
+      emitted.(i) <- true;
+      order := i :: !order;
+      List.iter
+        (fun (e : Ddg.edge) ->
+          if e.distance = 0 then indegree.(e.dst) <- indegree.(e.dst) - 1)
+        (Ddg.succs ddg i)
+    in
+    let ready () =
+      List.filter
+        (fun i -> (not emitted.(i)) && indegree.(i) = 0)
+        (List.init n Fun.id)
+    in
+    let class_of i = Chainop.class_of ops.(i) in
+    (* Emit all ops, preferring flow successors that extend the current
+       chain prefix. *)
+    let rec loop current_chain =
+      match ready () with
+      | [] -> ()
+      | ready_list ->
+          let extension =
+            match current_chain with
+            | [] -> None
+            | last :: _ ->
+                let prefix_classes =
+                  List.rev_map
+                    (fun i ->
+                      match class_of i with
+                      | Some c -> c
+                      | None -> assert false)
+                    current_chain
+                in
+                List.find_opt
+                  (fun i ->
+                    match class_of i with
+                    | Some c ->
+                        feeds ops.(last) ops.(i)
+                        && is_prefix_of_some shapes (prefix_classes @ [ c ])
+                    | None -> false)
+                  ready_list
+          in
+          (match extension with
+          | Some i ->
+              emit i;
+              loop (i :: current_chain)
+          | None -> (
+              (* Start a fresh chain if possible, else emit anything. *)
+              let starter =
+                List.find_opt
+                  (fun i ->
+                    match class_of i with
+                    | Some c ->
+                        (not (Chainop.terminal_only ops.(i)))
+                        && is_prefix_of_some shapes [ c ]
+                    | None -> false)
+                  ready_list
+              in
+              match (starter, ready_list) with
+              | Some i, _ ->
+                  emit i;
+                  loop [ i ]
+              | None, i :: _ ->
+                  emit i;
+                  loop []
+              | None, [] -> ()))
+    in
+    loop [];
+    let order = Array.of_list (List.rev !order) in
+    (* Fuse maximal contiguous flow-linked runs matching a full shape. *)
+    let result = ref [] in
+    let pos = ref 0 in
+    while !pos < n do
+      let start = !pos in
+      (* Longest run from [start] that is a prefix of some shape with
+         flow links; remember the longest full-shape cut. *)
+      let rec grow k classes best =
+        if start + k >= n then best
+        else
+          let i = order.(start + k) in
+          match class_of i with
+          | None -> best
+          | Some c ->
+              let linked =
+                k = 0 || feeds ops.(order.(start + k - 1)) ops.(i)
+              in
+              let classes = classes @ [ c ] in
+              if linked && is_prefix_of_some shapes classes then
+                let best =
+                  if is_full_shape shapes classes then Some (k + 1, classes)
+                  else best
+                in
+                grow (k + 1) classes best
+              else best
+      in
+      match grow 0 [] None with
+      | Some (len, classes) when len >= 2 ->
+          let members =
+            List.init len (fun k -> ops.(order.(start + k)))
+          in
+          result :=
+            Target.Chained
+              { mnemonic = Isa.mnemonic classes; shape = classes; members }
+            :: !result;
+          pos := start + len
+      | Some _ | None ->
+          result := Target.Base ops.(order.(start)) :: !result;
+          incr pos
+    done;
+    List.rev !result
+  end
+
+let generate ~shapes (p : Prog.t) : Target.tprog =
+  let shapes = List.filter (fun s -> List.length s >= 2) shapes in
+  let gen_func (f : Func.t) : Target.tfunc =
+    let cfg = Cfg.build f in
+    let body =
+      Array.to_list cfg.blocks
+      |> List.concat_map (fun (b : Cfg.block) ->
+             let label =
+               match b.label with
+               | Some l ->
+                   [ Target.Base
+                       (Instr.make
+                          ~opid:(-Asipfb_ir.Label.id l - 1)
+                          (Instr.Label_mark l)) ]
+               | None -> []
+             in
+             label @ emit_block ~shapes (Array.of_list b.instrs))
+    in
+    { Target.t_name = f.name; t_params = f.params; t_ret = f.ret_ty;
+      t_body = body }
+  in
+  {
+    Target.t_funcs = List.map gen_func p.funcs;
+    t_regions = p.regions;
+    t_entry = p.entry;
+  }
+
+let generate_for_choices ~choices p =
+  generate ~shapes:(List.map (fun (c : Select.choice) -> c.classes) choices) p

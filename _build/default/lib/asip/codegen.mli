@@ -1,0 +1,23 @@
+(** Retargeted code generation: compile a program for the customized ASIP.
+
+    Per basic block, instructions are re-emitted in a chain-aware
+    topological order of the full dependence graph (so semantics are
+    preserved by construction) with a greedy matcher that keeps emitting
+    flow-linked successors while they extend a prefix of one of the chosen
+    chain shapes; maximal complete matches are fused into {!Target.Chained}
+    instructions.
+
+    Only intra-block chains fuse — cross-iteration chains (which the
+    detector counts under loop pipelining) would need kernel unrolling, so
+    the measured speedup from {!Tsim} is a conservative floor under the
+    counting estimate of {!Speedup}. *)
+
+val generate : shapes:string list list -> Asipfb_ir.Prog.t -> Target.tprog
+(** [generate ~shapes p] fuses occurrences of the given shapes.  Every
+    produced chain satisfies {!Target.chain_well_formed}; with
+    [shapes = \[\]] the output is instruction-for-instruction equivalent to
+    [Target.of_prog p] up to the (semantics-preserving) reordering. *)
+
+val generate_for_choices :
+  choices:Select.choice list -> Asipfb_ir.Prog.t -> Target.tprog
+(** Convenience: shapes taken from a selection result. *)

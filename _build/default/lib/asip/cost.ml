@@ -1,0 +1,30 @@
+let table =
+  [
+    ("add", (1.0, 0.30)); ("subtract", (1.0, 0.30));
+    ("multiply", (8.0, 0.75)); ("divide", (18.0, 1.60));
+    ("logic", (0.5, 0.10)); ("shift", (0.8, 0.20));
+    ("compare", (0.8, 0.25));
+    ("load", (2.5, 0.55)); ("store", (2.0, 0.50));
+    ("fadd", (4.0, 0.60)); ("fsub", (4.0, 0.60));
+    ("fmultiply", (12.0, 0.85)); ("fdivide", (28.0, 1.90));
+    ("fcompare", (1.5, 0.35));
+    ("fload", (2.5, 0.55)); ("fstore", (2.0, 0.50));
+  ]
+
+let lookup cls =
+  match List.assoc_opt cls table with
+  | Some entry -> entry
+  | None -> invalid_arg ("Cost: unknown chain class " ^ cls)
+
+let unit_area cls = fst (lookup cls)
+let unit_delay cls = snd (lookup cls)
+let link_area = 0.4
+
+let chain_area classes =
+  Asipfb_util.Listx.sum_by unit_area classes
+  +. (link_area *. float_of_int (max 0 (List.length classes - 1)))
+
+let chain_delay classes = Asipfb_util.Listx.sum_by unit_delay classes
+
+let chain_feasible ?(max_delay = 1.8) classes =
+  chain_delay classes <= max_delay

@@ -1,0 +1,27 @@
+(** Area/delay cost model for chained functional units.
+
+    Units are normalized: area in adder-equivalents, delay as a fraction
+    of the baseline cycle.  A chained instruction cascades the functional
+    units of its member classes; its area is the sum of unit areas plus a
+    per-link forwarding overhead, and its delay is the sum of unit delays
+    (the data ripples through combinationally — the whole point of
+    chaining, section 4). *)
+
+val unit_area : string -> float
+(** Area of one functional unit by chain class.
+    @raise Invalid_argument for an unknown class. *)
+
+val unit_delay : string -> float
+(** Combinational delay of one functional unit by chain class.
+    @raise Invalid_argument for an unknown class. *)
+
+val link_area : float
+(** Forwarding-path overhead added per chain link. *)
+
+val chain_area : string list -> float
+val chain_delay : string list -> float
+
+val chain_feasible : ?max_delay:float -> string list -> bool
+(** Whether the cascade fits the clock.  [max_delay] defaults to 1.8 —
+    chained cycles may stretch the critical path noticeably before the
+    single-cycle abstraction breaks down. *)

@@ -1,0 +1,34 @@
+let short = function
+  | "add" -> "ADD" | "subtract" -> "SUB" | "multiply" -> "MUL"
+  | "divide" -> "DIV" | "logic" -> "LOG" | "shift" -> "SHF"
+  | "compare" -> "CMP" | "load" -> "LD" | "store" -> "ST"
+  | "fadd" -> "FADD" | "fsub" -> "FSUB" | "fmultiply" -> "FMUL"
+  | "fdivide" -> "FDIV" | "fcompare" -> "FCMP" | "fload" -> "FLD"
+  | "fstore" -> "FST"
+  | other -> String.uppercase_ascii other
+
+let mnemonic classes = "CHN_" ^ String.concat "_" (List.map short classes)
+
+let operand_shape classes =
+  let k = List.length classes in
+  let ends_in_store =
+    match List.rev classes with
+    | ("store" | "fstore") :: _ -> true
+    | _ -> false
+  in
+  let sources = List.init (k + 1) (fun i -> Printf.sprintf "r%c" (Char.chr (Char.code 'a' + i))) in
+  if ends_in_store then String.concat ", " sources
+  else "rd, " ^ String.concat ", " sources
+
+let render (choices : Select.choice list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "ISA extension: chained instructions (1 cycle each)\n";
+  List.iter
+    (fun (c : Select.choice) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-28s %-22s area %5.1f  delay %4.2f  saves %d cycles\n"
+           (mnemonic c.classes) (operand_shape c.classes) c.area c.delay
+           c.saved_cycles))
+    choices;
+  Buffer.contents buf

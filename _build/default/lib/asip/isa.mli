@@ -1,0 +1,14 @@
+(** Rendering a chosen chain set as an instruction-set extension sheet:
+    mnemonics, operand shapes, and costs — the artifact the ASIP designer
+    takes away from the feedback loop. *)
+
+val mnemonic : string list -> string
+(** ["multiply"; "add"] → ["CHN_MUL_ADD"]. *)
+
+val operand_shape : string list -> string
+(** Assembly-style operand sketch, e.g. "rd, ra, rb, rc" — a length-k
+    chain of two-operand units needs k+1 register sources in the worst
+    case and one destination. *)
+
+val render : Select.choice list -> string
+(** Multi-line extension sheet with one row per chained instruction. *)

@@ -1,0 +1,48 @@
+(** Structural netlists for chained functional units.
+
+    The "ASIP design" box of the paper's Figure 1 consumes the analyzer's
+    output and synthesizes application-specific hardware; this module
+    produces that artifact's skeleton: for each selected chained
+    instruction, a small structural netlist — operand ports, one
+    functional-unit node per chain member, the forwarding wires between
+    them, and the result port — plus a Graphviz rendering of the whole
+    extension datapath. *)
+
+type port = { port_name : string; direction : [ `In | `Out ] }
+
+type node = {
+  node_name : string;  (** Unique within the netlist, e.g. "mul0". *)
+  unit_class : string;  (** Chain class implemented by this FU. *)
+  area : float;
+  delay : float;
+}
+
+type wire = {
+  from_end : string;  (** Port or node name. *)
+  to_end : string;
+  is_forwarding : bool;
+      (** True for the combinational chain links (the wires operator
+          chaining exists to create). *)
+}
+
+type t = {
+  netlist_name : string;  (** The chained instruction's mnemonic. *)
+  ports : port list;
+  nodes : node list;
+  wires : wire list;
+}
+
+val of_choice : Select.choice -> t
+(** Build the netlist of one chained instruction.  Each two-operand unit
+    exposes one external operand port (its other input arrives on the
+    forwarding wire), except the first unit which exposes two; a chain
+    ending in a store exposes no result port. *)
+
+val total_area : t -> float
+val critical_delay : t -> float
+
+val to_dot : t list -> string
+(** All chained units as one Graphviz digraph, one cluster per unit. *)
+
+val summary : t list -> string
+(** One line per netlist: name, FUs, area, delay. *)

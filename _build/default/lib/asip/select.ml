@@ -1,0 +1,88 @@
+module Detect = Asipfb_chain.Detect
+
+type choice = {
+  classes : string list;
+  freq : float;
+  area : float;
+  delay : float;
+  saved_cycles : int;
+}
+
+type config = {
+  area_budget : float;
+  max_delay : float;
+  lengths : int list;
+  min_freq : float;
+  max_instructions : int;
+}
+
+let default_config =
+  {
+    area_budget = 30.0;
+    max_delay = 1.8;
+    lengths = [ 2; 3; 4 ];
+    min_freq = 2.0;
+    max_instructions = 8;
+  }
+
+(* Cycles saved if the chain becomes one instruction: its covered dynamic
+   ops collapse k-to-1.  Coverage is taken from the frequency (already
+   deduplicated across overlapping occurrences), so savings never exceed
+   the ops actually executed. *)
+let savings ~total (d : Detect.detected) =
+  let k = List.length d.classes in
+  let covered = d.freq /. 100.0 *. float_of_int total in
+  int_of_float (covered *. float_of_int (k - 1) /. float_of_int k)
+
+let candidates config sched ~profile ~banned =
+  List.concat_map
+    (fun length ->
+      let dconfig =
+        { (Detect.default_config ~length) with
+          min_freq = config.min_freq;
+          banned }
+      in
+      Detect.run dconfig sched ~profile)
+    config.lengths
+  |> List.filter (fun (d : Detect.detected) ->
+         Cost.chain_feasible ~max_delay:config.max_delay d.classes)
+
+let choose config sched ~profile : choice list =
+  let total = Asipfb_sim.Profile.total profile in
+  let rec go chosen banned budget remaining =
+    if remaining = 0 || budget <= 0.0 then List.rev chosen
+    else
+      let affordable =
+        candidates config sched ~profile ~banned
+        |> List.filter (fun (d : Detect.detected) ->
+               Cost.chain_area d.classes <= budget
+               && not
+                    (List.exists
+                       (fun c -> c.classes = d.classes)
+                       chosen))
+      in
+      let density (d : Detect.detected) =
+        float_of_int (savings ~total d) /. Cost.chain_area d.classes
+      in
+      match Asipfb_util.Listx.max_by density affordable with
+      | None -> List.rev chosen
+      | Some best ->
+          let area = Cost.chain_area best.classes in
+          let newly_banned =
+            List.concat_map
+              (fun (o : Detect.occurrence) -> List.map fst o.opids)
+              best.occurrences
+          in
+          let pick =
+            {
+              classes = best.classes;
+              freq = best.freq;
+              area;
+              delay = Cost.chain_delay best.classes;
+              saved_cycles = savings ~total best;
+            }
+          in
+          go (pick :: chosen) (newly_banned @ banned) (budget -. area)
+            (remaining - 1)
+  in
+  go [] [] config.area_budget config.max_instructions

@@ -1,0 +1,35 @@
+(** Chained-instruction selection under an area budget — the "ASIP design"
+    box of the paper's Figure 1, fed by the detector's output.
+
+    Greedy knapsack on benefit density: at each step, re-detect sequences
+    with already-claimed operations masked (as in the coverage analysis),
+    keep the candidates that fit the remaining area and the clock, and
+    take the one with the highest saved-cycles-per-area; repeat until
+    budget or candidates run out. *)
+
+type choice = {
+  classes : string list;
+  freq : float;  (** Frequency when chosen (after masking). *)
+  area : float;
+  delay : float;
+  saved_cycles : int;
+      (** Dynamic cycles saved: each occurrence of a length-k chain
+          collapses k ops into one chained cycle, saving k-1. *)
+}
+
+type config = {
+  area_budget : float;
+  max_delay : float;
+  lengths : int list;
+  min_freq : float;
+  max_instructions : int;
+}
+
+val default_config : config
+(** budget 30 adder-equivalents, max_delay 1.8, lengths 2–4, min_freq 2.0,
+    at most 8 chained instructions. *)
+
+val choose :
+  config -> Asipfb_sched.Schedule.t -> profile:Asipfb_sim.Profile.t ->
+  choice list
+(** Chosen chained instructions in selection order. *)

@@ -1,0 +1,26 @@
+type estimate = {
+  baseline_cycles : int;
+  saved_cycles : int;
+  asip_cycles : int;
+  speedup : float;
+  total_area : float;
+}
+
+let estimate (choices : Select.choice list) ~profile =
+  let baseline_cycles = Asipfb_sim.Profile.total profile in
+  let saved_cycles =
+    List.fold_left (fun acc (c : Select.choice) -> acc + c.saved_cycles) 0
+      choices
+  in
+  let saved_cycles = min saved_cycles baseline_cycles in
+  let asip_cycles = baseline_cycles - saved_cycles in
+  {
+    baseline_cycles;
+    saved_cycles;
+    asip_cycles;
+    speedup =
+      (if asip_cycles = 0 then 1.0
+       else float_of_int baseline_cycles /. float_of_int asip_cycles);
+    total_area =
+      Asipfb_util.Listx.sum_by (fun (c : Select.choice) -> c.area) choices;
+  }

@@ -1,0 +1,18 @@
+(** Cycle-count speedup estimation for a chosen chained-instruction set.
+
+    The baseline machine executes one operation per cycle, so baseline
+    cycles = total dynamic operations (the profile total).  Each dynamic
+    occurrence of a chosen length-k chain executes in one chained cycle
+    instead of k, saving k−1 cycles.  Selection masked overlapping
+    occurrences, so savings add. *)
+
+type estimate = {
+  baseline_cycles : int;
+  saved_cycles : int;
+  asip_cycles : int;
+  speedup : float;  (** baseline / asip; 1.0 when nothing was chosen. *)
+  total_area : float;  (** Area of all chosen chained units. *)
+}
+
+val estimate :
+  Select.choice list -> profile:Asipfb_sim.Profile.t -> estimate

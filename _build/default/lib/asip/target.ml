@@ -1,0 +1,125 @@
+module Types = Asipfb_ir.Types
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+
+type chained = {
+  mnemonic : string;
+  shape : string list;
+  members : Instr.t list;
+}
+
+type tinstr = Base of Instr.t | Chained of chained
+
+type tfunc = {
+  t_name : string;
+  t_params : Reg.t list;
+  t_ret : Types.ty option;
+  t_body : tinstr list;
+}
+
+type tprog = {
+  t_funcs : tfunc list;
+  t_regions : Prog.region list;
+  t_entry : string;
+}
+
+let of_prog (p : Prog.t) : tprog =
+  {
+    t_funcs =
+      List.map
+        (fun (f : Func.t) ->
+          {
+            t_name = f.name;
+            t_params = f.params;
+            t_ret = f.ret_ty;
+            t_body = List.map (fun i -> Base i) f.body;
+          })
+        p.funcs;
+    t_regions = p.regions;
+    t_entry = p.entry;
+  }
+
+let base_count tp =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc ti ->
+          match ti with
+          | Base i when not (Instr.is_label i) -> acc + 1
+          | Base _ | Chained _ -> acc)
+        acc f.t_body)
+    0 tp.t_funcs
+
+let chained_count tp =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc ti ->
+          match ti with Chained _ -> acc + 1 | Base _ -> acc)
+        acc f.t_body)
+    0 tp.t_funcs
+
+let fused_op_count tp =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc ti ->
+          match ti with
+          | Chained c -> acc + List.length c.members
+          | Base _ -> acc)
+        acc f.t_body)
+    0 tp.t_funcs
+
+let feeds a b =
+  match Instr.def a with
+  | Some d -> List.exists (Reg.equal d) (Instr.uses b)
+  | None -> false
+
+let chain_well_formed c =
+  let classes_match =
+    List.length c.members = List.length c.shape
+    && List.for_all2
+         (fun i cls -> Asipfb_chain.Chainop.class_of i = Some cls)
+         c.members c.shape
+  in
+  let linked =
+    List.for_all (fun (a, b) -> feeds a b) (Asipfb_util.Listx.pairs c.members)
+  in
+  let stores_terminal =
+    match c.members with
+    | [] -> false
+    | members ->
+        List.for_all
+          (fun (idx, i) ->
+            (not (Asipfb_chain.Chainop.terminal_only i))
+            || idx = List.length members - 1)
+          (List.mapi (fun idx i -> (idx, i)) members)
+  in
+  c.members <> [] && classes_match && linked && stores_terminal
+
+let pp fmt tp =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "region %s : %a[%d]@," r.Prog.region_name
+        Types.pp_ty r.elt_ty r.size)
+    tp.t_regions;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "func %s:@," f.t_name;
+      List.iter
+        (fun ti ->
+          match ti with
+          | Base i when Instr.is_label i -> Format.fprintf fmt "%a@," Instr.pp i
+          | Base i -> Format.fprintf fmt "  %a@," Instr.pp i
+          | Chained c ->
+              Format.fprintf fmt "  %s {@," c.mnemonic;
+              List.iter
+                (fun i -> Format.fprintf fmt "    %a@," Instr.pp i)
+                c.members;
+              Format.fprintf fmt "  }@,")
+        f.t_body)
+    tp.t_funcs;
+  Format.fprintf fmt "entry %s@]" tp.t_entry

@@ -1,0 +1,53 @@
+(** The customized ASIP target: base ISA plus chained instructions.
+
+    The paper's Figure 1 ends with two artifacts — the customized ASIP and
+    a compiler retargeted to it.  This module is the meeting point: a
+    target program is ordinary 3-address code in which some contiguous
+    runs have been fused into single chained instructions.  A chained
+    instruction executes its member operations in order within one cycle
+    (data forwards combinationally through the cascade), so target
+    semantics are identical to the unfused program while the cycle count
+    drops. *)
+
+type chained = {
+  mnemonic : string;  (** From {!Isa.mnemonic}. *)
+  shape : string list;  (** Chain classes, in order. *)
+  members : Asipfb_ir.Instr.t list;
+      (** The fused operations; consecutive members are linked by register
+          flow (each one's destination feeds an operand of the next). *)
+}
+
+type tinstr =
+  | Base of Asipfb_ir.Instr.t  (** One ordinary operation: one cycle. *)
+  | Chained of chained  (** One fused cascade: one cycle. *)
+
+type tfunc = {
+  t_name : string;
+  t_params : Asipfb_ir.Reg.t list;
+  t_ret : Asipfb_ir.Types.ty option;
+  t_body : tinstr list;
+}
+
+type tprog = {
+  t_funcs : tfunc list;
+  t_regions : Asipfb_ir.Prog.region list;
+  t_entry : string;
+}
+
+val of_prog : Asipfb_ir.Prog.t -> tprog
+(** The trivial translation: every instruction [Base], nothing fused. *)
+
+val base_count : tprog -> int
+(** Non-label [Base] instructions. *)
+
+val chained_count : tprog -> int
+val fused_op_count : tprog -> int
+(** Total operations hidden inside chained instructions. *)
+
+val chain_well_formed : chained -> bool
+(** Members non-empty, classes match the shape, consecutive members linked
+    by register flow, only the last member may be a store. *)
+
+val pp : Format.formatter -> tprog -> unit
+(** Assembly-style listing: chained instructions print their mnemonic and
+    member list. *)

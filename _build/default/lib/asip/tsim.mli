@@ -1,0 +1,30 @@
+(** Simulator for the customized ASIP target.
+
+    Executes a {!Target.tprog} with the same value/memory model as the base
+    simulator; a chained instruction performs its member operations in
+    order but costs a single cycle.  This turns the selection stage's
+    *estimated* speedup into a *measured* one, with output equality against
+    the base program checked by the test suite. *)
+
+exception Runtime_error of string
+
+type outcome = {
+  return_value : Asipfb_sim.Value.t option;
+  memory : Asipfb_sim.Memory.t;
+  cycles : int;  (** Executed target instructions (labels free). *)
+  chained_executed : int;  (** How many cycles were chained instructions. *)
+  ops_executed : int;
+      (** Underlying operations, including those inside chains — equals the
+          base simulator's dynamic count on equivalent code. *)
+}
+
+val run :
+  ?fuel:int ->
+  ?inputs:(string * Asipfb_sim.Value.t array) list ->
+  Target.tprog ->
+  outcome
+(** @raise Runtime_error on traps, unknown labels, or fuel exhaustion. *)
+
+val measured_speedup : outcome -> float
+(** ops_executed / cycles — the cycle-count win the chained ISA delivers
+    on this input. *)

@@ -1,0 +1,1 @@
+lib/bench_suite/benchmark.ml: Asipfb_frontend Asipfb_sim List String

@@ -1,0 +1,1 @@
+lib/bench_suite/benchmark.mli: Asipfb_ir Asipfb_sim

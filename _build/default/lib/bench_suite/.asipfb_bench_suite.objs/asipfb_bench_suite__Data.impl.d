@@ -1,0 +1,1 @@
+lib/bench_suite/data.ml: Array Asipfb_sim Asipfb_util

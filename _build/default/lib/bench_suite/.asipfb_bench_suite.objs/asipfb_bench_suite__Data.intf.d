@@ -1,0 +1,1 @@
+lib/bench_suite/data.mli: Asipfb_sim

@@ -1,0 +1,1 @@
+lib/bench_suite/extra.ml: Array Asipfb_sim Benchmark Data

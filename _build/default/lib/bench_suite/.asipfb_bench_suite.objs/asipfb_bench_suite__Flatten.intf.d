@@ -1,0 +1,1 @@
+lib/bench_suite/flatten.mli: Benchmark

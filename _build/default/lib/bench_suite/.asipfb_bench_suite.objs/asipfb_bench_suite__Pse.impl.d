@@ -1,0 +1,1 @@
+lib/bench_suite/pse.ml: Benchmark Data

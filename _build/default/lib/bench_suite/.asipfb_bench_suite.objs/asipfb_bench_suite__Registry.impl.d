@@ -1,0 +1,1 @@
+lib/bench_suite/registry.ml: Benchmark Bspline Compress Dft Edge Feowf Fir Flatten Iir Intfft List Pse Sewha Smooth

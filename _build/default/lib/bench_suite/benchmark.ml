@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  description : string;
+  data_input : string;
+  source : string;
+  inputs : unit -> (string * Asipfb_sim.Value.t array) list;
+  output_regions : string list;
+}
+
+let compile t = Asipfb_frontend.Lower.compile t.source ~entry:"main"
+let run t = Asipfb_sim.Interp.run (compile t) ~inputs:(t.inputs ())
+
+let source_lines t =
+  String.split_on_char '\n' t.source
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.length

@@ -1,0 +1,39 @@
+(* Cubic B-spline FIR smoothing of an integer stream: binomial (1 4 6 4 1)
+   kernel applied in two refinement passes with shift normalization. *)
+
+let source =
+  {|
+int input[256];
+int smooth1[256];
+int output[256];
+
+void main() {
+  int n;
+  for (n = 0; n < 4; n++) {
+    smooth1[n] = input[n];
+  }
+  for (n = 4; n < 256; n++) {
+    int s = input[n] + 4 * input[n - 1] + 6 * input[n - 2]
+          + 4 * input[n - 3] + input[n - 4];
+    smooth1[n] = s >> 4;
+  }
+  for (n = 0; n < 4; n++) {
+    output[n] = smooth1[n];
+  }
+  for (n = 4; n < 256; n++) {
+    int s = smooth1[n] + 4 * smooth1[n - 1] + 6 * smooth1[n - 2]
+          + 4 * smooth1[n - 3] + smooth1[n - 4];
+    output[n] = s >> 4;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "bspline";
+    description = "B Spline (FIR) filter";
+    data_input = "Stream of 256 random integer values";
+    source;
+    inputs = (fun () -> [ ("input", Data.int_stream ~seed:1111 ~len:256) ]);
+    output_regions = [ "output" ];
+  }

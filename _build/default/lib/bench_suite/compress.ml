@@ -1,0 +1,118 @@
+(* DCT-based 4:1 image compression: each 8x8 block is transformed by a
+   two-dimensional DCT-II, only the 4x4 low-frequency quadrant is kept
+   (the 4:1 compression), and the block is reconstructed by the inverse
+   transform. *)
+
+let source =
+  {|
+int image[576];
+float block[64];
+float coefs[64];
+int result[576];
+
+void dct_block() {
+  int u;
+  int v;
+  int x;
+  int y;
+  float pi = 3.14159265358979;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      float sum = 0.0;
+      for (x = 0; x < 8; x++) {
+        for (y = 0; y < 8; y++) {
+          sum = sum + block[x * 8 + y]
+              * cos((2.0 * (float)x + 1.0) * (float)u * pi / 16.0)
+              * cos((2.0 * (float)y + 1.0) * (float)v * pi / 16.0);
+        }
+      }
+      float cu = 1.0;
+      float cv = 1.0;
+      if (u == 0) {
+        cu = 0.70710678;
+      }
+      if (v == 0) {
+        cv = 0.70710678;
+      }
+      coefs[u * 8 + v] = 0.25 * cu * cv * sum;
+    }
+  }
+}
+
+void idct_block() {
+  int u;
+  int v;
+  int x;
+  int y;
+  float pi = 3.14159265358979;
+  for (x = 0; x < 8; x++) {
+    for (y = 0; y < 8; y++) {
+      float sum = 0.0;
+      for (u = 0; u < 8; u++) {
+        for (v = 0; v < 8; v++) {
+          float cu = 1.0;
+          float cv = 1.0;
+          if (u == 0) {
+            cu = 0.70710678;
+          }
+          if (v == 0) {
+            cv = 0.70710678;
+          }
+          sum = sum + cu * cv * coefs[u * 8 + v]
+              * cos((2.0 * (float)x + 1.0) * (float)u * pi / 16.0)
+              * cos((2.0 * (float)y + 1.0) * (float)v * pi / 16.0);
+        }
+      }
+      block[x * 8 + y] = 0.25 * sum;
+    }
+  }
+}
+
+void main() {
+  int br;
+  int bc;
+  int r;
+  int c;
+  for (br = 0; br < 3; br++) {
+    for (bc = 0; bc < 3; bc++) {
+      for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+          block[r * 8 + c] = (float)image[(br * 8 + r) * 24 + bc * 8 + c];
+        }
+      }
+      dct_block();
+      /* 4:1 compression: discard everything outside the 4x4 corner. */
+      for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+          if (r >= 4 || c >= 4) {
+            coefs[r * 8 + c] = 0.0;
+          }
+        }
+      }
+      idct_block();
+      for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+          int v = (int)(block[r * 8 + c] + 0.5);
+          if (v < 0) {
+            v = 0;
+          }
+          if (v > 255) {
+            v = 255;
+          }
+          result[(br * 8 + r) * 24 + bc * 8 + c] = v;
+        }
+      }
+    }
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "compress";
+    description = "Discrete cosine transformation (4:1 comp)";
+    data_input = "24x24 8-bit image";
+    source;
+    inputs = (fun () -> [ ("image", Data.image_8bit ~seed:505 ~side:24) ]);
+    output_regions = [ "result" ];
+  }

@@ -1,0 +1,3 @@
+(** The [compress] benchmark of Table 1. *)
+
+val benchmark : Benchmark.t

@@ -1,0 +1,36 @@
+(* Direct discrete Fourier transform of an integer stream — the compact
+   double-loop form (the paper's 15-line "dft"). *)
+
+let source =
+  {|
+int input[256];
+float re[256];
+float im[256];
+
+void main() {
+  int k;
+  int n;
+  float pi = 3.14159265358979;
+  for (k = 0; k < 256; k++) {
+    float sr = 0.0;
+    float si = 0.0;
+    for (n = 0; n < 256; n++) {
+      float ang = 2.0 * pi * (float)(k * n % 256) / 256.0;
+      sr = sr + (float)input[n] * cos(ang);
+      si = si - (float)input[n] * sin(ang);
+    }
+    re[k] = sr;
+    im[k] = si;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "dft";
+    description = "Discrete fast fourier transform";
+    data_input = "Stream of 256 random integer values";
+    source;
+    inputs = (fun () -> [ ("input", Data.int_stream ~seed:1010 ~len:256) ]);
+    output_regions = [ "re"; "im" ];
+  }

@@ -1,0 +1,50 @@
+(* Edge detection by 2D convolution: Sobel gradients in both directions,
+   magnitude by absolute sum, then thresholding to a binary edge map. *)
+
+let source =
+  {|
+int image[576];
+int result[576];
+
+void main() {
+  int r;
+  int c;
+  for (c = 0; c < 576; c++) {
+    result[c] = 0;
+  }
+  for (r = 1; r < 23; r++) {
+    for (c = 1; c < 23; c++) {
+      int up = (r - 1) * 24 + c;
+      int mid = r * 24 + c;
+      int down = (r + 1) * 24 + c;
+      int gx = image[up + 1] - image[up - 1]
+             + ((image[mid + 1] - image[mid - 1]) << 1)
+             + image[down + 1] - image[down - 1];
+      int gy = image[down - 1] + (image[down] << 1) + image[down + 1]
+             - image[up - 1] - (image[up] << 1) - image[up + 1];
+      if (gx < 0) {
+        gx = -gx;
+      }
+      if (gy < 0) {
+        gy = -gy;
+      }
+      int mag = gx + gy;
+      if (mag > 127) {
+        result[mid] = 255;
+      } else {
+        result[mid] = 0;
+      }
+    }
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "edge";
+    description = "Edge detection using 2D convolution";
+    data_input = "24x24 8-bit image";
+    source;
+    inputs = (fun () -> [ ("image", Data.image_8bit ~seed:808 ~side:24) ]);
+    output_regions = [ "result" ];
+  }

@@ -1,0 +1,3 @@
+(** The [edge] benchmark of Table 1. *)
+
+val benchmark : Benchmark.t

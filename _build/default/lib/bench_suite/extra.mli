@@ -1,0 +1,21 @@
+(** A second application mix for the retargeting story: the paper's
+    framework re-applied to kernels outside Table 1.  Not part of
+    {!Registry.all} — the paper's artifacts stay faithful to the original
+    suite; these power the [extra] artifact and the retargeting tests. *)
+
+val matmul : Benchmark.t
+(** 8×8 integer matrix multiply: pure MAC signature. *)
+
+val xcorr : Benchmark.t
+(** Cross-correlation over 32 lags: MACs plus index arithmetic. *)
+
+val acs : Benchmark.t
+(** Viterbi add-compare-select over a 16-state trellis — the classic
+    fused-ACS-unit motivation. *)
+
+val quant : Benchmark.t
+(** Vector-quantization nearest-codeword search:
+    subtract-multiply-accumulate plus compare. *)
+
+val all : Benchmark.t list
+(** The four kernels, in the order above. *)

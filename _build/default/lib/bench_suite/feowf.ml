@@ -1,0 +1,43 @@
+(* Fifth-order elliptic wave filter: three cascaded recursive sections
+   (two biquads and one first-order) in direct form II — the add/multiply
+   mix of the classic HLS elliptic-filter benchmark applied to a stream. *)
+
+let source =
+  {|
+int input[256];
+float output[256];
+
+void main() {
+  int n;
+  float s1a = 0.0;
+  float s1b = 0.0;
+  float s2a = 0.0;
+  float s2b = 0.0;
+  float s3 = 0.0;
+  for (n = 0; n < 256; n++) {
+    float x = (float)input[n] / 128.0;
+    float w1 = x + 1.3032 * s1a - 0.7403 * s1b;
+    float y1 = 0.1093 * w1 + 0.2186 * s1a + 0.1093 * s1b;
+    s1b = s1a;
+    s1a = w1;
+    float w2 = y1 + 1.1424 * s2a - 0.4124 * s2b;
+    float y2 = 0.0675 * w2 + 0.1350 * s2a + 0.0675 * s2b;
+    s2b = s2a;
+    s2a = w2;
+    float w3 = y2 + 0.5095 * s3;
+    float y3 = 0.2452 * w3 + 0.2452 * s3;
+    s3 = w3;
+    output[n] = y3;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "feowf";
+    description = "Fifth order elliptic wave filter";
+    data_input = "Stream of 256 random integer values";
+    source;
+    inputs = (fun () -> [ ("input", Data.int_stream ~seed:1212 ~len:256) ]);
+    output_regions = [ "output" ];
+  }

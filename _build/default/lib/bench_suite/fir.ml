@@ -1,0 +1,54 @@
+(* 35-point lowpass floating-point FIR filter (cutoff 0.2), after Embree &
+   Kimble ch. 4: windowed-sinc design followed by direct-form convolution. *)
+
+let source =
+  {|
+float input[100];
+float output[100];
+float coef[35];
+
+void design() {
+  int i;
+  float pi = 3.14159265358979;
+  float fc = 0.2;
+  for (i = 0; i < 35; i++) {
+    float n = (float)i - 17.0;
+    float h;
+    if (n == 0.0) {
+      h = 2.0 * fc;
+    } else {
+      h = sin(2.0 * pi * fc * n) / (pi * n);
+    }
+    coef[i] = h * (0.54 - 0.46 * cos(2.0 * pi * (float)i / 34.0));
+  }
+}
+
+void filter() {
+  int n;
+  int k;
+  for (n = 0; n < 100; n++) {
+    float acc = 0.0;
+    for (k = 0; k < 35; k++) {
+      if (n - k >= 0) {
+        acc = acc + coef[k] * input[n - k];
+      }
+    }
+    output[n] = acc;
+  }
+}
+
+void main() {
+  design();
+  filter();
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "fir";
+    description = "35-point lowpass fp FIR filter (cutoff 0.2)";
+    data_input = "Random array of 100 floating point values";
+    source;
+    inputs = (fun () -> [ ("input", Data.float_signal ~seed:101 ~len:100) ]);
+    output_regions = [ "output"; "coef" ];
+  }

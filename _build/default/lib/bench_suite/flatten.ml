@@ -1,0 +1,36 @@
+(* Histogram flattening (gray-level modification): histogram, cumulative
+   distribution, then remap every pixel through the scaled CDF. *)
+
+let source =
+  {|
+int image[576];
+int hist[256];
+int result[576];
+
+void main() {
+  int p;
+  int g;
+  for (g = 0; g < 256; g++) {
+    hist[g] = 0;
+  }
+  for (p = 0; p < 576; p++) {
+    hist[image[p]]++;
+  }
+  for (g = 1; g < 256; g++) {
+    hist[g] = hist[g] + hist[g - 1];
+  }
+  for (p = 0; p < 576; p++) {
+    result[p] = hist[image[p]] * 255 / 576;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "flatten";
+    description = "histogram flattening (gray level mod.)";
+    data_input = "24x24 8-bit image";
+    source;
+    inputs = (fun () -> [ ("image", Data.image_8bit ~seed:606 ~side:24) ]);
+    output_regions = [ "result" ];
+  }

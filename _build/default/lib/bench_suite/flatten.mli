@@ -1,0 +1,3 @@
+(** The [flatten] benchmark of Table 1. *)
+
+val benchmark : Benchmark.t

@@ -1,0 +1,44 @@
+(* IIR filter: cascade of three direct-form-II second-order sections with
+   1 dB-ripple-style lowpass coefficients. *)
+
+let source =
+  {|
+float input[100];
+float output[100];
+
+void main() {
+  int n;
+  float w1a = 0.0;
+  float w1b = 0.0;
+  float w2a = 0.0;
+  float w2b = 0.0;
+  float w3a = 0.0;
+  float w3b = 0.0;
+  for (n = 0; n < 100; n++) {
+    float x = input[n];
+    float w = x + 1.0081 * w1a - 0.4166 * w1b;
+    float y = 0.1021 * (w + 2.0 * w1a + w1b);
+    w1b = w1a;
+    w1a = w;
+    w = y + 0.8203 * w2a - 0.6374 * w2b;
+    y = 0.2043 * (w + 2.0 * w2a + w2b);
+    w2b = w2a;
+    w2a = w;
+    w = y + 0.6303 * w3a - 0.8913 * w3b;
+    y = 0.3153 * (w + 2.0 * w3a + w3b);
+    w3b = w3a;
+    w3a = w;
+    output[n] = y;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "iir";
+    description = "IIR filter - 3-section, 1dB passband ripple";
+    data_input = "Random array of 100 floating point values";
+    source;
+    inputs = (fun () -> [ ("input", Data.float_signal ~seed:202 ~len:100) ]);
+    output_regions = [ "output" ];
+  }

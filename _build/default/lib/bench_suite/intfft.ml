@@ -1,0 +1,100 @@
+(* 2:1 interpolation in the frequency domain: forward FFT of the 128-point
+   frame (100 real samples zero-padded), spectrum spread into 256 bins,
+   inverse FFT back to the interpolated signal.  The FFT is parameterized
+   by size and direction so one routine serves both transforms. *)
+
+let source =
+  {|
+float input[128];
+float re[256];
+float im[256];
+float interp[256];
+
+void bitrev(int n) {
+  int i;
+  int j;
+  int k;
+  j = 0;
+  for (i = 0; i < n; i++) {
+    if (i < j) {
+      float t = re[i];
+      re[i] = re[j];
+      re[j] = t;
+      t = im[i];
+      im[i] = im[j];
+      im[j] = t;
+    }
+    k = n >> 1;
+    while (k >= 1 && k <= j) {
+      j = j - k;
+      k = k >> 1;
+    }
+    j = j + k;
+  }
+}
+
+void fft(int n, int inverse) {
+  int len = 2;
+  float pi = 3.14159265358979;
+  float sign = -1.0;
+  if (inverse == 1) {
+    sign = 1.0;
+  }
+  bitrev(n);
+  while (len <= n) {
+    int half = len >> 1;
+    float ang = sign * 2.0 * pi / (float)len;
+    int start;
+    for (start = 0; start < n; start += len) {
+      int m;
+      for (m = 0; m < half; m++) {
+        float a = ang * (float)m;
+        float wr = cos(a);
+        float wi = sin(a);
+        int p = start + m;
+        int q = p + half;
+        float tr = wr * re[q] - wi * im[q];
+        float ti = wr * im[q] + wi * re[q];
+        re[q] = re[p] - tr;
+        im[q] = im[p] - ti;
+        re[p] = re[p] + tr;
+        im[p] = im[p] + ti;
+      }
+    }
+    len = len << 1;
+  }
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 128; i++) {
+    re[i] = input[i];
+    im[i] = 0.0;
+  }
+  fft(128, 0);
+  /* Spread the 128-bin spectrum across 256 bins: keep the low half at the
+     bottom, move the high half to the top, zero the middle. */
+  for (i = 255; i >= 192; i--) {
+    re[i] = re[i - 128];
+    im[i] = im[i - 128];
+  }
+  for (i = 64; i < 192; i++) {
+    re[i] = 0.0;
+    im[i] = 0.0;
+  }
+  fft(256, 1);
+  for (i = 0; i < 256; i++) {
+    interp[i] = 2.0 * re[i] / 128.0;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "intfft";
+    description = "Interpolate 2:1 using FFT and inverse FFT";
+    data_input = "Random array of 100 floating point values";
+    source;
+    inputs = (fun () -> [ ("input", Data.float_signal ~seed:404 ~len:100) ]);
+    output_regions = [ "interp" ];
+  }

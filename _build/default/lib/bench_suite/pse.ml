@@ -1,0 +1,85 @@
+(* Power spectral estimation: Hamming window, in-place radix-2 FFT with
+   bit-reversal permutation, then squared-magnitude spectrum. *)
+
+let source =
+  {|
+float input[256];
+float re[256];
+float im[256];
+float psd[129];
+
+void bitrev() {
+  int i;
+  int j;
+  int k;
+  j = 0;
+  for (i = 0; i < 256; i++) {
+    if (i < j) {
+      float t = re[i];
+      re[i] = re[j];
+      re[j] = t;
+      t = im[i];
+      im[i] = im[j];
+      im[j] = t;
+    }
+    k = 128;
+    while (k >= 1 && k <= j) {
+      j = j - k;
+      k = k >> 1;
+    }
+    j = j + k;
+  }
+}
+
+void fft() {
+  int len = 2;
+  float pi = 3.14159265358979;
+  bitrev();
+  while (len <= 256) {
+    int half = len >> 1;
+    float ang = -2.0 * pi / (float)len;
+    int start;
+    for (start = 0; start < 256; start += len) {
+      int m;
+      for (m = 0; m < half; m++) {
+        float a = ang * (float)m;
+        float wr = cos(a);
+        float wi = sin(a);
+        int p = start + m;
+        int q = p + half;
+        float tr = wr * re[q] - wi * im[q];
+        float ti = wr * im[q] + wi * re[q];
+        re[q] = re[p] - tr;
+        im[q] = im[p] - ti;
+        re[p] = re[p] + tr;
+        im[p] = im[p] + ti;
+      }
+    }
+    len = len << 1;
+  }
+}
+
+void main() {
+  int i;
+  float pi = 3.14159265358979;
+  for (i = 0; i < 256; i++) {
+    float w = 0.54 - 0.46 * cos(2.0 * pi * (float)i / 255.0);
+    re[i] = input[i] * w;
+    im[i] = 0.0;
+  }
+  fft();
+  for (i = 0; i <= 128; i++) {
+    psd[i] = (re[i] * re[i] + im[i] * im[i]) / 256.0;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "pse";
+    description = "Power spectral estimation using FFT";
+    data_input = "Random array of 256 floating point values";
+    source;
+    inputs = (fun () -> [ ("input", Data.float_signal ~seed:303 ~len:256) ]);
+    output_regions = [ "psd" ];
+  }

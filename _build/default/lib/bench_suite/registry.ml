@@ -1,0 +1,14 @@
+let all =
+  [
+    Fir.benchmark; Iir.benchmark; Pse.benchmark; Intfft.benchmark;
+    Compress.benchmark; Flatten.benchmark; Smooth.benchmark; Edge.benchmark;
+    Sewha.benchmark; Dft.benchmark; Bspline.benchmark; Feowf.benchmark;
+  ]
+
+let find_opt name =
+  List.find_opt (fun (b : Benchmark.t) -> b.name = name) all
+
+let find name =
+  match find_opt name with Some b -> b | None -> raise Not_found
+
+let names = List.map (fun (b : Benchmark.t) -> b.name) all

@@ -1,0 +1,11 @@
+(** The benchmark suite of Table 1. *)
+
+val all : Benchmark.t list
+(** The twelve benchmarks in the paper's table order: fir, iir, pse,
+    intfft, compress, flatten, smooth, edge, sewha, dft, bspline, feowf. *)
+
+val find : string -> Benchmark.t
+(** @raise Not_found for an unknown name. *)
+
+val find_opt : string -> Benchmark.t option
+val names : string list

@@ -1,0 +1,39 @@
+(* Sewha's filter: a small symmetric integer FIR with shift normalization —
+   the compact fixed-point stream filter shape of the original. *)
+
+let source =
+  {|
+int input[100];
+int output[100];
+int coef[8];
+
+void main() {
+  int n;
+  int k;
+  coef[0] = 3;
+  coef[1] = -9;
+  coef[2] = 21;
+  coef[3] = 49;
+  coef[4] = 49;
+  coef[5] = 21;
+  coef[6] = -9;
+  coef[7] = 3;
+  for (n = 7; n < 100; n++) {
+    int acc = 0;
+    for (k = 0; k < 8; k++) {
+      acc = acc + coef[k] * input[n - k];
+    }
+    output[n] = acc >> 7;
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "sewha";
+    description = "Sewha's (FIR) filter";
+    data_input = "Stream of 100 random integer values";
+    source;
+    inputs = (fun () -> [ ("input", Data.int_stream ~seed:909 ~len:100) ]);
+    output_regions = [ "output" ];
+  }

@@ -1,0 +1,43 @@
+(* 3x3 Gaussian blur lowpass filter with the binomial (1 2 1) kernel and
+   shift normalization — fixed-point image smoothing. *)
+
+let source =
+  {|
+int image[576];
+int result[576];
+
+void main() {
+  int r;
+  int c;
+  for (r = 0; r < 24; r++) {
+    result[r * 24] = image[r * 24];
+    result[r * 24 + 23] = image[r * 24 + 23];
+  }
+  for (c = 0; c < 24; c++) {
+    result[c] = image[c];
+    result[552 + c] = image[552 + c];
+  }
+  for (r = 1; r < 23; r++) {
+    for (c = 1; c < 23; c++) {
+      int up = (r - 1) * 24 + c;
+      int mid = r * 24 + c;
+      int down = (r + 1) * 24 + c;
+      int s = image[up - 1] + (image[up] << 1) + image[up + 1]
+            + (image[mid - 1] << 1) + (image[mid] << 2)
+            + (image[mid + 1] << 1)
+            + image[down - 1] + (image[down] << 1) + image[down + 1];
+      result[mid] = s >> 4;
+    }
+  }
+}
+|}
+
+let benchmark =
+  {
+    Benchmark.name = "smooth";
+    description = "3x3 Gaussian blur lowpass filter";
+    data_input = "24x24 8-bit image";
+    source;
+    inputs = (fun () -> [ ("image", Data.image_8bit ~seed:707 ~side:24) ]);
+    output_regions = [ "result" ];
+  }

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Asipfb_ir Format Hashtbl Int List String

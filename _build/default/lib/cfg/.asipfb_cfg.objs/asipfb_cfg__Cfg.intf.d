@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Asipfb_ir Format

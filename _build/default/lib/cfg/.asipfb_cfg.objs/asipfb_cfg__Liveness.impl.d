@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Array Asipfb_ir Asipfb_util Cfg List

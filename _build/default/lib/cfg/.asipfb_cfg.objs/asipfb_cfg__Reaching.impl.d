@@ -1,0 +1,1 @@
+lib/cfg/reaching.ml: Array Asipfb_ir Asipfb_util Cfg Hashtbl Int List Option Set

@@ -1,0 +1,1 @@
+lib/cfg/reaching.mli: Asipfb_ir Cfg

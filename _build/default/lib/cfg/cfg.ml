@@ -1,0 +1,122 @@
+module Instr = Asipfb_ir.Instr
+module Label = Asipfb_ir.Label
+module Func = Asipfb_ir.Func
+
+type block = {
+  index : int;
+  label : Label.t option;
+  instrs : Instr.t list;
+  succs : int list;
+  preds : int list;
+}
+
+type t = { func_name : string; blocks : block array; entry : int }
+
+(* Split the linear body into (label option, instrs) runs. A run ends after a
+   control instruction or before a label mark. *)
+let split_runs body =
+  let flush label acc runs =
+    match (label, acc) with
+    | None, [] -> runs
+    | _ -> (label, List.rev acc) :: runs
+  in
+  let rec go label acc runs = function
+    | [] -> List.rev (flush label acc runs)
+    | i :: rest -> (
+        match Instr.kind i with
+        | Instr.Label_mark l ->
+            go (Some l) [] (flush label acc runs) rest
+        | Instr.Jump _ | Instr.Cond_jump _ | Instr.Ret _ ->
+            go None [] (flush label (i :: acc) runs) rest
+        | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+        | Instr.Load _ | Instr.Store _ | Instr.Call _ ->
+            go label (i :: acc) runs rest)
+  in
+  go None [] [] body
+
+let build (f : Func.t) : t =
+  let runs = split_runs f.body in
+  let runs = if runs = [] then [ (None, []) ] else runs in
+  let n = List.length runs in
+  let arr = Array.of_list runs in
+  let label_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (label, _) ->
+      match label with
+      | Some l -> Hashtbl.replace label_index (Label.id l) i
+      | None -> ())
+    arr;
+  let succs_of i (instrs : Instr.t list) =
+    let target l =
+      match Hashtbl.find_opt label_index (Label.id l) with
+      | Some b -> b
+      | None -> invalid_arg "Cfg.build: branch to unknown label"
+    in
+    match List.rev instrs with
+    | last :: _ -> (
+        match Instr.kind last with
+        | Instr.Jump l -> [ target l ]
+        | Instr.Cond_jump (_, l) ->
+            if i + 1 < n then [ target l; i + 1 ] else [ target l ]
+        | Instr.Ret _ -> []
+        | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+        | Instr.Load _ | Instr.Store _ | Instr.Call _ | Instr.Label_mark _ ->
+            if i + 1 < n then [ i + 1 ] else [])
+    | [] -> if i + 1 < n then [ i + 1 ] else []
+  in
+  let succs = Array.mapi (fun i (_, instrs) -> succs_of i instrs) arr in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    succs;
+  let blocks =
+    Array.mapi
+      (fun i (label, instrs) ->
+        { index = i; label; instrs; succs = succs.(i);
+          preds = List.sort Int.compare (List.rev preds.(i)) })
+      arr
+  in
+  { func_name = f.name; blocks; entry = 0 }
+
+let linearize (t : t) : Instr.t list =
+  (* Labels survive in block records; opids of label marks are not preserved
+     (they are pseudo-instructions), so fabricate marks with the negative of
+     the label id to keep opids disjoint from real instructions. *)
+  Array.to_list t.blocks
+  |> List.concat_map (fun b ->
+         let mark =
+           match b.label with
+           | Some l -> [ Instr.make ~opid:(-Label.id l - 1) (Instr.Label_mark l) ]
+           | None -> []
+         in
+         mark @ b.instrs)
+
+let block_of_label t l =
+  let found = ref None in
+  Array.iter
+    (fun b ->
+      match b.label with
+      | Some l' when Label.equal l l' -> found := Some b.index
+      | Some _ | None -> ())
+    t.blocks;
+  match !found with Some i -> i | None -> raise Not_found
+
+let instr_count t =
+  Array.fold_left (fun acc b -> acc + List.length b.instrs) 0 t.blocks
+
+let map_blocks f t =
+  { t with blocks = Array.map (fun b -> { b with instrs = f b }) t.blocks }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>cfg %s:@," t.func_name;
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "block %d%s -> [%s]  preds [%s]@," b.index
+        (match b.label with
+        | Some l -> Format.asprintf " (%a)" Label.pp l
+        | None -> "")
+        (String.concat "," (List.map string_of_int b.succs))
+        (String.concat "," (List.map string_of_int b.preds));
+      List.iter (fun i -> Format.fprintf fmt "  %a@," Instr.pp i) b.instrs)
+    t.blocks;
+  Format.fprintf fmt "@]"

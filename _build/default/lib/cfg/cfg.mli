@@ -1,0 +1,44 @@
+(** Control-flow graphs over linear 3-address functions.
+
+    Blocks are maximal straight-line instruction runs; the [Label_mark]
+    pseudo-instructions of the linear form become block boundaries and are
+    not kept inside blocks.  [linearize] reconstitutes an equivalent linear
+    body, so transformation passes can round-trip
+    [Func.t → Cfg.t → Func.t]. *)
+
+type block = {
+  index : int;  (** Position in [blocks]; stable identifier. *)
+  label : Asipfb_ir.Label.t option;
+      (** The label that opened this block, if any. *)
+  instrs : Asipfb_ir.Instr.t list;
+      (** Straight-line body; only the last may be control flow. *)
+  succs : int list;  (** Successor block indices, branch target first. *)
+  preds : int list;  (** Predecessor block indices, ascending. *)
+}
+
+type t = {
+  func_name : string;
+  blocks : block array;
+  entry : int;  (** Always 0. *)
+}
+
+val build : Asipfb_ir.Func.t -> t
+(** [build f] constructs the CFG.  Unreachable blocks (which validated IR
+    does not contain) are preserved but have no predecessors. *)
+
+val linearize : t -> Asipfb_ir.Instr.t list
+(** Re-emit a linear body: each block preceded by its label (a fresh label
+    is never invented — blocks reached only by fallthrough have none, and
+    block order is preserved so fallthroughs remain correct). *)
+
+val block_of_label : t -> Asipfb_ir.Label.t -> int
+(** @raise Not_found if no block opens with that label. *)
+
+val instr_count : t -> int
+
+val map_blocks : (block -> Asipfb_ir.Instr.t list) -> t -> t
+(** [map_blocks f t] replaces each block's instruction list by [f block],
+    keeping the graph structure.  The caller must preserve each block's
+    terminator (same control instruction, or none if it had none). *)
+
+val pp : Format.formatter -> t -> unit

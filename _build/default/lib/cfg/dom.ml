@@ -1,0 +1,48 @@
+type t = { doms : bool array array; entry : int }
+
+let compute (cfg : Cfg.t) : t =
+  let n = Array.length cfg.blocks in
+  let doms = Array.init n (fun i -> Array.make n (i <> cfg.entry)) in
+  doms.(cfg.entry) <- Array.init n (fun j -> j = cfg.entry);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (b : Cfg.block) ->
+        if b.index <> cfg.entry then begin
+          let inter = Array.make n true in
+          (match b.preds with
+          | [] -> ()  (* unreachable: keep the full (vacuous) set *)
+          | preds ->
+              List.iter
+                (fun p ->
+                  Array.iteri
+                    (fun j v -> if not v then inter.(j) <- false)
+                    doms.(p))
+                preds);
+          inter.(b.index) <- true;
+          if inter <> doms.(b.index) then begin
+            doms.(b.index) <- inter;
+            changed := true
+          end
+        end)
+      cfg.blocks
+  done;
+  { doms; entry = cfg.entry }
+
+let dominates t a b = t.doms.(b).(a)
+
+let dominators_of t b =
+  let acc = ref [] in
+  Array.iteri (fun j v -> if v then acc := j :: !acc) t.doms.(b);
+  List.sort Int.compare !acc
+
+let idom t b =
+  if b = t.entry then None
+  else
+    (* The immediate dominator is the strict dominator dominated by every
+       other strict dominator. *)
+    let strict = List.filter (fun d -> d <> b) (dominators_of t b) in
+    List.find_opt
+      (fun d -> List.for_all (fun d' -> t.doms.(d).(d')) strict)
+      strict

@@ -1,0 +1,55 @@
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+
+type t = {
+  cfg : Cfg.t;
+  live_in : Reg.Set.t array;
+  live_out : Reg.Set.t array;
+}
+
+let transfer (instrs : Instr.t list) out =
+  (* Backward over the block: live = (live \ def) ∪ uses. *)
+  List.fold_right
+    (fun i live ->
+      let live =
+        match Instr.def i with
+        | Some d -> Reg.Set.remove d live
+        | None -> live
+      in
+      List.fold_left (fun s r -> Reg.Set.add r s) live (Instr.uses i))
+    instrs out
+
+let compute (cfg : Cfg.t) : t =
+  let n = Array.length cfg.blocks in
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for idx = n - 1 downto 0 do
+      let b = cfg.blocks.(idx) in
+      let out =
+        List.fold_left
+          (fun acc s -> Reg.Set.union acc live_in.(s))
+          Reg.Set.empty b.succs
+      in
+      let inn = transfer b.instrs out in
+      if
+        (not (Reg.Set.equal out live_out.(idx)))
+        || not (Reg.Set.equal inn live_in.(idx))
+      then begin
+        live_out.(idx) <- out;
+        live_in.(idx) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { cfg; live_in; live_out }
+
+let live_in t b = t.live_in.(b)
+let live_out t b = t.live_out.(b)
+
+let live_before t ~block ~pos =
+  let b = t.cfg.blocks.(block) in
+  let tail = Asipfb_util.Listx.drop pos b.instrs in
+  transfer tail t.live_out.(block)

@@ -1,0 +1,37 @@
+type loop = { header : int; back_edge_tail : int; body : int list }
+
+let natural_loop (cfg : Cfg.t) header tail =
+  (* Walk predecessors backward from the tail, stopping at the header. *)
+  let in_loop = Hashtbl.create 8 in
+  Hashtbl.replace in_loop header ();
+  let rec add b =
+    if not (Hashtbl.mem in_loop b) then begin
+      Hashtbl.replace in_loop b ();
+      List.iter add cfg.blocks.(b).preds
+    end
+  in
+  add tail;
+  let body = Hashtbl.fold (fun b () acc -> b :: acc) in_loop [] in
+  { header; back_edge_tail = tail; body = List.sort Int.compare body }
+
+let find (cfg : Cfg.t) (dom : Dom.t) : loop list =
+  let loops = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun s ->
+          if Dom.dominates dom s b.index then
+            loops := natural_loop cfg s b.index :: !loops)
+        b.succs)
+    cfg.blocks;
+  List.sort (fun a b -> Int.compare a.header b.header) !loops
+
+let innermost loops =
+  let contains_other_header l =
+    List.exists
+      (fun l' -> l'.header <> l.header && List.mem l'.header l.body)
+      loops
+  in
+  List.filter (fun l -> not (contains_other_header l)) loops
+
+let is_single_block l = l.header = l.back_edge_tail && l.body = [ l.header ]

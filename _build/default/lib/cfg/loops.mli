@@ -1,0 +1,24 @@
+(** Natural-loop detection.
+
+    A back edge is an edge [n → h] whose head [h] dominates its tail [n];
+    its natural loop is [h] plus every block that reaches [n] without
+    passing through [h].  The loop pipeliner only transforms innermost
+    loops whose body is a single block — the common shape of the DSP
+    kernels' hot loops after lowering. *)
+
+type loop = {
+  header : int;
+  back_edge_tail : int;  (** The block whose edge to [header] closes the loop. *)
+  body : int list;  (** All blocks in the loop, ascending; includes header. *)
+}
+
+val find : Cfg.t -> Dom.t -> loop list
+(** All natural loops, one per back edge, headers ascending.  Two back
+    edges sharing a header yield two entries. *)
+
+val innermost : loop list -> loop list
+(** Loops whose body contains no other loop's header (other than their
+    own). *)
+
+val is_single_block : loop -> bool
+(** Header and back-edge tail coincide: the whole loop is one block. *)

@@ -1,0 +1,125 @@
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  cfg : Cfg.t;
+  reach_in : Int_set.t array;
+  reach_out : Int_set.t array;
+  (* opid -> register defined *)
+  def_reg : (int, Reg.t) Hashtbl.t;
+}
+
+(* Transfer through one instruction: kill other defs of the same register,
+   generate this one. *)
+let transfer def_reg i reaching =
+  match Instr.def i with
+  | None -> reaching
+  | Some d ->
+      Int_set.add (Instr.opid i)
+        (Int_set.filter
+           (fun opid ->
+             match Hashtbl.find_opt def_reg opid with
+             | Some r -> not (Reg.equal r d)
+             | None -> true)
+           reaching)
+
+let block_transfer def_reg instrs reaching =
+  List.fold_left (fun acc i -> transfer def_reg i acc) reaching instrs
+
+let compute (cfg : Cfg.t) : t =
+  let n = Array.length cfg.blocks in
+  let def_reg = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun i ->
+          match Instr.def i with
+          | Some d -> Hashtbl.replace def_reg (Instr.opid i) d
+          | None -> ())
+        b.instrs)
+    cfg.blocks;
+  let reach_in = Array.make n Int_set.empty in
+  let reach_out = Array.make n Int_set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (b : Cfg.block) ->
+        let inn =
+          List.fold_left
+            (fun acc p -> Int_set.union acc reach_out.(p))
+            Int_set.empty b.preds
+        in
+        let out = block_transfer def_reg b.instrs inn in
+        if
+          (not (Int_set.equal inn reach_in.(b.index)))
+          || not (Int_set.equal out reach_out.(b.index))
+        then begin
+          reach_in.(b.index) <- inn;
+          reach_out.(b.index) <- out;
+          changed := true
+        end)
+      cfg.blocks
+  done;
+  { cfg; reach_in; reach_out; def_reg }
+
+let reach_in t b = Int_set.elements t.reach_in.(b)
+let reach_out t b = Int_set.elements t.reach_out.(b)
+
+let reaching_at t ~block ~pos =
+  let b = t.cfg.blocks.(block) in
+  let before = Asipfb_util.Listx.take pos b.instrs in
+  block_transfer t.def_reg before t.reach_in.(block)
+
+let defs_reaching_use t ~block ~pos ~reg =
+  reaching_at t ~block ~pos
+  |> Int_set.filter (fun opid ->
+         match Hashtbl.find_opt t.def_reg opid with
+         | Some r -> Reg.equal r reg
+         | None -> false)
+  |> Int_set.elements
+
+let du_chains t =
+  let uses_of_def : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iteri
+        (fun pos i ->
+          List.iter
+            (fun reg ->
+              List.iter
+                (fun def_opid ->
+                  let existing =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt uses_of_def def_opid)
+                  in
+                  Hashtbl.replace uses_of_def def_opid
+                    ((b.index, pos) :: existing))
+                (defs_reaching_use t ~block:b.index ~pos ~reg))
+            (Asipfb_util.Listx.dedup Reg.equal (Instr.uses i)))
+        b.instrs)
+    t.cfg.blocks;
+  Hashtbl.fold
+    (fun def uses acc -> (def, List.sort compare uses) :: acc)
+    uses_of_def []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let single_def_uses t =
+  (* A def qualifies when, at each of its uses, it is the only reaching
+     definition of the used register. *)
+  let chains = du_chains t in
+  List.filter_map
+    (fun (def_opid, uses) ->
+      match Hashtbl.find_opt t.def_reg def_opid with
+      | None -> None
+      | Some reg ->
+          let unique_everywhere =
+            List.for_all
+              (fun (block, pos) ->
+                defs_reaching_use t ~block ~pos ~reg = [ def_opid ])
+              uses
+          in
+          if unique_everywhere && uses <> [] then Some def_opid else None)
+    chains

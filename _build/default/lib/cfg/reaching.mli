@@ -1,0 +1,33 @@
+(** Reaching definitions and def-use chains.
+
+    A definition is identified by the opid of the defining instruction.
+    The analysis is the classic forward may-dataflow: a definition reaches
+    a point if some path from it to the point contains no other definition
+    of the same register.  Def-use chains link each definition to every
+    use it can reach — the whole-function counterpart of the per-block
+    dependence edges in the scheduler. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val reach_in : t -> int -> int list
+(** Opids of definitions reaching the block's entry, ascending. *)
+
+val reach_out : t -> int -> int list
+
+val defs_reaching_use :
+  t -> block:int -> pos:int -> reg:Asipfb_ir.Reg.t -> int list
+(** Definitions of [reg] that may reach the use at the [pos]-th
+    instruction of [block] (0-based), ascending opids.  Parameters are not
+    definitions and contribute nothing. *)
+
+val du_chains : t -> (int * (int * int) list) list
+(** For every defining instruction: [(def opid, uses)] where each use is
+    [(block, pos)] of an instruction reading the defined register with
+    that definition reaching it.  Sorted by def opid. *)
+
+val single_def_uses : t -> int list
+(** Opids of definitions that are the unique reaching definition at every
+    one of their uses — the candidates classic forward substitution could
+    rewrite. *)

@@ -1,0 +1,1 @@
+lib/chain/chainop.ml: Asipfb_ir String

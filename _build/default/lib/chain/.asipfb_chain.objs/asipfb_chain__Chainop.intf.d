@@ -1,0 +1,1 @@
+lib/chain/chainop.mli: Asipfb_ir

@@ -1,0 +1,1 @@
+lib/chain/combine.ml: Asipfb_util Chainop Detect Float List Option

@@ -1,0 +1,1 @@
+lib/chain/combine.mli: Detect

@@ -1,0 +1,1 @@
+lib/chain/coverage.ml: Asipfb_util Detect List

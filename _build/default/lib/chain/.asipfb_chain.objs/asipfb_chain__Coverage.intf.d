@@ -1,0 +1,1 @@
+lib/chain/coverage.mli: Asipfb_sched Asipfb_sim

@@ -1,0 +1,1 @@
+lib/chain/detect.ml: Array Asipfb_cfg Asipfb_ir Asipfb_sched Asipfb_sim Asipfb_util Chainop Float Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/chain/detect.mli: Asipfb_sched Asipfb_sim

@@ -1,0 +1,1 @@
+lib/chain/opmix.ml: Asipfb_ir Asipfb_sim Chainop Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/chain/opmix.mli: Asipfb_ir Asipfb_sim

@@ -1,0 +1,59 @@
+module Types = Asipfb_ir.Types
+module Instr = Asipfb_ir.Instr
+
+let class_of i =
+  match Instr.kind i with
+  | Instr.Binop (op, _, _, _) -> (
+      match op with
+      | Types.Add -> Some "add"
+      | Types.Sub -> Some "subtract"
+      | Types.Mul -> Some "multiply"
+      | Types.Div | Types.Rem -> Some "divide"
+      | Types.And | Types.Or | Types.Xor -> Some "logic"
+      | Types.Shl | Types.Shr -> Some "shift"
+      | Types.Fadd -> Some "fadd"
+      | Types.Fsub -> Some "fsub"
+      | Types.Fmul -> Some "fmultiply"
+      | Types.Fdiv -> Some "fdivide")
+  | Instr.Cmp (Types.Int, _, _, _, _) -> Some "compare"
+  | Instr.Cmp (Types.Float, _, _, _, _) -> Some "fcompare"
+  | Instr.Load (Types.Int, _, _, _) -> Some "load"
+  | Instr.Load (Types.Float, _, _, _) -> Some "fload"
+  | Instr.Store (Types.Int, _, _, _) -> Some "store"
+  | Instr.Store (Types.Float, _, _, _) -> Some "fstore"
+  | Instr.Unop ((Types.Neg | Types.Not), _, _) -> Some "logic"
+  | Instr.Unop (Types.Fneg, _, _) -> Some "fsub"
+  | Instr.Unop
+      ( ( Types.Int_to_float | Types.Float_to_int | Types.Sin | Types.Cos
+        | Types.Sqrt | Types.Fabs ),
+        _, _ )
+  | Instr.Mov _ | Instr.Jump _ | Instr.Cond_jump _ | Instr.Call _
+  | Instr.Ret _ | Instr.Label_mark _ ->
+      None
+
+let eligible i = class_of i <> None
+
+let terminal_only i =
+  match Instr.kind i with
+  | Instr.Store _ -> true
+  | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _ | Instr.Load _
+  | Instr.Jump _ | Instr.Cond_jump _ | Instr.Call _ | Instr.Ret _
+  | Instr.Label_mark _ ->
+      false
+
+let sequence_name classes = String.concat "-" classes
+
+let all_classes =
+  [ "add"; "subtract"; "multiply"; "divide"; "logic"; "shift"; "compare";
+    "load"; "store"; "fadd"; "fsub"; "fmultiply"; "fdivide"; "fcompare";
+    "fload"; "fstore" ]
+
+let family = function
+  | "fadd" -> "add"
+  | "fsub" -> "subtract"
+  | "fmultiply" -> "multiply"
+  | "fdivide" -> "divide"
+  | "fcompare" -> "compare"
+  | "fload" -> "load"
+  | "fstore" -> "store"
+  | other -> other

@@ -1,0 +1,32 @@
+(** Chain eligibility and naming of operations.
+
+    A chained instruction is a cascade of datapath functional units with
+    data forwarded combinationally (section 4 of the paper).  Eligible ops
+    are single-cycle datapath operations: integer/float ALU ops, shifts,
+    comparisons, loads and stores.  Moves, conversions, transcendental
+    intrinsics, calls and control flow are not chainable.  Stores may only
+    terminate a chain (they produce no register result). *)
+
+val class_of : Asipfb_ir.Instr.t -> string option
+(** Chain class name, e.g. "add", "fmultiply", "load", "compare"; [None]
+    for non-chainable operations.  Classes follow the paper's vocabulary:
+    integer classes are add, subtract, multiply, divide, logic, shift,
+    compare, load, store; float classes are prefixed with [f] (fadd, fsub,
+    fmultiply, fdivide, fcompare, fload, fstore). *)
+
+val eligible : Asipfb_ir.Instr.t -> bool
+(** [class_of i <> None]. *)
+
+val terminal_only : Asipfb_ir.Instr.t -> bool
+(** True for stores: they may end a chain but produce no value to forward. *)
+
+val sequence_name : string list -> string
+(** ["multiply"; "add"] → ["multiply-add"]. *)
+
+val all_classes : string list
+(** Every class name [class_of] can produce, for exhaustive reporting. *)
+
+val family : string -> string
+(** Collapse the float/int distinction: "fmultiply" → "multiply", "fload" →
+    "load", etc.  Table 2 of the paper reports families ("multiply-add"
+    covers both MAC flavours); Table 3 keeps the split. *)

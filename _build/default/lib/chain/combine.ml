@@ -1,0 +1,84 @@
+type entry = {
+  classes : string list;
+  combined_freq : float;
+  per_benchmark : (string * float) list;
+}
+
+let gather per_bench =
+  (* All class lists appearing anywhere, first-appearance order. *)
+  let all =
+    List.concat_map
+      (fun (_, ds) -> List.map (fun (d : Detect.detected) -> d.classes) ds)
+      per_bench
+  in
+  Asipfb_util.Listx.dedup (fun a b -> a = b) all
+
+let freq_in ds classes =
+  match
+    List.find_opt (fun (d : Detect.detected) -> d.classes = classes) ds
+  with
+  | Some d -> d.freq
+  | None -> 0.0
+
+let build per_bench ~weight_of =
+  let names = gather per_bench in
+  let total_weight =
+    Asipfb_util.Listx.sum_by (fun b -> weight_of b) per_bench
+  in
+  let entries =
+    List.map
+      (fun classes ->
+        let per_benchmark =
+          List.filter_map
+            (fun ((name, ds) as _b) ->
+              let f = freq_in ds classes in
+              if f > 0.0 then Some (name, f) else None)
+            (List.map (fun (n, ds) -> (n, ds)) per_bench)
+        in
+        let combined_freq =
+          if total_weight = 0.0 then 0.0
+          else
+            Asipfb_util.Listx.sum_by
+              (fun ((_, ds) as b) -> weight_of b *. freq_in ds classes)
+              per_bench
+            /. total_weight
+        in
+        { classes; combined_freq; per_benchmark })
+      names
+  in
+  List.sort (fun a b -> Float.compare b.combined_freq a.combined_freq) entries
+
+let equal_weight per_bench = build per_bench ~weight_of:(fun _ -> 1.0)
+
+let weighted per_bench =
+  let stripped = List.map (fun (n, _, ds) -> (n, ds)) per_bench in
+  let weight_table =
+    List.map (fun (n, w, _) -> (n, float_of_int w)) per_bench
+  in
+  build stripped ~weight_of:(fun (n, _) ->
+      Option.value ~default:0.0 (List.assoc_opt n weight_table))
+
+let find entries classes =
+  List.find_opt (fun e -> e.classes = classes) entries
+
+let merge_families (ds : Detect.detected list) : Detect.detected list =
+  let grouped =
+    Asipfb_util.Listx.group_by
+      (fun (d : Detect.detected) -> List.map Chainop.family d.classes)
+      ds
+  in
+  List.map
+    (fun (classes, members) ->
+      {
+        Detect.classes;
+        freq =
+          Asipfb_util.Listx.sum_by
+            (fun (d : Detect.detected) -> d.freq)
+            members;
+        occurrences =
+          List.concat_map
+            (fun (d : Detect.detected) -> d.occurrences)
+            members;
+      })
+    grouped
+  |> List.sort (fun (a : Detect.detected) b -> Float.compare b.freq a.freq)

@@ -1,0 +1,34 @@
+(** Combining per-benchmark detection results (section 6.1).
+
+    Each benchmark is analyzed alone (frequencies are percentages of that
+    benchmark's own execution time); the combined view of a sequence is
+    the mean of its per-benchmark frequencies, every benchmark voting with
+    equal weight so the large FFT benchmarks cannot drown out the small
+    stream filters.  [weighted] offers the dynamic-op-weighted alternative
+    for comparison. *)
+
+type entry = {
+  classes : string list;
+  combined_freq : float;
+  per_benchmark : (string * float) list;
+      (** Frequency in each benchmark where detected, benchmark name
+          order preserved from the input. *)
+}
+
+val equal_weight : (string * Detect.detected list) list -> entry list
+(** [(benchmark, detections)] pairs → combined entries, sorted by
+    decreasing combined frequency.  A benchmark where the sequence was not
+    detected contributes 0 to the mean. *)
+
+val weighted :
+  (string * int * Detect.detected list) list -> entry list
+(** Like {!equal_weight} but each benchmark weighs in proportion to its
+    total dynamic operation count (second component). *)
+
+val find : entry list -> string list -> entry option
+(** Look up one sequence by class list. *)
+
+val merge_families : Detect.detected list -> Detect.detected list
+(** Merge detected sequences whose class lists coincide after
+    {!Chainop.family} mapping: frequencies add, occurrences concatenate.
+    Sorted by decreasing frequency. *)

@@ -1,0 +1,41 @@
+type pick = { pick_classes : string list; pick_freq : float }
+type result = { picks : pick list; coverage : float }
+
+type config = { lengths : int list; stop_below : float; max_picks : int }
+
+let default_config = { lengths = [ 2; 3; 4 ]; stop_below = 3.0; max_picks = 6 }
+
+let best_sequence config sched ~profile ~banned =
+  let candidates =
+    List.concat_map
+      (fun length ->
+        let dconfig =
+          { (Detect.default_config ~length) with
+            min_freq = config.stop_below;
+            banned }
+        in
+        Detect.run dconfig sched ~profile)
+      config.lengths
+  in
+  Asipfb_util.Listx.max_by (fun (d : Detect.detected) -> d.freq) candidates
+
+let analyze config sched ~profile : result =
+  let rec go picks banned remaining =
+    if remaining = 0 then List.rev picks
+    else
+      match best_sequence config sched ~profile ~banned with
+      | None -> List.rev picks
+      | Some d ->
+          let newly_banned =
+            List.concat_map
+              (fun (o : Detect.occurrence) -> List.map fst o.opids)
+              d.occurrences
+          in
+          let pick = { pick_classes = d.classes; pick_freq = d.freq } in
+          go (pick :: picks) (newly_banned @ banned) (remaining - 1)
+  in
+  let picks = go [] [] config.max_picks in
+  {
+    picks;
+    coverage = Asipfb_util.Listx.sum_by (fun p -> p.pick_freq) picks;
+  }

@@ -1,0 +1,229 @@
+module Instr = Asipfb_ir.Instr
+module Reg = Asipfb_ir.Reg
+module Profile = Asipfb_sim.Profile
+module Schedule = Asipfb_sched.Schedule
+module Ddg = Asipfb_sched.Ddg
+module Opt_level = Asipfb_sched.Opt_level
+
+type config = {
+  length : int;
+  min_freq : float;
+  copies : int;
+  banned : int list;
+}
+
+let default_config ~length =
+  { length; min_freq = 0.5; copies = length; banned = [] }
+
+type occurrence = { opids : (int * int) list; count : int }
+
+type detected = {
+  classes : string list;
+  freq : float;
+  occurrences : occurrence list;
+}
+
+let display_name d = Chainop.sequence_name d.classes
+
+(* Accumulates occurrences keyed by class list, deduplicating identical
+   (opid, copy) member lists. *)
+type accum = {
+  table : (string list, (int * int) list list ref) Hashtbl.t;
+  seen : ((int * int) list, unit) Hashtbl.t;
+}
+
+let new_accum () = { table = Hashtbl.create 64; seen = Hashtbl.create 256 }
+
+let record accum classes members =
+  if not (Hashtbl.mem accum.seen members) then begin
+    Hashtbl.replace accum.seen members ();
+    match Hashtbl.find_opt accum.table classes with
+    | Some cell -> cell := members :: !cell
+    | None -> Hashtbl.replace accum.table classes (ref [ members ])
+  end
+
+(* --- level 0: literal adjacency in compiler-given order ---------------- *)
+
+let scan_adjacent cfg_block config ~profile accum =
+  let ops = Array.of_list cfg_block in
+  let n = Array.length ops in
+  let banned i = List.mem (Instr.opid ops.(i)) config.banned in
+  let feeds a b =
+    match Instr.def a with
+    | Some d -> List.exists (Reg.equal d) (Instr.uses b)
+    | None -> false
+  in
+  for start = 0 to n - config.length do
+    let members = List.init config.length (fun k -> start + k) in
+    let eligible =
+      List.for_all
+        (fun i ->
+          Chainop.eligible ops.(i) && (not (banned i))
+          && Profile.count profile ~opid:(Instr.opid ops.(i)) > 0)
+        members
+    and stores_terminal =
+      List.for_all
+        (fun i ->
+          (not (Chainop.terminal_only ops.(i)))
+          || i = start + config.length - 1)
+        members
+    and chained =
+      List.for_all
+        (fun (i, j) -> feeds ops.(i) ops.(j))
+        (Asipfb_util.Listx.pairs members)
+    in
+    if eligible && stores_terminal && chained then
+      let classes =
+        List.map
+          (fun i ->
+            match Chainop.class_of ops.(i) with
+            | Some c -> c
+            | None -> assert false)
+          members
+      in
+      record accum classes
+        (List.map (fun i -> (Instr.opid ops.(i), 0)) members)
+  done
+
+(* --- optimizing levels: branch-and-bound over the dependence graph ----- *)
+
+let search_scope ddg ~copies config ~profile ~total accum =
+  let ops = Ddg.ops ddg in
+  let opid i = Instr.opid ops.(i) in
+  let usable i =
+    Chainop.eligible ops.(i)
+    && (not (List.mem (opid i) config.banned))
+    && Profile.count profile ~opid:(opid i) > 0
+  in
+  (* Bound: the best frequency any completion of this prefix can reach. *)
+  let bound_ok joint_count =
+    total > 0
+    && float_of_int (joint_count * config.length)
+       /. float_of_int total *. 100.0
+       >= config.min_freq
+  in
+  (* path is reversed: most recent member first; q indexes from the path
+     start for the consecutive-cycle check. *)
+  let rec extend path len joint_count =
+    if len = config.length then begin
+      let members =
+        List.rev_map (fun (i, c) -> (opid i, c)) path
+      in
+      let classes =
+        List.rev_map
+          (fun (i, _) ->
+            match Chainop.class_of ops.(i) with
+            | Some cl -> cl
+            | None -> assert false)
+          path
+      in
+      record accum classes members
+    end
+    else
+      match path with
+      | [] -> ()
+      | (j, cj) :: _ ->
+          List.iter
+            (fun (e : Ddg.edge) ->
+              let k = e.dst and ck = cj + e.distance in
+              if
+                ck < copies && usable k
+                && (not (List.mem (k, ck) path))
+                && ((not (Chainop.terminal_only ops.(k)))
+                   || len + 1 = config.length)
+              then begin
+                (* Every earlier member must be exactly (len - q) cycles
+                   before the new op — no dependence path may force a larger
+                   separation, or the ops cannot occupy consecutive chained
+                   cycles. *)
+                let consecutive =
+                  List.for_all
+                    (fun (q, (m, cm)) ->
+                      Ddg.longest_path ddg ~copies (m, cm) (k, ck)
+                      = Some (len - q))
+                    (List.mapi (fun idx mem -> (len - 1 - idx, mem)) path)
+                in
+                if consecutive then begin
+                  let joint =
+                    min joint_count (Profile.count profile ~opid:(opid k))
+                  in
+                  if bound_ok joint then
+                    extend ((k, ck) :: path) (len + 1) joint
+                end
+              end)
+            (Ddg.flow_edges_from ddg j)
+  in
+  Array.iteri
+    (fun i op ->
+      if usable i && not (Chainop.terminal_only op) then begin
+        let c = Profile.count profile ~opid:(opid i) in
+        if bound_ok c then extend [ (i, 0) ] 1 c
+      end)
+    ops
+
+(* --- driver ------------------------------------------------------------ *)
+
+let run config (sched : Schedule.t) ~profile : detected list =
+  if config.length < 2 then invalid_arg "Detect.run: length must be >= 2";
+  let total = Profile.total profile in
+  let accum = new_accum () in
+  List.iter
+    (fun (_name, (fs : Schedule.func_sched)) ->
+      match sched.level with
+      | Opt_level.O0 ->
+          Array.iter
+            (fun (b : Asipfb_cfg.Cfg.block) ->
+              scan_adjacent b.instrs config ~profile accum)
+            fs.cfg.blocks
+      | Opt_level.O1 | Opt_level.O2 ->
+          let kernel_blocks =
+            List.concat_map
+              (fun (k : Schedule.kernel) -> k.kernel_blocks)
+              fs.kernels
+          in
+          List.iter
+            (fun (k : Schedule.kernel) ->
+              search_scope k.kernel_ddg ~copies:config.copies config ~profile
+                ~total accum)
+            fs.kernels;
+          Array.iter
+            (fun (b : Asipfb_cfg.Cfg.block) ->
+              if not (List.mem b.index kernel_blocks) then
+                search_scope fs.compacted.(b.index).ddg ~copies:1 config
+                  ~profile ~total accum)
+            fs.cfg.blocks)
+    sched.funcs;
+  let joint_count members =
+    List.fold_left
+      (fun acc (opid, _) -> min acc (Profile.count profile ~opid))
+      max_int members
+  in
+  let results =
+    Hashtbl.fold
+      (fun classes cell acc ->
+        let occurrences =
+          List.map (fun members -> { opids = members; count = joint_count members })
+            !cell
+        in
+        (* Occurrences of one sequence may share static ops (the same pair
+           can recur at several iteration offsets); a shared op's cycles are
+           attributed once, keeping frequencies <= 100%. *)
+        let distinct_opids =
+          List.concat_map (fun o -> List.map fst o.opids) occurrences
+          |> List.sort_uniq Int.compare
+        in
+        let dynamic_ops =
+          List.fold_left
+            (fun acc opid -> acc + Profile.count profile ~opid)
+            0 distinct_opids
+        in
+        let freq =
+          if total = 0 then 0.0
+          else float_of_int dynamic_ops /. float_of_int total *. 100.0
+        in
+        { classes; freq; occurrences } :: acc)
+      accum.table []
+  in
+  results
+  |> List.filter (fun d -> d.freq >= config.min_freq)
+  |> List.sort (fun a b -> Float.compare b.freq a.freq)

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Asipfb_asip Asipfb_bench_suite Asipfb_chain Asipfb_ir Asipfb_report Asipfb_sched Asipfb_sim Asipfb_util Buffer Filename Fun List Pipeline Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Asipfb_chain Asipfb_sched Pipeline

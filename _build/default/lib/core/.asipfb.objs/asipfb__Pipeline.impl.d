@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Asipfb_bench_suite Asipfb_chain Asipfb_ir Asipfb_sched Asipfb_sim List

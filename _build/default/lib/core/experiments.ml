@@ -1,0 +1,622 @@
+module Benchmark = Asipfb_bench_suite.Benchmark
+module Registry = Asipfb_bench_suite.Registry
+module Opt_level = Asipfb_sched.Opt_level
+module Detect = Asipfb_chain.Detect
+module Combine = Asipfb_chain.Combine
+module Coverage = Asipfb_chain.Coverage
+module Chainop = Asipfb_chain.Chainop
+module Table = Asipfb_report.Table
+module Chart = Asipfb_report.Chart
+
+type suite = Pipeline.analysis list
+
+let table1 () =
+  let rows =
+    List.map
+      (fun (b : Benchmark.t) ->
+        [ b.name;
+          string_of_int (Benchmark.source_lines b);
+          b.description;
+          b.data_input ])
+      Registry.all
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Left; Table.Left ]
+    ~headers:[ "Benchmark"; "Lines"; "Description"; "Data Input" ]
+    ~rows ()
+
+let combined suite ~level ~length =
+  let per_bench =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        ( a.benchmark.name,
+          Combine.merge_families
+            (Pipeline.detect a ~level ~length ~min_freq:0.5 ()) ))
+      suite
+  in
+  Combine.equal_weight per_bench
+
+let figure_combined suite ~length =
+  let curves =
+    List.map
+      (fun level ->
+        let entries = combined suite ~level ~length in
+        ( Opt_level.description level,
+          List.map (fun (e : Combine.entry) -> e.combined_freq) entries ))
+      Opt_level.all
+  in
+  let chart =
+    Chart.line
+      ~title:
+        (Printf.sprintf
+           "Length %d sequences: dynamic frequency by rank (all benchmarks)"
+           length)
+      ~series:curves ()
+  in
+  let tops =
+    List.map
+      (fun level ->
+        let entries = combined suite ~level ~length in
+        let top =
+          Asipfb_util.Listx.take 5 entries
+          |> List.map (fun (e : Combine.entry) ->
+                 Printf.sprintf "%s %.2f%%"
+                   (Chainop.sequence_name e.classes)
+                   e.combined_freq)
+        in
+        Printf.sprintf "  %s top: %s"
+          (Opt_level.to_string level)
+          (String.concat ", " top))
+      Opt_level.all
+  in
+  chart ^ String.concat "\n" tops ^ "\n"
+
+let table2_sequences =
+  [ [ "multiply"; "add" ];
+    [ "add"; "multiply" ];
+    [ "add"; "add" ];
+    [ "add"; "multiply"; "add" ];
+    [ "multiply"; "add"; "add" ] ]
+
+let table2_rows suite =
+  let freq_at level classes =
+    let entries = combined suite ~level ~length:(List.length classes) in
+    match Combine.find entries classes with
+    | Some e -> e.combined_freq
+    | None -> 0.0
+  in
+  List.map
+    (fun classes ->
+      ( Chainop.sequence_name classes,
+        freq_at Opt_level.O0 classes,
+        freq_at Opt_level.O1 classes,
+        freq_at Opt_level.O2 classes ))
+    table2_sequences
+
+let table2 suite =
+  let rows =
+    List.map
+      (fun (name, f0, f1, f2) ->
+        [ name; Table.fmt_pct f0; Table.fmt_pct f1; Table.fmt_pct f2 ])
+      (table2_rows suite)
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~headers:[ "Operation Sequence"; "level 0"; "level 1"; "level 2" ]
+    ~rows ()
+
+let per_benchmark suite ~level ~length ~min_freq =
+  List.map
+    (fun (a : Pipeline.analysis) ->
+      (a.benchmark.name, Pipeline.detect a ~level ~length ~min_freq ()))
+    suite
+
+let figure_per_benchmark suite ~length =
+  let per_bench =
+    per_benchmark suite ~level:Opt_level.O1 ~length ~min_freq:5.0
+  in
+  let sections =
+    List.map
+      (fun (name, ds) ->
+        let items =
+          List.map
+            (fun (d : Detect.detected) -> (Detect.display_name d, d.freq))
+            ds
+        in
+        if items = [] then Printf.sprintf "%s: (none above 5%%)\n" name
+        else Chart.bars ~title:name ~items ())
+      per_bench
+  in
+  Printf.sprintf
+    "Length %d sequences per benchmark (>= 5%% dynamic frequency, level 1)\n%s"
+    length
+    (String.concat "\n" sections)
+
+let table3_benchmarks = [ "sewha"; "feowf"; "bspline"; "edge"; "iir" ]
+
+let table3_rows suite =
+  List.filter_map
+    (fun name ->
+      match
+        List.find_opt
+          (fun (a : Pipeline.analysis) -> a.benchmark.name = name)
+          suite
+      with
+      | None -> None
+      | Some a ->
+          let with_opt = Pipeline.coverage a ~level:Opt_level.O1 () in
+          let without = Pipeline.coverage a ~level:Opt_level.O0 () in
+          Some (name, [ (true, with_opt); (false, without) ]))
+    table3_benchmarks
+
+let table3 suite =
+  let rows =
+    List.concat_map
+      (fun (name, variants) ->
+        List.concat_map
+          (fun (optimized, (r : Coverage.result)) ->
+            let tag = if optimized then "yes" else "no" in
+            match r.picks with
+            | [] -> [ [ name; tag; "(none)"; ""; "" ] ]
+            | first :: rest ->
+                let row_of idx (p : Coverage.pick) =
+                  [ (if idx = 0 then name else "");
+                    (if idx = 0 then tag else "");
+                    Chainop.sequence_name p.pick_classes;
+                    Table.fmt_pct p.pick_freq;
+                    (if idx = 0 then Table.fmt_pct r.coverage else "") ]
+                in
+                row_of 0 first :: List.mapi (fun i p -> row_of (i + 1) p) rest)
+          variants)
+      (table3_rows suite)
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right ]
+    ~headers:[ "Benchmark"; "Opt."; "Sequences"; "Frequency"; "Coverage" ]
+    ~rows ()
+
+let ilp_report suite =
+  let rows =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        let per_level level =
+          let sched = Pipeline.sched a level in
+          let values =
+            List.map
+              (fun (f : Asipfb_ir.Func.t) ->
+                Asipfb_sched.Schedule.ilp sched f.name)
+              sched.prog.funcs
+          in
+          match values with
+          | [] -> 1.0
+          | _ ->
+              Asipfb_util.Listx.sum_by Fun.id values
+              /. float_of_int (List.length values)
+        in
+        [ a.benchmark.name;
+          Table.fmt_float (per_level Opt_level.O0);
+          Table.fmt_float (per_level Opt_level.O1);
+          Table.fmt_float (per_level Opt_level.O2) ])
+      suite
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~headers:[ "Benchmark"; "ILP O0"; "ILP O1"; "ILP O2" ]
+    ~rows ()
+
+let asip_report suite =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (a : Pipeline.analysis) ->
+      let sched = Pipeline.sched a Opt_level.O1 in
+      let choices =
+        Asipfb_asip.Select.choose Asipfb_asip.Select.default_config sched
+          ~profile:a.profile
+      in
+      let est = Asipfb_asip.Speedup.estimate choices ~profile:a.profile in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s: %d chained instructions, area %.1f, cycles %d -> %d (speedup %.2fx)\n"
+           a.benchmark.name (List.length choices) est.total_area
+           est.baseline_cycles est.asip_cycles est.speedup);
+      Buffer.add_string buf (Asipfb_asip.Isa.render choices))
+    suite;
+  Buffer.contents buf
+
+let total_detection suite_rows =
+  Asipfb_util.Listx.sum_by (fun (e : Combine.entry) -> e.combined_freq)
+    suite_rows
+
+let vliw_report suite =
+  let widths = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        let sched = Pipeline.sched a Opt_level.O1 in
+        let est =
+          Asipfb_sched.Vliw.characterize ~widths sched.prog
+            ~profile:a.profile
+        in
+        a.benchmark.name
+        :: List.map
+             (fun w ->
+               Printf.sprintf "%.2fx" (Asipfb_sched.Vliw.speedup_at est w))
+             widths)
+      suite
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~headers:[ "Benchmark"; "1-issue"; "2-issue"; "4-issue"; "8-issue" ]
+    ~rows ()
+
+let resched_report suite =
+  let rows =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        let sched = Pipeline.sched a Opt_level.O1 in
+        let config = Asipfb_asip.Select.default_config in
+        let choices =
+          Asipfb_asip.Select.choose config sched ~profile:a.profile
+        in
+        let detections =
+          List.concat_map
+            (fun length ->
+              Detect.run
+                { (Detect.default_config ~length) with
+                  min_freq = config.min_freq }
+                sched ~profile:a.profile)
+            config.lengths
+        in
+        let counting =
+          Asipfb_asip.Speedup.estimate choices ~profile:a.profile
+        in
+        let schedule_level =
+          Asipfb_asip.Resched.estimate sched ~profile:a.profile ~choices
+            ~detections
+        in
+        [ a.benchmark.name;
+          Printf.sprintf "%.2fx" counting.speedup;
+          Printf.sprintf "%.2fx" schedule_level.speedup ])
+      suite
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right ]
+    ~headers:[ "Benchmark"; "counting (1-issue)"; "schedule-level (VLIW)" ]
+    ~rows ()
+
+let ablation_pipelining suite =
+  let with_copies copies =
+    let per_bench =
+      List.map
+        (fun (a : Pipeline.analysis) ->
+          let config =
+            { (Detect.default_config ~length:2) with copies }
+          in
+          ( a.benchmark.name,
+            Combine.merge_families
+              (Detect.run config (Pipeline.sched a Opt_level.O1)
+                 ~profile:a.profile) ))
+        suite
+    in
+    Combine.equal_weight per_bench
+  in
+  let enabled = with_copies 2 and disabled = with_copies 1 in
+  let rows =
+    Asipfb_util.Listx.take 10 enabled
+    |> List.map (fun (e : Combine.entry) ->
+           let off =
+             match Combine.find disabled e.classes with
+             | Some d -> d.combined_freq
+             | None -> 0.0
+           in
+           [ Chainop.sequence_name e.classes;
+             Table.fmt_pct e.combined_freq; Table.fmt_pct off ])
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right ]
+    ~headers:[ "Sequence"; "with pipelining"; "without" ]
+    ~rows ()
+  ^ Printf.sprintf "\ntotal detected: %.2f%% with, %.2f%% without\n"
+      (total_detection enabled) (total_detection disabled)
+
+let ablation_cleanup suite =
+  let cleaned_total =
+    let per_bench =
+      List.map
+        (fun (a : Pipeline.analysis) ->
+          let prog = Asipfb_sched.Cleanup.run a.prog in
+          let outcome =
+            Asipfb_sim.Interp.run prog ~inputs:(a.benchmark.inputs ())
+          in
+          let sched =
+            Asipfb_sched.Schedule.optimize ~level:Opt_level.O1 prog
+          in
+          ( a.benchmark.name,
+            Combine.merge_families
+              (Detect.run (Detect.default_config ~length:2) sched
+                 ~profile:outcome.profile) ))
+        suite
+    in
+    Combine.equal_weight per_bench
+  in
+  let raw_total =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        ( a.benchmark.name,
+          Combine.merge_families
+            (Pipeline.detect a ~level:Opt_level.O1 ~length:2 ()) ))
+      suite
+    |> Combine.equal_weight
+  in
+  let top label entries =
+    Printf.sprintf "%s: total %.2f%%, top %s\n" label
+      (total_detection entries)
+      (String.concat ", "
+         (Asipfb_util.Listx.take 3 entries
+         |> List.map (fun (e : Combine.entry) ->
+                Printf.sprintf "%s %.2f%%"
+                  (Chainop.sequence_name e.classes)
+                  e.combined_freq)))
+  in
+  top "without cleanup" raw_total ^ top "with cleanup" cleaned_total
+
+let codegen_report suite =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "| Benchmark | chained execs | measured cycles | measured | estimated |\n";
+  Buffer.add_string buf
+    "|-----------|---------------|-----------------|----------|-----------|\n";
+  List.iter
+    (fun (a : Pipeline.analysis) ->
+      let sched = Pipeline.sched a Opt_level.O1 in
+      let choices =
+        Asipfb_asip.Select.choose Asipfb_asip.Select.default_config sched
+          ~profile:a.profile
+      in
+      let target = Asipfb_asip.Codegen.generate_for_choices ~choices a.prog in
+      let inputs = a.benchmark.inputs () in
+      let t_out = Asipfb_asip.Tsim.run target ~inputs in
+      (* Assert output equality against the reference run. *)
+      List.iter
+        (fun region ->
+          let want = Asipfb_sim.Memory.dump a.outcome.memory region in
+          let got = Asipfb_sim.Memory.dump t_out.memory region in
+          if
+            not
+              (Array.length want = Array.length got
+              && Array.for_all2 Asipfb_sim.Value.close want got)
+          then
+            failwith
+              (Printf.sprintf "codegen output mismatch: %s/%s"
+                 a.benchmark.name region))
+        a.benchmark.output_regions;
+      let estimate =
+        Asipfb_asip.Speedup.estimate choices ~profile:a.profile
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "| %-9s | %13d | %15d | %7.2fx | %8.2fx |\n"
+           a.benchmark.name t_out.chained_executed t_out.cycles
+           (Asipfb_asip.Tsim.measured_speedup t_out)
+           estimate.speedup))
+    suite;
+  Buffer.contents buf
+
+let export_csv suite ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written = ref [] in
+  let write name rows =
+    let path = Filename.concat dir name in
+    Asipfb_report.Csv.write_file ~path rows;
+    written := path :: !written
+  in
+  List.iter
+    (fun length ->
+      let rows =
+        List.concat_map
+          (fun level ->
+            List.map
+              (fun (e : Combine.entry) ->
+                [ Chainop.sequence_name e.classes;
+                  Opt_level.to_string level;
+                  Printf.sprintf "%.4f" e.combined_freq ])
+              (combined suite ~level ~length))
+          Opt_level.all
+      in
+      write
+        (Printf.sprintf "combined_length%d.csv" length)
+        ([ "sequence"; "level"; "frequency_pct" ] :: rows))
+    [ 2; 3; 4; 5 ];
+  write "table2.csv"
+    ([ "sequence"; "O0"; "O1"; "O2" ]
+    :: List.map
+         (fun (name, f0, f1, f2) ->
+           [ name; Printf.sprintf "%.4f" f0; Printf.sprintf "%.4f" f1;
+             Printf.sprintf "%.4f" f2 ])
+         (table2_rows suite));
+  write "coverage.csv"
+    ([ "benchmark"; "optimized"; "sequence"; "frequency_pct"; "coverage_pct" ]
+    :: List.concat_map
+         (fun (name, variants) ->
+           List.concat_map
+             (fun (optimized, (r : Coverage.result)) ->
+               List.map
+                 (fun (p : Coverage.pick) ->
+                   [ name;
+                     (if optimized then "yes" else "no");
+                     Chainop.sequence_name p.pick_classes;
+                     Printf.sprintf "%.4f" p.pick_freq;
+                     Printf.sprintf "%.4f" r.coverage ])
+                 r.picks)
+             variants)
+         (table3_rows suite));
+  write "ilp.csv"
+    ([ "benchmark"; "level"; "ops_per_cycle" ]
+    :: List.concat_map
+         (fun (a : Pipeline.analysis) ->
+           List.map
+             (fun level ->
+               let sched = Pipeline.sched a level in
+               let values =
+                 List.map
+                   (fun (f : Asipfb_ir.Func.t) ->
+                     Asipfb_sched.Schedule.ilp sched f.name)
+                   sched.prog.funcs
+               in
+               let mean =
+                 match values with
+                 | [] -> 1.0
+                 | _ ->
+                     Asipfb_util.Listx.sum_by Fun.id values
+                     /. float_of_int (List.length values)
+               in
+               [ a.benchmark.name; Opt_level.to_string level;
+                 Printf.sprintf "%.4f" mean ])
+             Opt_level.all)
+         suite);
+  List.rev !written
+
+let ablation_motion suite =
+  let totals with_motion =
+    let per_bench =
+      List.map
+        (fun (a : Pipeline.analysis) ->
+          let sched =
+            if with_motion then Pipeline.sched a Opt_level.O1
+            else
+              Asipfb_sched.Schedule.optimize_custom ~rename:false
+                ~percolate:false ~pipeline:true a.prog
+          in
+          ( a.benchmark.name,
+            Combine.merge_families
+              (Detect.run (Detect.default_config ~length:2) sched
+                 ~profile:a.profile) ))
+        suite
+    in
+    Combine.equal_weight per_bench
+  in
+  let on = totals true and off = totals false in
+  let rows =
+    Asipfb_util.Listx.take 10 on
+    |> List.map (fun (e : Combine.entry) ->
+           let without =
+             match Combine.find off e.classes with
+             | Some d -> d.combined_freq
+             | None -> 0.0
+           in
+           [ Chainop.sequence_name e.classes;
+             Table.fmt_pct e.combined_freq; Table.fmt_pct without ])
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right ]
+    ~headers:[ "Sequence"; "with motion"; "without motion" ]
+    ~rows ()
+  ^ Printf.sprintf "\ntotal detected: %.2f%% with, %.2f%% without\n"
+      (total_detection on) (total_detection off)
+
+let opmix_report suite =
+  let classes_of_interest =
+    [ "add"; "multiply"; "load"; "store"; "compare"; "shift"; "mov";
+      "control" ]
+  in
+  let rows =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        let entries =
+          Asipfb_chain.Opmix.analyze a.prog ~profile:a.profile
+        in
+        let merged cls =
+          (* Fold float variants into the family for display. *)
+          Asipfb_util.Listx.sum_by
+            (fun (e : Asipfb_chain.Opmix.entry) ->
+              if Chainop.family e.op_class = cls || e.op_class = cls then
+                e.share
+              else 0.0)
+            entries
+        in
+        a.benchmark.name
+        :: List.map (fun cls -> Table.fmt_pct (merged cls)) classes_of_interest)
+      suite
+  in
+  Table.render
+    ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) classes_of_interest)
+    ~headers:("Benchmark" :: classes_of_interest)
+    ~rows ()
+
+let extra_report _suite =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let a = Pipeline.analyze b in
+      let ds =
+        Asipfb_util.Listx.take 4
+          (Pipeline.detect a ~level:Opt_level.O1 ~length:2 ())
+      in
+      let sched = Pipeline.sched a Opt_level.O1 in
+      let choices =
+        Asipfb_asip.Select.choose Asipfb_asip.Select.default_config sched
+          ~profile:a.profile
+      in
+      let target = Asipfb_asip.Codegen.generate_for_choices ~choices a.prog in
+      let t_out = Asipfb_asip.Tsim.run target ~inputs:(b.inputs ()) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s (%s)\n  top pairs: %s\n  chained ISA: %s\n  measured: %d ops in %d cycles (%.2fx)\n"
+           b.name b.description
+           (String.concat ", "
+              (List.map
+                 (fun (d : Detect.detected) ->
+                   Printf.sprintf "%s %.1f%%" (Detect.display_name d) d.freq)
+                 ds))
+           (String.concat ", "
+              (List.map
+                 (fun (c : Asipfb_asip.Select.choice) ->
+                   Asipfb_asip.Isa.mnemonic c.classes)
+                 choices))
+           t_out.ops_executed t_out.cycles
+           (Asipfb_asip.Tsim.measured_speedup t_out)))
+    Asipfb_bench_suite.Extra.all;
+  Buffer.contents buf
+
+let validation_unroll suite =
+  let unrolled_entries =
+    let per_bench =
+      List.map
+        (fun (a : Pipeline.analysis) ->
+          let prog = Asipfb_sched.Unroll.loop_once a.prog in
+          let outcome =
+            Asipfb_sim.Interp.run prog ~inputs:(a.benchmark.inputs ())
+          in
+          let sched =
+            Asipfb_sched.Schedule.optimize ~level:Opt_level.O1 prog
+          in
+          ( a.benchmark.name,
+            Combine.merge_families
+              (Detect.run (Detect.default_config ~length:2) sched
+                 ~profile:outcome.profile) ))
+        suite
+    in
+    Combine.equal_weight per_bench
+  in
+  let kernel_entries =
+    List.map
+      (fun (a : Pipeline.analysis) ->
+        ( a.benchmark.name,
+          Combine.merge_families
+            (Pipeline.detect a ~level:Opt_level.O1 ~length:2 ()) ))
+      suite
+    |> Combine.equal_weight
+  in
+  let rows =
+    Asipfb_util.Listx.take 12 kernel_entries
+    |> List.map (fun (e : Combine.entry) ->
+           let unrolled =
+             match Combine.find unrolled_entries e.classes with
+             | Some u -> u.combined_freq
+             | None -> 0.0
+           in
+           [ Chainop.sequence_name e.classes;
+             Table.fmt_pct e.combined_freq; Table.fmt_pct unrolled ])
+  in
+  Table.render
+    ~aligns:[ Table.Left; Table.Right; Table.Right ]
+    ~headers:[ "Sequence"; "kernel analysis"; "physically unrolled" ]
+    ~rows ()

@@ -1,0 +1,42 @@
+module Benchmark = Asipfb_bench_suite.Benchmark
+module Opt_level = Asipfb_sched.Opt_level
+module Schedule = Asipfb_sched.Schedule
+module Detect = Asipfb_chain.Detect
+module Coverage = Asipfb_chain.Coverage
+
+type analysis = {
+  benchmark : Benchmark.t;
+  prog : Asipfb_ir.Prog.t;
+  profile : Asipfb_sim.Profile.t;
+  outcome : Asipfb_sim.Interp.outcome;
+  scheds : (Opt_level.t * Schedule.t) list;
+}
+
+let analyze (benchmark : Benchmark.t) : analysis =
+  let prog = Benchmark.compile benchmark in
+  let outcome = Asipfb_sim.Interp.run prog ~inputs:(benchmark.inputs ()) in
+  let scheds =
+    List.map
+      (fun level -> (level, Schedule.optimize ~level prog))
+      Opt_level.all
+  in
+  { benchmark; prog; profile = outcome.profile; outcome; scheds }
+
+let sched t level =
+  match List.assoc_opt level t.scheds with
+  | Some s -> s
+  | None -> invalid_arg "Pipeline.sched: level not analyzed"
+
+let detect t ~level ~length ?min_freq () =
+  let config = Detect.default_config ~length in
+  let config =
+    match min_freq with
+    | Some m -> { config with Detect.min_freq = m }
+    | None -> config
+  in
+  Detect.run config (sched t level) ~profile:t.profile
+
+let coverage t ~level ?(config = Coverage.default_config) () =
+  Coverage.analyze config (sched t level) ~profile:t.profile
+
+let suite () = List.map analyze Asipfb_bench_suite.Registry.all

@@ -1,0 +1,42 @@
+(** The complete analysis pipeline of the paper's Figure 2, packaged:
+    compile a benchmark (step 1), profile it on its sample data (step 2),
+    optimize at the three levels (step 3), and expose sequence detection
+    and coverage over the results (step 4). *)
+
+type analysis = {
+  benchmark : Asipfb_bench_suite.Benchmark.t;
+  prog : Asipfb_ir.Prog.t;  (** Unoptimized 3-address code. *)
+  profile : Asipfb_sim.Profile.t;  (** From the unoptimized run. *)
+  outcome : Asipfb_sim.Interp.outcome;
+  scheds : (Asipfb_sched.Opt_level.t * Asipfb_sched.Schedule.t) list;
+      (** One optimized program graph per level. *)
+}
+
+val analyze : Asipfb_bench_suite.Benchmark.t -> analysis
+(** Run steps 1–3.  @raise Asipfb_sim.Interp.Runtime_error or front-end
+    exceptions on a broken benchmark (suite bugs). *)
+
+val sched : analysis -> Asipfb_sched.Opt_level.t -> Asipfb_sched.Schedule.t
+(** The optimized graph for one level. *)
+
+val detect :
+  analysis ->
+  level:Asipfb_sched.Opt_level.t ->
+  length:int ->
+  ?min_freq:float ->
+  unit ->
+  Asipfb_chain.Detect.detected list
+(** Step 4 for one level and sequence length. *)
+
+val coverage :
+  analysis ->
+  level:Asipfb_sched.Opt_level.t ->
+  ?config:Asipfb_chain.Coverage.config ->
+  unit ->
+  Asipfb_chain.Coverage.result
+(** Section 7's iterative coverage for one level. *)
+
+val suite : unit -> analysis list
+(** [analyze] over the whole Table 1 suite, in table order.  Each call
+    recomputes (the pipeline is deterministic, so results are identical
+    across calls). *)

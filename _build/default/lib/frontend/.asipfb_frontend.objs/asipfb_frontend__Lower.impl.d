@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Asipfb_ir Ast List Option Parser Sema Tast

@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Asipfb_ir Tast

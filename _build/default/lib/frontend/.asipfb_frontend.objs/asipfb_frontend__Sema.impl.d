@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Asipfb_ir Ast Format List Option Printf Tast Token

@@ -1,0 +1,1 @@
+lib/frontend/sema.mli: Asipfb_ir Ast Tast

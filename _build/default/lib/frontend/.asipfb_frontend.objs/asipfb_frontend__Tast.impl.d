@@ -1,0 +1,1 @@
+lib/frontend/tast.ml: Asipfb_ir Ast

@@ -1,0 +1,1 @@
+lib/frontend/tast.mli: Asipfb_ir Ast

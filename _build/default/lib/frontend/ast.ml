@@ -1,0 +1,180 @@
+type pos = Token.pos
+type ty_name = Tint | Tfloat | Tvoid
+type unary_op = Neg | Lnot | Bnot
+
+type binary_op =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type expr = { edesc : edesc; epos : pos }
+
+and edesc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Unary of unary_op * expr
+  | Binary of binary_op * expr * expr
+  | Cond of expr * expr * expr
+  | Cast of ty_name * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+type stmt = { sdesc : sdesc; spos : pos }
+
+and sdesc =
+  | Decl of ty_name * string * expr option
+  | Assign of lvalue * expr
+  | Op_assign of binary_op * lvalue * expr
+  | Incr of lvalue
+  | Decr of lvalue
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr_stmt of expr
+  | Block of block
+  | Seq of block
+
+and block = stmt list
+
+type global = { g_ty : ty_name; g_name : string; g_size : int; g_pos : pos }
+
+type fdecl = {
+  f_ret : ty_name;
+  f_name : string;
+  f_params : (ty_name * string) list;
+  f_body : block;
+  f_pos : pos;
+}
+
+type program = { globals : global list; funcs : fdecl list }
+
+let string_of_ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tvoid -> "void"
+
+let string_of_binary_op = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let string_of_unary_op = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let rec pp_expr fmt e =
+  match e.edesc with
+  | Int_lit n -> Format.pp_print_int fmt n
+  | Float_lit x ->
+      (* Keep a decimal point so the rendering re-lexes as a float. *)
+      let s = Format.asprintf "%g" x in
+      if String.contains s '.' || String.contains s 'e' then
+        Format.pp_print_string fmt s
+      else Format.fprintf fmt "%s.0" s
+  | Var v -> Format.pp_print_string fmt v
+  | Index (a, i) -> Format.fprintf fmt "%s[%a]" a pp_expr i
+  | Unary (op, a) ->
+      Format.fprintf fmt "(%s%a)" (string_of_unary_op op) pp_expr a
+  | Binary (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (string_of_binary_op op)
+        pp_expr b
+  | Cond (c, a, b) ->
+      Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Cast (ty, a) ->
+      Format.fprintf fmt "((%s)%a)" (string_of_ty_name ty) pp_expr a
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        args
+
+let pp_lvalue fmt = function
+  | Lvar v -> Format.pp_print_string fmt v
+  | Lindex (a, i) -> Format.fprintf fmt "%s[%a]" a pp_expr i
+
+(* Statements legal in a for-header, rendered without a trailing ';'. *)
+let rec pp_header_stmt fmt s =
+  match s.sdesc with
+  | Decl (ty, name, Some e) ->
+      Format.fprintf fmt "%s %s = %a" (string_of_ty_name ty) name pp_expr e
+  | Decl (ty, name, None) ->
+      Format.fprintf fmt "%s %s" (string_of_ty_name ty) name
+  | Assign (lv, e) -> Format.fprintf fmt "%a = %a" pp_lvalue lv pp_expr e
+  | Op_assign (op, lv, e) ->
+      Format.fprintf fmt "%a %s= %a" pp_lvalue lv (string_of_binary_op op)
+        pp_expr e
+  | Incr lv -> Format.fprintf fmt "%a++" pp_lvalue lv
+  | Decr lv -> Format.fprintf fmt "%a--" pp_lvalue lv
+  | Expr_stmt e -> pp_expr fmt e
+  | If _ | While _ | For _ | Return _ | Break | Continue | Block _ | Seq _ ->
+      (* Not expressible in a for-header; render a placeholder that will be
+         visibly wrong rather than silently dropped. *)
+      Format.pp_print_string fmt "/*non-header-statement*/"
+
+and pp_stmt fmt s =
+  match s.sdesc with
+  | Decl (ty, name, None) ->
+      Format.fprintf fmt "%s %s;" (string_of_ty_name ty) name
+  | Decl (ty, name, Some e) ->
+      Format.fprintf fmt "%s %s = %a;" (string_of_ty_name ty) name pp_expr e
+  | Assign (lv, e) -> Format.fprintf fmt "%a = %a;" pp_lvalue lv pp_expr e
+  | Op_assign (op, lv, e) ->
+      Format.fprintf fmt "%a %s= %a;" pp_lvalue lv (string_of_binary_op op)
+        pp_expr e
+  | Incr lv -> Format.fprintf fmt "%a++;" pp_lvalue lv
+  | Decr lv -> Format.fprintf fmt "%a--;" pp_lvalue lv
+  | If (c, then_b, else_b) -> (
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block then_b;
+      match else_b with
+      | Some b -> Format.fprintf fmt "@[<v 2> else {@,%a@]@,}" pp_block b
+      | None -> ())
+  | While (c, body) ->
+      Format.fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block body
+  | For (init, cond, step, body) ->
+      let pp_opt_header fmt = function
+        | Some s -> pp_header_stmt fmt s
+        | None -> ()
+      in
+      let pp_opt_expr fmt = function
+        | Some e -> pp_expr fmt e
+        | None -> ()
+      in
+      Format.fprintf fmt "@[<v 2>for (%a; %a; %a) {@,%a@]@,}" pp_opt_header
+        init pp_opt_expr cond pp_opt_header step pp_block body
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Break -> Format.pp_print_string fmt "break;"
+  | Continue -> Format.pp_print_string fmt "continue;"
+  | Expr_stmt e -> Format.fprintf fmt "%a;" pp_expr e
+  | Block b -> Format.fprintf fmt "@[<v 2>{@,%a@]@,}" pp_block b
+  | Seq b -> pp_block fmt b
+
+and pp_block fmt b =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt b
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun g ->
+      Format.fprintf fmt "%s %s[%d];@," (string_of_ty_name g.g_ty) g.g_name
+        g.g_size)
+    p.globals;
+  List.iter
+    (fun f ->
+      let pp_param fmt (ty, name) =
+        Format.fprintf fmt "%s %s" (string_of_ty_name ty) name
+      in
+      Format.fprintf fmt "@[<v 2>%s %s(%a) {@,%a@]@,}@,"
+        (string_of_ty_name f.f_ret) f.f_name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_param)
+        f.f_params pp_block f.f_body)
+    p.funcs;
+  Format.fprintf fmt "@]"

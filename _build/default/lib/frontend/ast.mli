@@ -1,0 +1,86 @@
+(** Abstract syntax of the mini-C subset.
+
+    Restrictions relative to C, sufficient for the paper's DSP kernels:
+    arrays are one-dimensional globals (2-D data is indexed manually, as the
+    original Embree & Kimble kernels do); functions take and return scalars;
+    no pointers, structs, strings, or recursion. *)
+
+type pos = Token.pos
+
+type ty_name = Tint | Tfloat | Tvoid
+
+type unary_op = Neg  (** [-e] *) | Lnot  (** [!e] *) | Bnot  (** [~e] *)
+
+type binary_op =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land  (** [&&], short-circuit *)
+  | Lor  (** [||], short-circuit *)
+
+type expr = { edesc : edesc; epos : pos }
+
+and edesc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr  (** [a\[i\]] *)
+  | Unary of unary_op * expr
+  | Binary of binary_op * expr * expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+  | Cast of ty_name * expr  (** [(int)e] / [(float)e] *)
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { sdesc : sdesc; spos : pos }
+
+and sdesc =
+  | Decl of ty_name * string * expr option
+      (** Local scalar declaration with optional initializer. *)
+  | Assign of lvalue * expr
+  | Op_assign of binary_op * lvalue * expr  (** [x op= e]. *)
+  | Incr of lvalue  (** [x++] as a statement. *)
+  | Decr of lvalue  (** [x--] as a statement. *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+      (** [for (init; cond; step) body]; missing condition means true. *)
+  | Return of expr option
+  | Break  (** Exit the innermost loop. *)
+  | Continue  (** Jump to the innermost loop's step/test. *)
+  | Expr_stmt of expr  (** Expression for effect — in practice, calls. *)
+  | Block of block
+  | Seq of block
+      (** Statement sequence *without* a scope of its own — the desugaring
+          of multi-declarator statements ([int a, b;]), whose names must
+          remain visible in the enclosing scope. *)
+
+and block = stmt list
+
+type global = {
+  g_ty : ty_name;  (** Element type; [Tvoid] is rejected by sema. *)
+  g_name : string;
+  g_size : int;  (** Number of elements. *)
+  g_pos : pos;
+}
+
+type fdecl = {
+  f_ret : ty_name;
+  f_name : string;
+  f_params : (ty_name * string) list;
+  f_body : block;
+  f_pos : pos;
+}
+
+type program = { globals : global list; funcs : fdecl list }
+
+val string_of_ty_name : ty_name -> string
+val string_of_binary_op : binary_op -> string
+val string_of_unary_op : unary_op -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+(** Re-parseable rendering of an expression (fully parenthesized). *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit

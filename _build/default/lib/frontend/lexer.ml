@@ -1,0 +1,189 @@
+exception Error of string * Token.pos
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st : Token.pos = { line = st.line; col = st.col }
+let at_end st = st.off >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.off]
+
+let peek2 st =
+  if st.off + 1 >= String.length st.src then '\000' else st.src.[st.off + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.off] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.off <- st.off + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+(* Skip whitespace and comments; raise on an unterminated block comment. *)
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_trivia st
+  | '/' when peek2 st = '/' ->
+      while (not (at_end st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | '/' when peek2 st = '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec close () =
+        if at_end st then raise (Error ("unterminated block comment", start))
+        else if peek st = '*' && peek2 st = '/' then begin
+          advance st;
+          advance st
+        end
+        else begin
+          advance st;
+          close ()
+        end
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = pos st in
+  let begin_off = st.off in
+  while is_digit (peek st) do
+    advance st
+  done;
+  let is_float = ref false in
+  if peek st = '.' && is_digit (peek2 st) then begin
+    is_float := true;
+    advance st;
+    while is_digit (peek st) do
+      advance st
+    done
+  end;
+  if peek st = 'e' || peek st = 'E' then begin
+    let save_off = st.off and save_line = st.line and save_col = st.col in
+    advance st;
+    if peek st = '+' || peek st = '-' then advance st;
+    if is_digit (peek st) then begin
+      is_float := true;
+      while is_digit (peek st) do
+        advance st
+      done
+    end
+    else begin
+      st.off <- save_off;
+      st.line <- save_line;
+      st.col <- save_col
+    end
+  end;
+  let text = String.sub st.src begin_off (st.off - begin_off) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some x -> Token.Float_lit x
+    | None -> raise (Error ("malformed float literal " ^ text, start))
+  else
+    match int_of_string_opt text with
+    | Some n -> Token.Int_lit n
+    | None -> raise (Error ("malformed integer literal " ^ text, start))
+
+let lex_ident st =
+  let begin_off = st.off in
+  while is_alnum (peek st) do
+    advance st
+  done;
+  match String.sub st.src begin_off (st.off - begin_off) with
+  | "int" -> Token.Kw_int
+  | "float" -> Token.Kw_float
+  | "void" -> Token.Kw_void
+  | "if" -> Token.Kw_if
+  | "else" -> Token.Kw_else
+  | "while" -> Token.Kw_while
+  | "for" -> Token.Kw_for
+  | "return" -> Token.Kw_return
+  | "break" -> Token.Kw_break
+  | "continue" -> Token.Kw_continue
+  | name -> Token.Ident name
+
+let two st a b tok_two tok_one =
+  if peek st = a && peek2 st = b then begin
+    advance st;
+    advance st;
+    tok_two
+  end
+  else begin
+    advance st;
+    tok_one
+  end
+
+let next_token st : Token.spanned =
+  skip_trivia st;
+  let p = pos st in
+  let tok =
+    if at_end st then Token.Eof
+    else
+      let c = peek st in
+      if is_digit c then lex_number st
+      else if is_alpha c then lex_ident st
+      else
+        match c with
+        | '(' -> advance st; Token.Lparen
+        | ')' -> advance st; Token.Rparen
+        | '{' -> advance st; Token.Lbrace
+        | '}' -> advance st; Token.Rbrace
+        | '[' -> advance st; Token.Lbracket
+        | ']' -> advance st; Token.Rbracket
+        | ';' -> advance st; Token.Semi
+        | ',' -> advance st; Token.Comma
+        | '~' -> advance st; Token.Tilde
+        | '?' -> advance st; Token.Question
+        | ':' -> advance st; Token.Colon
+        | '%' -> advance st; Token.Percent
+        | '^' -> advance st; Token.Caret
+        | '+' ->
+            if peek2 st = '+' then two st '+' '+' Token.Plus_plus Token.Plus
+            else if peek2 st = '=' then
+              two st '+' '=' Token.Plus_assign Token.Plus
+            else begin advance st; Token.Plus end
+        | '-' ->
+            if peek2 st = '-' then two st '-' '-' Token.Minus_minus Token.Minus
+            else if peek2 st = '=' then
+              two st '-' '=' Token.Minus_assign Token.Minus
+            else begin advance st; Token.Minus end
+        | '*' -> two st '*' '=' Token.Star_assign Token.Star
+        | '/' -> two st '/' '=' Token.Slash_assign Token.Slash
+        | '&' -> two st '&' '&' Token.Amp_amp Token.Amp
+        | '|' -> two st '|' '|' Token.Pipe_pipe Token.Pipe
+        | '!' -> two st '!' '=' Token.Bang_eq Token.Bang
+        | '=' -> two st '=' '=' Token.Eq_eq Token.Assign
+        | '<' ->
+            if peek2 st = '<' then two st '<' '<' Token.Shl Token.Lt
+            else two st '<' '=' Token.Le Token.Lt
+        | '>' ->
+            if peek2 st = '>' then two st '>' '>' Token.Shr Token.Gt
+            else two st '>' '=' Token.Ge Token.Gt
+        | c ->
+            raise (Error (Printf.sprintf "unexpected character %C" c, p))
+  in
+  { tok; pos = p }
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    match t.tok with
+    | Token.Eof -> List.rev (t :: acc)
+    | _ -> go (t :: acc)
+  in
+  go []

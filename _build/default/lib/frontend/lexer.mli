@@ -1,0 +1,12 @@
+(** Hand-written lexer for the mini-C subset.
+
+    Supports line ([//]) and block ([/* */]) comments, decimal integer
+    literals, and float literals with a decimal point and optional
+    exponent. *)
+
+exception Error of string * Token.pos
+(** Raised on an unrecognized character or malformed literal. *)
+
+val tokenize : string -> Token.spanned list
+(** [tokenize src] lexes the whole input, ending with an [Eof] token.
+    @raise Error on lexical errors. *)

@@ -1,0 +1,325 @@
+module Types = Asipfb_ir.Types
+module Reg = Asipfb_ir.Reg
+module Label = Asipfb_ir.Label
+module Instr = Asipfb_ir.Instr
+module Builder = Asipfb_ir.Builder
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Validate = Asipfb_ir.Validate
+
+type loop_labels = { break_to : Label.t; continue_to : Label.t }
+
+type ctx = {
+  b : Builder.t;
+  mutable code : Instr.t list;  (* reversed *)
+  mutable vars : (string * Reg.t) list;
+  mutable loops : loop_labels list;  (* innermost first *)
+}
+
+let emit ctx i = ctx.code <- i :: ctx.code
+
+let var_reg ctx name =
+  match List.assoc_opt name ctx.vars with
+  | Some r -> r
+  | None -> invalid_arg ("Lower.var_reg: unbound " ^ name)
+
+let bind_var ctx name ty =
+  let r = Builder.fresh_reg ctx.b ~ty ~name in
+  ctx.vars <- (name, r) :: ctx.vars;
+  r
+
+let temp ctx ty = Builder.fresh_reg ctx.b ~ty ~name:"t"
+
+let arith_binop ty (op : Ast.binary_op) : Types.binop =
+  match (op, ty) with
+  | Ast.Add, Types.Int -> Types.Add
+  | Ast.Add, Types.Float -> Types.Fadd
+  | Ast.Sub, Types.Int -> Types.Sub
+  | Ast.Sub, Types.Float -> Types.Fsub
+  | Ast.Mul, Types.Int -> Types.Mul
+  | Ast.Mul, Types.Float -> Types.Fmul
+  | Ast.Div, Types.Int -> Types.Div
+  | Ast.Div, Types.Float -> Types.Fdiv
+  | Ast.Rem, Types.Int -> Types.Rem
+  | Ast.Band, Types.Int -> Types.And
+  | Ast.Bor, Types.Int -> Types.Or
+  | Ast.Bxor, Types.Int -> Types.Xor
+  | Ast.Shl, Types.Int -> Types.Shl
+  | Ast.Shr, Types.Int -> Types.Shr
+  | (Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr), Types.Float
+  | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land | Ast.Lor), _
+    ->
+      invalid_arg "Lower.arith_binop: not an arithmetic operator"
+
+let relop_of (op : Ast.binary_op) : Types.relop option =
+  match op with
+  | Ast.Lt -> Some Types.Lt
+  | Ast.Le -> Some Types.Le
+  | Ast.Gt -> Some Types.Gt
+  | Ast.Ge -> Some Types.Ge
+  | Ast.Eq -> Some Types.Eq
+  | Ast.Ne -> Some Types.Ne
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor ->
+      None
+
+let rec lower_expr ctx (e : Tast.texpr) : Instr.operand =
+  match e.tdesc with
+  | Tast.Tint_lit n -> Instr.Imm_int n
+  | Tast.Tfloat_lit x -> Instr.Imm_float x
+  | Tast.Tvar name -> Instr.Reg (var_reg ctx name)
+  | Tast.Tindex _ | Tast.Tunary _ | Tast.Tbinary _ | Tast.Tcond _
+  | Tast.Tcast _ | Tast.Tcall _ | Tast.Tintrinsic _ ->
+      let d = temp ctx e.tty in
+      lower_expr_into ctx e d;
+      Instr.Reg d
+
+(* Lower [e] so its value ends in register [d]; avoids a mov for every
+   value-producing instruction form. *)
+and lower_expr_into ctx (e : Tast.texpr) (d : Reg.t) : unit =
+  match e.tdesc with
+  | Tast.Tint_lit n -> emit ctx (Builder.mov ctx.b d (Instr.Imm_int n))
+  | Tast.Tfloat_lit x -> emit ctx (Builder.mov ctx.b d (Instr.Imm_float x))
+  | Tast.Tvar name ->
+      emit ctx (Builder.mov ctx.b d (Instr.Reg (var_reg ctx name)))
+  | Tast.Tindex (region, idx) ->
+      let vi = lower_expr ctx idx in
+      emit ctx (Builder.load ctx.b e.tty d region vi)
+  | Tast.Tunary (Ast.Neg, a) ->
+      let va = lower_expr ctx a in
+      let unop =
+        match e.tty with Types.Int -> Types.Neg | Types.Float -> Types.Fneg
+      in
+      emit ctx (Builder.unop ctx.b unop d va)
+  | Tast.Tunary (Ast.Lnot, a) ->
+      let va = lower_expr ctx a in
+      emit ctx (Builder.cmp ctx.b Types.Int Types.Eq d va (Instr.Imm_int 0))
+  | Tast.Tunary (Ast.Bnot, a) ->
+      let va = lower_expr ctx a in
+      emit ctx (Builder.unop ctx.b Types.Not d va)
+  | Tast.Tbinary (Ast.Land, a, b) ->
+      (* d = 0; if a == 0 goto end; d = (b != 0); end: *)
+      let skip = Builder.fresh_label ctx.b ~hint:"and" in
+      emit ctx (Builder.mov ctx.b d (Instr.Imm_int 0));
+      lower_branch_false ctx a skip;
+      let vb = lower_expr ctx b in
+      emit ctx (Builder.cmp ctx.b Types.Int Types.Ne d vb (Instr.Imm_int 0));
+      emit ctx (Builder.label_mark ctx.b skip)
+  | Tast.Tbinary (Ast.Lor, a, b) ->
+      (* d = 1; if a != 0 goto end; d = (b != 0); end: *)
+      let skip = Builder.fresh_label ctx.b ~hint:"or" in
+      emit ctx (Builder.mov ctx.b d (Instr.Imm_int 1));
+      lower_branch_true ctx a skip;
+      let vb = lower_expr ctx b in
+      emit ctx (Builder.cmp ctx.b Types.Int Types.Ne d vb (Instr.Imm_int 0));
+      emit ctx (Builder.label_mark ctx.b skip)
+  | Tast.Tbinary (op, a, b) -> (
+      match relop_of op with
+      | Some rel ->
+          let va = lower_expr ctx a in
+          let vb = lower_expr ctx b in
+          emit ctx (Builder.cmp ctx.b a.tty rel d va vb)
+      | None ->
+          let va = lower_expr ctx a in
+          let vb = lower_expr ctx b in
+          emit ctx (Builder.binop ctx.b (arith_binop e.tty op) d va vb))
+  | Tast.Tcond (c, a, b) ->
+      let else_l = Builder.fresh_label ctx.b ~hint:"celse" in
+      let end_l = Builder.fresh_label ctx.b ~hint:"cend" in
+      lower_branch_false ctx c else_l;
+      lower_expr_into ctx a d;
+      emit ctx (Builder.jump ctx.b end_l);
+      emit ctx (Builder.label_mark ctx.b else_l);
+      lower_expr_into ctx b d;
+      emit ctx (Builder.label_mark ctx.b end_l)
+  | Tast.Tcast (ty, a) ->
+      let va = lower_expr ctx a in
+      let unop =
+        match ty with
+        | Types.Float -> Types.Int_to_float
+        | Types.Int -> Types.Float_to_int
+      in
+      emit ctx (Builder.unop ctx.b unop d va)
+  | Tast.Tcall (name, args) ->
+      let vargs = List.map (lower_expr ctx) args in
+      emit ctx (Builder.call ctx.b (Some d) name vargs)
+  | Tast.Tintrinsic (unop, a) ->
+      let va = lower_expr ctx a in
+      emit ctx (Builder.unop ctx.b unop d va)
+
+(* Branch to [target] when [cond] is false. Comparisons invert in place so a
+   loop guard costs one compare + one conditional jump. *)
+and lower_branch_false ctx (cond : Tast.texpr) target : unit =
+  match cond.tdesc with
+  | Tast.Tint_lit 0 -> emit ctx (Builder.jump ctx.b target)
+  | Tast.Tint_lit _ -> ()
+  | Tast.Tbinary (op, a, b) when relop_of op <> None ->
+      let rel =
+        match relop_of op with Some r -> r | None -> assert false
+      in
+      let va = lower_expr ctx a in
+      let vb = lower_expr ctx b in
+      let d = temp ctx Types.Int in
+      emit ctx (Builder.cmp ctx.b a.tty (Types.negate_relop rel) d va vb);
+      emit ctx (Builder.cond_jump ctx.b (Instr.Reg d) target)
+  | _ ->
+      let v = lower_expr ctx cond in
+      let d = temp ctx Types.Int in
+      emit ctx (Builder.cmp ctx.b Types.Int Types.Eq d v (Instr.Imm_int 0));
+      emit ctx (Builder.cond_jump ctx.b (Instr.Reg d) target)
+
+(* Branch to [target] when [cond] is true. *)
+and lower_branch_true ctx (cond : Tast.texpr) target : unit =
+  match cond.tdesc with
+  | Tast.Tint_lit 0 -> ()
+  | Tast.Tint_lit _ -> emit ctx (Builder.jump ctx.b target)
+  | Tast.Tbinary (op, a, b) when relop_of op <> None ->
+      let rel =
+        match relop_of op with Some r -> r | None -> assert false
+      in
+      let va = lower_expr ctx a in
+      let vb = lower_expr ctx b in
+      let d = temp ctx Types.Int in
+      emit ctx (Builder.cmp ctx.b a.tty rel d va vb);
+      emit ctx (Builder.cond_jump ctx.b (Instr.Reg d) target)
+  | _ ->
+      let v = lower_expr ctx cond in
+      let d = temp ctx Types.Int in
+      emit ctx (Builder.cmp ctx.b Types.Int Types.Ne d v (Instr.Imm_int 0));
+      emit ctx (Builder.cond_jump ctx.b (Instr.Reg d) target)
+
+let rec lower_stmt ctx (s : Tast.tstmt) : unit =
+  match s with
+  | Tast.Tdecl (ty, name, init) -> (
+      let r = bind_var ctx name ty in
+      match init with
+      | Some e -> lower_expr_into ctx e r
+      | None -> ())
+  | Tast.Tassign_var (name, e) -> lower_expr_into ctx e (var_reg ctx name)
+  | Tast.Tassign_arr (region, idx, value) ->
+      let vi = lower_expr ctx idx in
+      let vv = lower_expr ctx value in
+      emit ctx (Builder.store ctx.b value.tty region vi vv)
+  | Tast.Tif (cond, then_b, else_b) -> (
+      match else_b with
+      | [] ->
+          let end_l = Builder.fresh_label ctx.b ~hint:"iend" in
+          lower_branch_false ctx cond end_l;
+          List.iter (lower_stmt ctx) then_b;
+          emit ctx (Builder.label_mark ctx.b end_l)
+      | _ ->
+          let else_l = Builder.fresh_label ctx.b ~hint:"ielse" in
+          let end_l = Builder.fresh_label ctx.b ~hint:"iend" in
+          lower_branch_false ctx cond else_l;
+          List.iter (lower_stmt ctx) then_b;
+          emit ctx (Builder.jump ctx.b end_l);
+          emit ctx (Builder.label_mark ctx.b else_l);
+          List.iter (lower_stmt ctx) else_b;
+          emit ctx (Builder.label_mark ctx.b end_l))
+  | Tast.Tloop (cond, body, step) ->
+      let head_l = Builder.fresh_label ctx.b ~hint:"loop" in
+      let exit_l = Builder.fresh_label ctx.b ~hint:"exit" in
+      (* A continue must run the step first; only materialize the extra
+         label when the body actually contains one, so ordinary loops keep
+         the two-block shape the pipeliner recognizes. *)
+      let rec has_continue = function
+        | [] -> false
+        | Tast.Tcontinue :: _ -> true
+        | (Tast.Tif (_, a, b)) :: rest ->
+            has_continue a || has_continue b || has_continue rest
+        | (Tast.Tblock b) :: rest -> has_continue b || has_continue rest
+        | (Tast.Tloop _) :: rest ->
+            (* continues inside a nested loop bind to that loop *)
+            has_continue rest
+        | _ :: rest -> has_continue rest
+      in
+      let continue_to =
+        if has_continue body then Builder.fresh_label ctx.b ~hint:"cont"
+        else head_l
+      in
+      emit ctx (Builder.label_mark ctx.b head_l);
+      lower_branch_false ctx cond exit_l;
+      ctx.loops <- { break_to = exit_l; continue_to } :: ctx.loops;
+      List.iter (lower_stmt ctx) body;
+      (match ctx.loops with
+      | _ :: rest -> ctx.loops <- rest
+      | [] -> assert false);
+      if not (Label.equal continue_to head_l) then
+        emit ctx (Builder.label_mark ctx.b continue_to);
+      List.iter (lower_stmt ctx) step;
+      emit ctx (Builder.jump ctx.b head_l);
+      emit ctx (Builder.label_mark ctx.b exit_l)
+  | Tast.Tbreak -> (
+      match ctx.loops with
+      | { break_to; _ } :: _ -> emit ctx (Builder.jump ctx.b break_to)
+      | [] -> invalid_arg "Lower: break outside a loop")
+  | Tast.Tcontinue -> (
+      match ctx.loops with
+      | { continue_to; _ } :: _ -> emit ctx (Builder.jump ctx.b continue_to)
+      | [] -> invalid_arg "Lower: continue outside a loop")
+  | Tast.Treturn value ->
+      let v = Option.map (lower_expr ctx) value in
+      emit ctx (Builder.ret ctx.b v)
+  | Tast.Tcall_stmt (name, args) ->
+      let vargs = List.map (lower_expr ctx) args in
+      emit ctx (Builder.call ctx.b None name vargs)
+  | Tast.Tblock b -> List.iter (lower_stmt ctx) b
+
+(* Constant-folded branches (literal conditions in [&&]/[||]/[if]) can leave
+   instructions after an unconditional transfer with no label in between;
+   they can never execute, so drop them to keep the IR validator's
+   no-dead-code invariant. *)
+let remove_unreachable instrs =
+  let rec go reachable = function
+    | [] -> []
+    | i :: rest ->
+        if Instr.is_label i then i :: go true rest
+        else if not reachable then go false rest
+        else
+          let falls_through =
+            match Instr.kind i with
+            | Instr.Jump _ | Instr.Ret _ -> false
+            | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+            | Instr.Load _ | Instr.Store _ | Instr.Cond_jump _
+            | Instr.Call _ | Instr.Label_mark _ ->
+                true
+          in
+          i :: go falls_through rest
+  in
+  go true instrs
+
+let lower_func (b : Builder.t) (f : Tast.tfunc) : Func.t =
+  let ctx = { b; code = []; vars = []; loops = [] } in
+  let params = List.map (fun (name, ty) -> bind_var ctx name ty) f.tf_params in
+  List.iter (lower_stmt ctx) f.tf_body;
+  (* Guarantee the body ends in control flow even if the source relies on
+     falling off the end (void functions commonly do). *)
+  let terminated =
+    match ctx.code with last :: _ -> Instr.is_control last | [] -> false
+  in
+  if not terminated then begin
+    let default =
+      match f.tf_ret with
+      | None -> None
+      | Some Types.Int -> Some (Instr.Imm_int 0)
+      | Some Types.Float -> Some (Instr.Imm_float 0.0)
+    in
+    emit ctx (Builder.ret ctx.b default)
+  end;
+  Func.make ~name:f.tf_name ~params ~ret_ty:f.tf_ret
+    ~body:(remove_unreachable (List.rev ctx.code))
+
+let lower (tp : Tast.program) ~entry : Prog.t =
+  let b = Builder.create () in
+  let funcs = List.map (lower_func b) tp.tfuncs in
+  let regions =
+    List.map
+      (fun (r : Tast.tregion) ->
+        { Prog.region_name = r.tr_name; elt_ty = r.tr_ty; size = r.tr_size })
+      tp.tregions
+  in
+  let p = Prog.make ~funcs ~regions ~entry in
+  Validate.check_exn p;
+  p
+
+let compile src ~entry = lower (Sema.check (Parser.parse src)) ~entry

@@ -1,0 +1,18 @@
+(** Lowering the typed AST to linear 3-address code.
+
+    Scalar variables become virtual registers; [&&]/[||] and [?:] lower to
+    explicit control flow (short-circuit); loop conditions lower to a
+    negated compare feeding a conditional jump, matching what a 3-address
+    gcc back end emits (and producing the compare ops that appear in the
+    paper's add-compare sequences). *)
+
+val lower : Tast.program -> entry:string -> Asipfb_ir.Prog.t
+(** [lower tp ~entry] produces a validated program whose simulator entry
+    point is [entry].
+    @raise Failure if the result fails {!Asipfb_ir.Validate.check}
+    (indicates a lowering bug, not a user error). *)
+
+val compile : string -> entry:string -> Asipfb_ir.Prog.t
+(** [compile src ~entry] runs the whole front end: lex, parse, check,
+    lower, validate.
+    @raise Lexer.Error, Parser.Error, Sema.Error on bad input. *)

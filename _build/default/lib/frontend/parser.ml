@@ -1,0 +1,423 @@
+exception Error of string * Token.pos
+
+type state = { mutable toks : Token.spanned list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Token.tok = Token.Eof; pos = { line = 0; col = 0 } }
+
+let peek2 st =
+  match st.toks with
+  | _ :: t :: _ -> t
+  | _ -> { Token.tok = Token.Eof; pos = { line = 0; col = 0 } }
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st msg =
+  let t = peek st in
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Token.describe t.tok), t.pos))
+
+let expect st tok =
+  let t = peek st in
+  if t.tok = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.describe tok))
+
+let expect_ident st =
+  match (peek st).tok with
+  | Token.Ident name ->
+      advance st;
+      name
+  | _ -> fail st "expected identifier"
+
+let ty_name_of_token = function
+  | Token.Kw_int -> Some Ast.Tint
+  | Token.Kw_float -> Some Ast.Tfloat
+  | Token.Kw_void -> Some Ast.Tvoid
+  | _ -> None
+
+let parse_scalar_ty st =
+  match ty_name_of_token (peek st).tok with
+  | Some Ast.Tvoid -> fail st "'void' is not a value type here"
+  | Some ty ->
+      advance st;
+      ty
+  | None -> fail st "expected a type"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let mk pos edesc : Ast.expr = { edesc; epos = pos }
+
+let rec parse_expression st = parse_conditional st
+
+and parse_conditional st =
+  let pos = (peek st).pos in
+  let cond = parse_logical_or st in
+  if (peek st).tok = Token.Question then begin
+    advance st;
+    let then_e = parse_expression st in
+    expect st Token.Colon;
+    let else_e = parse_conditional st in
+    mk pos (Ast.Cond (cond, then_e, else_e))
+  end
+  else cond
+
+and parse_left_assoc st ops parse_next =
+  let pos = (peek st).pos in
+  let rec go lhs =
+    match List.assoc_opt (peek st).tok ops with
+    | Some op ->
+        advance st;
+        let rhs = parse_next st in
+        go (mk pos (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_next st)
+
+and parse_logical_or st =
+  parse_left_assoc st [ (Token.Pipe_pipe, Ast.Lor) ] parse_logical_and
+
+and parse_logical_and st =
+  parse_left_assoc st [ (Token.Amp_amp, Ast.Land) ] parse_bit_or
+
+and parse_bit_or st = parse_left_assoc st [ (Token.Pipe, Ast.Bor) ] parse_bit_xor
+
+and parse_bit_xor st =
+  parse_left_assoc st [ (Token.Caret, Ast.Bxor) ] parse_bit_and
+
+and parse_bit_and st =
+  parse_left_assoc st [ (Token.Amp, Ast.Band) ] parse_equality
+
+and parse_equality st =
+  parse_left_assoc st
+    [ (Token.Eq_eq, Ast.Eq); (Token.Bang_eq, Ast.Ne) ]
+    parse_relational
+
+and parse_relational st =
+  parse_left_assoc st
+    [ (Token.Lt, Ast.Lt); (Token.Le, Ast.Le);
+      (Token.Gt, Ast.Gt); (Token.Ge, Ast.Ge) ]
+    parse_shift
+
+and parse_shift st =
+  parse_left_assoc st
+    [ (Token.Shl, Ast.Shl); (Token.Shr, Ast.Shr) ]
+    parse_additive
+
+and parse_additive st =
+  parse_left_assoc st
+    [ (Token.Plus, Ast.Add); (Token.Minus, Ast.Sub) ]
+    parse_multiplicative
+
+and parse_multiplicative st =
+  parse_left_assoc st
+    [ (Token.Star, Ast.Mul); (Token.Slash, Ast.Div);
+      (Token.Percent, Ast.Rem) ]
+    parse_unary
+
+and parse_unary st =
+  let pos = (peek st).pos in
+  match (peek st).tok with
+  | Token.Minus ->
+      advance st;
+      mk pos (Ast.Unary (Ast.Neg, parse_unary st))
+  | Token.Bang ->
+      advance st;
+      mk pos (Ast.Unary (Ast.Lnot, parse_unary st))
+  | Token.Tilde ->
+      advance st;
+      mk pos (Ast.Unary (Ast.Bnot, parse_unary st))
+  | Token.Plus ->
+      advance st;
+      parse_unary st
+  | Token.Lparen
+    when ty_name_of_token (peek2 st).tok <> None ->
+      (* A cast: '(' type ')' unary.  The type token is followed by ')'. *)
+      advance st;
+      let ty =
+        match ty_name_of_token (peek st).tok with
+        | Some t ->
+            advance st;
+            t
+        | None -> fail st "expected a type in cast"
+      in
+      expect st Token.Rparen;
+      if ty = Ast.Tvoid then fail st "cannot cast to void"
+      else mk pos (Ast.Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let pos = (peek st).pos in
+  match (peek st).tok with
+  | Token.Int_lit n ->
+      advance st;
+      mk pos (Ast.Int_lit n)
+  | Token.Float_lit x ->
+      advance st;
+      mk pos (Ast.Float_lit x)
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expression st in
+      expect st Token.Rparen;
+      e
+  | Token.Ident name -> (
+      advance st;
+      match (peek st).tok with
+      | Token.Lparen ->
+          advance st;
+          let args =
+            if (peek st).tok = Token.Rparen then []
+            else
+              let rec go acc =
+                let e = parse_expression st in
+                if (peek st).tok = Token.Comma then begin
+                  advance st;
+                  go (e :: acc)
+                end
+                else List.rev (e :: acc)
+              in
+              go []
+          in
+          expect st Token.Rparen;
+          mk pos (Ast.Call (name, args))
+      | Token.Lbracket ->
+          advance st;
+          let idx = parse_expression st in
+          expect st Token.Rbracket;
+          mk pos (Ast.Index (name, idx))
+      | _ -> mk pos (Ast.Var name))
+  | _ -> fail st "expected an expression"
+
+(* --- statements ------------------------------------------------------- *)
+
+let lvalue_of_expr (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Var v -> Ast.Lvar v
+  | Ast.Index (a, i) -> Ast.Lindex (a, i)
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Unary _ | Ast.Binary _
+  | Ast.Cond _ | Ast.Cast _ | Ast.Call _ ->
+      raise (Error ("left-hand side of assignment is not an lvalue", e.epos))
+
+let mk_stmt pos sdesc : Ast.stmt = { sdesc; spos = pos }
+
+(* A "simple" statement: assignment, op-assignment, increment, decrement, or
+   a bare expression.  Shared by expression statements and for-headers. *)
+let parse_simple st =
+  let pos = (peek st).pos in
+  let e = parse_expression st in
+  match (peek st).tok with
+  | Token.Assign ->
+      advance st;
+      let rhs = parse_expression st in
+      mk_stmt pos (Ast.Assign (lvalue_of_expr e, rhs))
+  | Token.Plus_assign ->
+      advance st;
+      let rhs = parse_expression st in
+      mk_stmt pos (Ast.Op_assign (Ast.Add, lvalue_of_expr e, rhs))
+  | Token.Minus_assign ->
+      advance st;
+      let rhs = parse_expression st in
+      mk_stmt pos (Ast.Op_assign (Ast.Sub, lvalue_of_expr e, rhs))
+  | Token.Star_assign ->
+      advance st;
+      let rhs = parse_expression st in
+      mk_stmt pos (Ast.Op_assign (Ast.Mul, lvalue_of_expr e, rhs))
+  | Token.Slash_assign ->
+      advance st;
+      let rhs = parse_expression st in
+      mk_stmt pos (Ast.Op_assign (Ast.Div, lvalue_of_expr e, rhs))
+  | Token.Plus_plus ->
+      advance st;
+      mk_stmt pos (Ast.Incr (lvalue_of_expr e))
+  | Token.Minus_minus ->
+      advance st;
+      mk_stmt pos (Ast.Decr (lvalue_of_expr e))
+  | _ -> mk_stmt pos (Ast.Expr_stmt e)
+
+let rec parse_stmt st : Ast.stmt =
+  let pos = (peek st).pos in
+  match (peek st).tok with
+  | Token.Kw_int | Token.Kw_float ->
+      let ty = parse_scalar_ty st in
+      let rec declarators acc =
+        let name = expect_ident st in
+        let init =
+          if (peek st).tok = Token.Assign then begin
+            advance st;
+            Some (parse_expression st)
+          end
+          else None
+        in
+        let acc = mk_stmt pos (Ast.Decl (ty, name, init)) :: acc in
+        if (peek st).tok = Token.Comma then begin
+          advance st;
+          declarators acc
+        end
+        else List.rev acc
+      in
+      let decls = declarators [] in
+      expect st Token.Semi;
+      (match decls with
+      | [ single ] -> single
+      | many -> mk_stmt pos (Ast.Seq many))
+  | Token.Kw_if ->
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expression st in
+      expect st Token.Rparen;
+      let then_b = parse_body st in
+      let else_b =
+        if (peek st).tok = Token.Kw_else then begin
+          advance st;
+          Some (parse_body st)
+        end
+        else None
+      in
+      mk_stmt pos (Ast.If (cond, then_b, else_b))
+  | Token.Kw_while ->
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expression st in
+      expect st Token.Rparen;
+      mk_stmt pos (Ast.While (cond, parse_body st))
+  | Token.Kw_for ->
+      advance st;
+      expect st Token.Lparen;
+      let init =
+        if (peek st).tok = Token.Semi then None
+        else
+          match (peek st).tok with
+          | Token.Kw_int | Token.Kw_float ->
+              (* C99-style loop-scoped declaration: for (int i = 0; ...). *)
+              let ty = parse_scalar_ty st in
+              let name = expect_ident st in
+              expect st Token.Assign;
+              let e = parse_expression st in
+              Some (mk_stmt pos (Ast.Decl (ty, name, Some e)))
+          | _ -> Some (parse_simple st)
+      in
+      expect st Token.Semi;
+      let cond =
+        if (peek st).tok = Token.Semi then None
+        else Some (parse_expression st)
+      in
+      expect st Token.Semi;
+      let step =
+        if (peek st).tok = Token.Rparen then None else Some (parse_simple st)
+      in
+      expect st Token.Rparen;
+      mk_stmt pos (Ast.For (init, cond, step, parse_body st))
+  | Token.Kw_break ->
+      advance st;
+      expect st Token.Semi;
+      mk_stmt pos Ast.Break
+  | Token.Kw_continue ->
+      advance st;
+      expect st Token.Semi;
+      mk_stmt pos Ast.Continue
+  | Token.Kw_return ->
+      advance st;
+      let value =
+        if (peek st).tok = Token.Semi then None
+        else Some (parse_expression st)
+      in
+      expect st Token.Semi;
+      mk_stmt pos (Ast.Return value)
+  | Token.Lbrace -> mk_stmt pos (Ast.Block (parse_block st))
+  | Token.Semi ->
+      advance st;
+      mk_stmt pos (Ast.Block [])
+  | _ ->
+      let s = parse_simple st in
+      expect st Token.Semi;
+      s
+
+and parse_block st : Ast.block =
+  expect st Token.Lbrace;
+  let rec go acc =
+    if (peek st).tok = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* Loop/branch bodies may be a braced block or a single statement. *)
+and parse_body st : Ast.block =
+  if (peek st).tok = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+(* --- top level -------------------------------------------------------- *)
+
+let parse_program st : Ast.program =
+  let rec go globals funcs =
+    match (peek st).tok with
+    | Token.Eof -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | _ ->
+        let pos = (peek st).pos in
+        let ret =
+          match ty_name_of_token (peek st).tok with
+          | Some ty ->
+              advance st;
+              ty
+          | None -> fail st "expected a declaration"
+        in
+        let name = expect_ident st in
+        if (peek st).tok = Token.Lbracket then begin
+          (* Global array declaration. *)
+          advance st;
+          let size =
+            match (peek st).tok with
+            | Token.Int_lit n ->
+                advance st;
+                n
+            | _ -> fail st "expected array size"
+          in
+          expect st Token.Rbracket;
+          expect st Token.Semi;
+          if ret = Ast.Tvoid then
+            raise (Error ("array of void", pos))
+          else
+            go
+              ({ Ast.g_ty = ret; g_name = name; g_size = size; g_pos = pos }
+              :: globals)
+              funcs
+        end
+        else begin
+          expect st Token.Lparen;
+          let params =
+            if (peek st).tok = Token.Rparen then []
+            else
+              let rec go_params acc =
+                let ty = parse_scalar_ty st in
+                let pname = expect_ident st in
+                let acc = (ty, pname) :: acc in
+                if (peek st).tok = Token.Comma then begin
+                  advance st;
+                  go_params acc
+                end
+                else List.rev acc
+              in
+              go_params []
+          in
+          expect st Token.Rparen;
+          let body = parse_block st in
+          go globals
+            ({ Ast.f_ret = ret; f_name = name; f_params = params;
+               f_body = body; f_pos = pos }
+            :: funcs)
+        end
+  in
+  go [] []
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_program st
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  (match (peek st).tok with
+  | Token.Eof -> ()
+  | _ -> fail st "trailing input after expression");
+  e

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the mini-C subset.
+
+    Operator precedence follows C.  [&&]/[||] short-circuit (lowering makes
+    that real).  Declarations allow multiple declarators
+    ([int i, j = 0;]), desugared into one declaration statement each. *)
+
+exception Error of string * Token.pos
+(** Raised on the first syntax error, with the offending position. *)
+
+val parse : string -> Ast.program
+(** [parse src] lexes and parses a whole translation unit.
+    @raise Lexer.Error on lexical errors.
+    @raise Error on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** [parse_expr src] parses a single expression (for tests).
+    @raise Error if trailing input remains. *)

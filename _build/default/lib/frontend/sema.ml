@@ -1,0 +1,446 @@
+exception Error of string * Ast.pos
+
+module Types = Asipfb_ir.Types
+
+let builtin_intrinsics =
+  [ ("sin", Types.Sin); ("cos", Types.Cos);
+    ("sqrt", Types.Sqrt); ("fabs", Types.Fabs) ]
+
+type fsig = { sig_params : Types.ty list; sig_ret : Types.ty option }
+
+type env = {
+  regions : (string * (Types.ty * int)) list;
+  fsigs : (string * fsig) list;
+  mutable scopes : (string * (string * Types.ty)) list list;
+  mutable locals : (string * Types.ty) list;  (* accumulated, renamed *)
+  mutable rename_counter : int;
+  mutable loop_depth : int;
+  current_ret : Types.ty option;
+}
+
+let err pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+let push_scope env = env.scopes <- [] :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> invalid_arg "Sema.pop_scope"
+
+let declare_local env pos name ty =
+  (match env.scopes with
+  | scope :: _ when List.mem_assoc name scope ->
+      err pos "redeclaration of '%s'" name
+  | _ -> ());
+  let unique =
+    if
+      List.exists (fun scope -> List.mem_assoc name scope) env.scopes
+      || List.mem_assoc name env.locals
+    then begin
+      env.rename_counter <- env.rename_counter + 1;
+      Printf.sprintf "%s$%d" name env.rename_counter
+    end
+    else name
+  in
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, (unique, ty)) :: scope) :: rest
+  | [] -> invalid_arg "Sema.declare_local");
+  env.locals <- (unique, ty) :: env.locals;
+  unique
+
+let lookup_scalar env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some binding -> Some binding
+        | None -> go rest)
+  in
+  go env.scopes
+
+let lookup_region env name = List.assoc_opt name env.regions
+
+(* --- typing helpers --------------------------------------------------- *)
+
+let mk ty tdesc : Tast.texpr = { tdesc; tty = ty }
+
+let cast_to ty (e : Tast.texpr) =
+  if e.tty = ty then e
+  else
+    match e.tdesc with
+    | Tast.Tint_lit n when ty = Types.Float ->
+        (* Fold literal conversions so initializers stay literals. *)
+        mk ty (Tast.Tfloat_lit (float_of_int n))
+    | _ -> mk ty (Tast.Tcast (ty, e))
+
+let common_ty a b =
+  if a = Types.Float || b = Types.Float then Types.Float else Types.Int
+
+(* A condition value: int, with non-int operands compared against zero. *)
+let to_bool (e : Tast.texpr) =
+  match e.tty with
+  | Types.Int -> e
+  | Types.Float -> mk Types.Int (Tast.Tbinary (Ast.Ne, e, mk Types.Float (Tast.Tfloat_lit 0.0)))
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  match e.edesc with
+  | Ast.Int_lit n -> mk Types.Int (Tast.Tint_lit n)
+  | Ast.Float_lit x -> mk Types.Float (Tast.Tfloat_lit x)
+  | Ast.Var name -> (
+      match lookup_scalar env name with
+      | Some (unique, ty) -> mk ty (Tast.Tvar unique)
+      | None -> (
+          match lookup_region env name with
+          | Some _ -> err e.epos "array '%s' used without an index" name
+          | None -> err e.epos "undeclared variable '%s'" name))
+  | Ast.Index (name, idx) -> (
+      if lookup_scalar env name <> None then
+        err e.epos "'%s' is a scalar, not an array" name;
+      match lookup_region env name with
+      | Some (ty, _) ->
+          let tidx = cast_to Types.Int (check_index env idx) in
+          mk ty (Tast.Tindex (name, tidx))
+      | None -> err e.epos "undeclared array '%s'" name)
+  | Ast.Unary (Ast.Neg, a) ->
+      let ta = check_expr env a in
+      mk ta.tty (Tast.Tunary (Ast.Neg, ta))
+  | Ast.Unary (Ast.Lnot, a) ->
+      let ta = to_bool (check_expr env a) in
+      mk Types.Int (Tast.Tunary (Ast.Lnot, ta))
+  | Ast.Unary (Ast.Bnot, a) ->
+      let ta = check_expr env a in
+      if ta.tty <> Types.Int then err e.epos "operand of '~' must be int";
+      mk Types.Int (Tast.Tunary (Ast.Bnot, ta))
+  | Ast.Binary (op, a, b) -> check_binary env e.epos op a b
+  | Ast.Cond (c, a, b) ->
+      let tc = to_bool (check_expr env c) in
+      let ta = check_expr env a and tb = check_expr env b in
+      let ty = common_ty ta.tty tb.tty in
+      mk ty (Tast.Tcond (tc, cast_to ty ta, cast_to ty tb))
+  | Ast.Cast (ty_name, a) -> (
+      match Tast.ty_of_name ty_name with
+      | Some ty -> cast_to ty (check_expr env a)
+      | None -> err e.epos "cast to void")
+  | Ast.Call (name, args) -> (
+      match List.assoc_opt name builtin_intrinsics with
+      | Some unop ->
+          (match args with
+          | [ arg ] ->
+              let targ = cast_to Types.Float (check_expr env arg) in
+              mk Types.Float (Tast.Tintrinsic (unop, targ))
+          | _ -> err e.epos "builtin '%s' takes exactly one argument" name)
+      | None -> (
+          match List.assoc_opt name env.fsigs with
+          | None -> err e.epos "call to undeclared function '%s'" name
+          | Some fs -> (
+              if List.length fs.sig_params <> List.length args then
+                err e.epos "function '%s' expects %d arguments, got %d" name
+                  (List.length fs.sig_params) (List.length args);
+              let targs =
+                List.map2
+                  (fun pty arg -> cast_to pty (check_expr env arg))
+                  fs.sig_params args
+              in
+              match fs.sig_ret with
+              | Some rty -> mk rty (Tast.Tcall (name, targs))
+              | None -> err e.epos "void function '%s' used as a value" name)))
+
+and check_index env idx =
+  let t = check_expr env idx in
+  match t.tty with
+  | Types.Int -> t
+  | Types.Float -> err idx.epos "array index must be an int"
+
+and check_binary env pos op a b =
+  let ta = check_expr env a and tb = check_expr env b in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+      let ty = common_ty ta.tty tb.tty in
+      mk ty (Tast.Tbinary (op, cast_to ty ta, cast_to ty tb))
+  | Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+      if ta.tty <> Types.Int || tb.tty <> Types.Int then
+        err pos "operands of '%s' must be int" (Ast.string_of_binary_op op);
+      mk Types.Int (Tast.Tbinary (op, ta, tb))
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+      let ty = common_ty ta.tty tb.tty in
+      mk Types.Int (Tast.Tbinary (op, cast_to ty ta, cast_to ty tb))
+  | Ast.Land | Ast.Lor ->
+      mk Types.Int (Tast.Tbinary (op, to_bool ta, to_bool tb))
+
+(* --- statements ------------------------------------------------------- *)
+
+let expr_of_lvalue pos (lv : Ast.lvalue) : Ast.expr =
+  match lv with
+  | Ast.Lvar v -> { Ast.edesc = Ast.Var v; epos = pos }
+  | Ast.Lindex (a, i) -> { Ast.edesc = Ast.Index (a, i); epos = pos }
+
+let rec check_stmt env (s : Ast.stmt) : Tast.tstmt list =
+  match s.sdesc with
+  | Ast.Decl (ty_name, name, init) -> (
+      match Tast.ty_of_name ty_name with
+      | None -> err s.spos "cannot declare a void variable"
+      | Some ty ->
+          let tinit = Option.map (fun e -> cast_to ty (check_expr env e)) init in
+          let unique = declare_local env s.spos name ty in
+          [ Tast.Tdecl (ty, unique, tinit) ])
+  | Ast.Assign (lv, e) -> [ check_assign env s.spos lv e ]
+  | Ast.Op_assign (op, lv, e) ->
+      let rhs =
+        { Ast.edesc = Ast.Binary (op, expr_of_lvalue s.spos lv, e);
+          epos = s.spos }
+      in
+      [ check_assign env s.spos lv rhs ]
+  | Ast.Incr lv ->
+      let one = { Ast.edesc = Ast.Int_lit 1; epos = s.spos } in
+      let rhs =
+        { Ast.edesc = Ast.Binary (Ast.Add, expr_of_lvalue s.spos lv, one);
+          epos = s.spos }
+      in
+      [ check_assign env s.spos lv rhs ]
+  | Ast.Decr lv ->
+      let one = { Ast.edesc = Ast.Int_lit 1; epos = s.spos } in
+      let rhs =
+        { Ast.edesc = Ast.Binary (Ast.Sub, expr_of_lvalue s.spos lv, one);
+          epos = s.spos }
+      in
+      [ check_assign env s.spos lv rhs ]
+  | Ast.If (cond, then_b, else_b) ->
+      let tc = to_bool (check_expr env cond) in
+      let tt = check_block env then_b in
+      let te =
+        match else_b with Some b -> check_block env b | None -> []
+      in
+      [ Tast.Tif (tc, tt, te) ]
+  | Ast.While (cond, body) ->
+      let tc = to_bool (check_expr env cond) in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      [ Tast.Tloop (tc, tbody, []) ]
+  | Ast.For (init, cond, step, body) ->
+      (* Desugar into { init; while (cond) { body; step } } with the init
+         declaration scoped to the loop. *)
+      push_scope env;
+      let tinit =
+        match init with Some s0 -> check_stmt env s0 | None -> []
+      in
+      let tc =
+        match cond with
+        | Some c -> to_bool (check_expr env c)
+        | None -> mk Types.Int (Tast.Tint_lit 1)
+      in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let tstep =
+        match step with Some s0 -> check_stmt env s0 | None -> []
+      in
+      pop_scope env;
+      [ Tast.Tblock (tinit @ [ Tast.Tloop (tc, tbody, tstep) ]) ]
+  | Ast.Return value -> (
+      match (env.current_ret, value) with
+      | None, None -> [ Tast.Treturn None ]
+      | None, Some _ -> err s.spos "void function returns a value"
+      | Some _, None -> err s.spos "non-void function returns no value"
+      | Some rty, Some e ->
+          [ Tast.Treturn (Some (cast_to rty (check_expr env e))) ])
+  | Ast.Break ->
+      if env.loop_depth = 0 then err s.spos "'break' outside a loop";
+      [ Tast.Tbreak ]
+  | Ast.Continue ->
+      if env.loop_depth = 0 then err s.spos "'continue' outside a loop";
+      [ Tast.Tcontinue ]
+  | Ast.Expr_stmt e -> (
+      match e.edesc with
+      | Ast.Call (name, args) when List.assoc_opt name builtin_intrinsics = None
+        -> (
+          match List.assoc_opt name env.fsigs with
+          | None -> err e.epos "call to undeclared function '%s'" name
+          | Some fs ->
+              if List.length fs.sig_params <> List.length args then
+                err e.epos "function '%s' expects %d arguments, got %d" name
+                  (List.length fs.sig_params) (List.length args);
+              let targs =
+                List.map2
+                  (fun pty arg -> cast_to pty (check_expr env arg))
+                  fs.sig_params args
+              in
+              [ Tast.Tcall_stmt (name, targs) ])
+      | _ ->
+          (* Effect-free expression statement: type-check and drop. *)
+          let _ = check_expr env e in
+          [])
+  | Ast.Block b ->
+      push_scope env;
+      let tb = check_block env b in
+      pop_scope env;
+      [ Tast.Tblock tb ]
+  | Ast.Seq stmts -> List.concat_map (check_stmt env) stmts
+
+and check_assign env pos (lv : Ast.lvalue) (e : Ast.expr) : Tast.tstmt =
+  match lv with
+  | Ast.Lvar name -> (
+      match lookup_scalar env name with
+      | Some (unique, ty) ->
+          Tast.Tassign_var (unique, cast_to ty (check_expr env e))
+      | None ->
+          if lookup_region env name <> None then
+            err pos "cannot assign to array '%s' without an index" name
+          else err pos "undeclared variable '%s'" name)
+  | Ast.Lindex (name, idx) -> (
+      if lookup_scalar env name <> None then
+        err pos "'%s' is a scalar, not an array" name;
+      match lookup_region env name with
+      | Some (ty, _) ->
+          let tidx = cast_to Types.Int (check_index env idx) in
+          Tast.Tassign_arr (name, tidx, cast_to ty (check_expr env e))
+      | None -> err pos "undeclared array '%s'" name)
+
+and check_block env (b : Ast.block) : Tast.tblock =
+  push_scope env;
+  let result = List.concat_map (check_stmt env) b in
+  pop_scope env;
+  result
+
+(* --- call-graph recursion check --------------------------------------- *)
+
+let rec calls_in_expr (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> []
+  | Ast.Index (_, i) -> calls_in_expr i
+  | Ast.Unary (_, a) | Ast.Cast (_, a) -> calls_in_expr a
+  | Ast.Binary (_, a, b) -> calls_in_expr a @ calls_in_expr b
+  | Ast.Cond (c, a, b) ->
+      calls_in_expr c @ calls_in_expr a @ calls_in_expr b
+  | Ast.Call (name, args) -> name :: List.concat_map calls_in_expr args
+
+let rec calls_in_stmt (s : Ast.stmt) =
+  let of_lv = function
+    | Ast.Lvar _ -> []
+    | Ast.Lindex (_, i) -> calls_in_expr i
+  in
+  match s.sdesc with
+  | Ast.Decl (_, _, init) ->
+      Option.fold ~none:[] ~some:calls_in_expr init
+  | Ast.Assign (lv, e) | Ast.Op_assign (_, lv, e) ->
+      of_lv lv @ calls_in_expr e
+  | Ast.Incr lv | Ast.Decr lv -> of_lv lv
+  | Ast.If (c, t, e) ->
+      calls_in_expr c
+      @ List.concat_map calls_in_stmt t
+      @ Option.fold ~none:[] ~some:(List.concat_map calls_in_stmt) e
+  | Ast.While (c, b) -> calls_in_expr c @ List.concat_map calls_in_stmt b
+  | Ast.For (i, c, st, b) ->
+      Option.fold ~none:[] ~some:calls_in_stmt i
+      @ Option.fold ~none:[] ~some:calls_in_expr c
+      @ Option.fold ~none:[] ~some:calls_in_stmt st
+      @ List.concat_map calls_in_stmt b
+  | Ast.Return e -> Option.fold ~none:[] ~some:calls_in_expr e
+  | Ast.Break | Ast.Continue -> []
+  | Ast.Expr_stmt e -> calls_in_expr e
+  | Ast.Block b | Ast.Seq b -> List.concat_map calls_in_stmt b
+
+let check_no_recursion (p : Ast.program) =
+  let edges =
+    List.map
+      (fun (f : Ast.fdecl) ->
+        (f.f_name, List.concat_map calls_in_stmt f.f_body))
+      p.funcs
+  in
+  let rec visit path name =
+    if List.mem name path then
+      err { Token.line = 0; col = 0 } "recursion through '%s' is not supported"
+        name
+    else
+      match List.assoc_opt name edges with
+      | None -> ()
+      | Some callees ->
+          List.iter (visit (name :: path)) callees
+  in
+  List.iter (fun (name, _) -> visit [] name) edges
+
+(* --- top level --------------------------------------------------------- *)
+
+let check (p : Ast.program) : Tast.program =
+  (* Globals: declared once, positive sizes. *)
+  let regions =
+    List.map
+      (fun (g : Ast.global) ->
+        if g.g_size <= 0 then
+          err g.g_pos "array '%s' must have positive size" g.g_name;
+        match Tast.ty_of_name g.g_ty with
+        | Some ty -> (g.g_name, (ty, g.g_size))
+        | None -> err g.g_pos "array of void")
+      p.globals
+  in
+  let rec check_dup_regions = function
+    | (a : Ast.global) :: rest ->
+        if List.exists (fun (g : Ast.global) -> g.g_name = a.g_name) rest then
+          err a.g_pos "array '%s' declared twice" a.g_name;
+        check_dup_regions rest
+    | [] -> ()
+  in
+  check_dup_regions p.globals;
+  let fsigs =
+    List.map
+      (fun (f : Ast.fdecl) ->
+        let params =
+          List.map
+            (fun (ty_name, pname) ->
+              match Tast.ty_of_name ty_name with
+              | Some ty -> ty
+              | None -> err f.f_pos "void parameter '%s'" pname)
+            f.f_params
+        in
+        (f.f_name, { sig_params = params; sig_ret = Tast.ty_of_name f.f_ret }))
+      p.funcs
+  in
+  let rec check_dup_funcs = function
+    | (a : Ast.fdecl) :: rest ->
+        if List.exists (fun (f : Ast.fdecl) -> f.f_name = a.f_name) rest then
+          err a.f_pos "function '%s' declared twice" a.f_name;
+        if List.mem_assoc a.f_name builtin_intrinsics then
+          err a.f_pos "function '%s' shadows a builtin" a.f_name;
+        check_dup_funcs rest
+    | [] -> ()
+  in
+  check_dup_funcs p.funcs;
+  check_no_recursion p;
+  let check_func (f : Ast.fdecl) : Tast.tfunc =
+    let env =
+      {
+        regions;
+        fsigs;
+        scopes = [];
+        locals = [];
+        rename_counter = 0;
+        loop_depth = 0;
+        current_ret = Tast.ty_of_name f.f_ret;
+      }
+    in
+    push_scope env;
+    let tparams =
+      List.map
+        (fun (ty_name, pname) ->
+          match Tast.ty_of_name ty_name with
+          | Some ty -> (declare_local env f.f_pos pname ty, ty)
+          | None -> err f.f_pos "void parameter '%s'" pname)
+        f.f_params
+    in
+    let body = List.concat_map (check_stmt env) f.f_body in
+    pop_scope env;
+    {
+      Tast.tf_name = f.f_name;
+      tf_params = tparams;
+      tf_ret = Tast.ty_of_name f.f_ret;
+      tf_body = body;
+    }
+  in
+  {
+    Tast.tregions =
+      List.map
+        (fun (name, (ty, size)) ->
+          { Tast.tr_name = name; tr_ty = ty; tr_size = size })
+        regions;
+    tfuncs = List.map check_func p.funcs;
+  }

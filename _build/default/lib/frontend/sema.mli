@@ -1,0 +1,16 @@
+(** Semantic analysis: scoping, typing, desugaring.
+
+    Checks the mini-C restrictions (global arrays only, scalar
+    parameters/returns, declared-before-use, no recursion through the call
+    graph) and produces the typed AST.  Implicit [int]↔[float] conversions
+    become explicit casts; [for]/[op=]/[++]/[--] are desugared; locals are
+    renamed apart. *)
+
+exception Error of string * Ast.pos
+(** First semantic error encountered, with its source position. *)
+
+val builtin_intrinsics : (string * Asipfb_ir.Types.unop) list
+(** Math builtins: [sin], [cos], [sqrt], [fabs] — all [float -> float]. *)
+
+val check : Ast.program -> Tast.program
+(** @raise Error on any semantic violation. *)

@@ -1,0 +1,44 @@
+type ty = Asipfb_ir.Types.ty
+
+type texpr = { tdesc : tdesc; tty : ty }
+
+and tdesc =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tvar of string
+  | Tindex of string * texpr
+  | Tunary of Ast.unary_op * texpr
+  | Tbinary of Ast.binary_op * texpr * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tcast of ty * texpr
+  | Tcall of string * texpr list
+  | Tintrinsic of Asipfb_ir.Types.unop * texpr
+
+type tstmt =
+  | Tdecl of ty * string * texpr option
+  | Tassign_var of string * texpr
+  | Tassign_arr of string * texpr * texpr
+  | Tif of texpr * tblock * tblock
+  | Tloop of texpr * tblock * tblock
+  | Treturn of texpr option
+  | Tbreak
+  | Tcontinue
+  | Tcall_stmt of string * texpr list
+  | Tblock of tblock
+
+and tblock = tstmt list
+
+type tfunc = {
+  tf_name : string;
+  tf_params : (string * ty) list;
+  tf_ret : ty option;
+  tf_body : tblock;
+}
+
+type tregion = { tr_name : string; tr_ty : ty; tr_size : int }
+type program = { tregions : tregion list; tfuncs : tfunc list }
+
+let ty_of_name = function
+  | Ast.Tint -> Some Asipfb_ir.Types.Int
+  | Ast.Tfloat -> Some Asipfb_ir.Types.Float
+  | Ast.Tvoid -> None

@@ -1,0 +1,56 @@
+(** Typed abstract syntax, produced by {!Sema}.
+
+    Differences from {!Ast}: every expression carries its {!Asipfb_ir.Types.ty};
+    variable references are resolved (locals renamed apart, so a flat
+    name→register map suffices during lowering); [for], [op=], [++]/[--]
+    are desugared; implicit conversions are explicit [Tcast] nodes; calls
+    to math builtins are distinguished as [Tintrinsic]. *)
+
+type ty = Asipfb_ir.Types.ty
+
+type texpr = { tdesc : tdesc; tty : ty }
+
+and tdesc =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tvar of string  (** Resolved unique scalar name. *)
+  | Tindex of string * texpr  (** Region name, int index. *)
+  | Tunary of Ast.unary_op * texpr
+  | Tbinary of Ast.binary_op * texpr * texpr
+      (** Operands already share the operator's type; [Land]/[Lor] remain
+          for short-circuit lowering with int operands. *)
+  | Tcond of texpr * texpr * texpr
+  | Tcast of ty * texpr
+  | Tcall of string * texpr list  (** User function with non-void result. *)
+  | Tintrinsic of Asipfb_ir.Types.unop * texpr  (** sin/cos/sqrt/fabs. *)
+
+type tstmt =
+  | Tdecl of ty * string * texpr option
+  | Tassign_var of string * texpr
+  | Tassign_arr of string * texpr * texpr  (** region, index, value *)
+  | Tif of texpr * tblock * tblock
+  | Tloop of texpr * tblock * tblock
+      (** [Tloop (cond, body, step)]: test, body, step, repeat.  [while]
+          has an empty step; [for] keeps its step here so [Tcontinue]
+          can jump to it rather than past it. *)
+  | Treturn of texpr option
+  | Tbreak
+  | Tcontinue
+  | Tcall_stmt of string * texpr list  (** Call for effect (any return). *)
+  | Tblock of tblock
+
+and tblock = tstmt list
+
+type tfunc = {
+  tf_name : string;
+  tf_params : (string * ty) list;
+  tf_ret : ty option;
+  tf_body : tblock;
+}
+
+type tregion = { tr_name : string; tr_ty : ty; tr_size : int }
+
+type program = { tregions : tregion list; tfuncs : tfunc list }
+
+val ty_of_name : Ast.ty_name -> ty option
+(** [Tvoid] maps to [None]. *)

@@ -1,0 +1,52 @@
+type pos = { line : int; col : int }
+
+type t =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Kw_int | Kw_float | Kw_void
+  | Kw_if | Kw_else | Kw_while | Kw_for | Kw_return
+  | Kw_break | Kw_continue
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde | Bang
+  | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe
+  | Question | Colon
+  | Assign
+  | Plus_assign | Minus_assign | Star_assign | Slash_assign
+  | Plus_plus | Minus_minus
+  | Eof
+
+type spanned = { tok : t; pos : pos }
+
+let describe = function
+  | Int_lit n -> Printf.sprintf "integer literal %d" n
+  | Float_lit x -> Printf.sprintf "float literal %g" x
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Kw_int -> "'int'" | Kw_float -> "'float'" | Kw_void -> "'void'"
+  | Kw_if -> "'if'" | Kw_else -> "'else'" | Kw_while -> "'while'"
+  | Kw_for -> "'for'" | Kw_return -> "'return'"
+  | Kw_break -> "'break'" | Kw_continue -> "'continue'"
+  | Lparen -> "'('" | Rparen -> "')'"
+  | Lbrace -> "'{'" | Rbrace -> "'}'"
+  | Lbracket -> "'['" | Rbracket -> "']'"
+  | Semi -> "';'" | Comma -> "','"
+  | Plus -> "'+'" | Minus -> "'-'" | Star -> "'*'"
+  | Slash -> "'/'" | Percent -> "'%'"
+  | Amp -> "'&'" | Pipe -> "'|'" | Caret -> "'^'"
+  | Tilde -> "'~'" | Bang -> "'!'"
+  | Shl -> "'<<'" | Shr -> "'>>'"
+  | Lt -> "'<'" | Le -> "'<='" | Gt -> "'>'" | Ge -> "'>='"
+  | Eq_eq -> "'=='" | Bang_eq -> "'!='"
+  | Amp_amp -> "'&&'" | Pipe_pipe -> "'||'"
+  | Question -> "'?'" | Colon -> "':'"
+  | Assign -> "'='"
+  | Plus_assign -> "'+='" | Minus_assign -> "'-='"
+  | Star_assign -> "'*='" | Slash_assign -> "'/='"
+  | Plus_plus -> "'++'" | Minus_minus -> "'--'"
+  | Eof -> "end of input"
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

@@ -1,0 +1,31 @@
+(** Lexical tokens of the mini-C subset. *)
+
+type pos = { line : int; col : int }
+(** 1-based source position. *)
+
+type t =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Kw_int | Kw_float | Kw_void
+  | Kw_if | Kw_else | Kw_while | Kw_for | Kw_return
+  | Kw_break | Kw_continue
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde | Bang
+  | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe
+  | Question | Colon
+  | Assign
+  | Plus_assign | Minus_assign | Star_assign | Slash_assign
+  | Plus_plus | Minus_minus
+  | Eof
+
+type spanned = { tok : t; pos : pos }
+
+val describe : t -> string
+(** Short human-readable rendering used in parse errors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Asipfb_util Func Instr Label List Reg

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Format Instr List Reg Types

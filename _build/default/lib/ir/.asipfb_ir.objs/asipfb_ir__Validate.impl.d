@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Format Func Instr Int Label List Printf Prog Reg String Types

@@ -1,0 +1,41 @@
+type t = {
+  regs : Asipfb_util.Idgen.t;
+  labels : Asipfb_util.Idgen.t;
+  opids : Asipfb_util.Idgen.t;
+}
+
+let create () =
+  {
+    regs = Asipfb_util.Idgen.create ();
+    labels = Asipfb_util.Idgen.create ();
+    opids = Asipfb_util.Idgen.create ();
+  }
+
+let seed_from_func t (f : Func.t) =
+  Asipfb_util.Idgen.advance_past t.regs (Func.max_reg_id f);
+  Asipfb_util.Idgen.advance_past t.opids (Func.max_opid f);
+  List.iter
+    (fun l -> Asipfb_util.Idgen.advance_past t.labels (Label.id l))
+    (Func.labels f)
+
+let fresh_reg t ~ty ~name =
+  Reg.make ~id:(Asipfb_util.Idgen.fresh t.regs) ~ty ~name
+
+let fresh_label t ~hint =
+  Label.make ~id:(Asipfb_util.Idgen.fresh t.labels) ~hint
+
+let instr t kind = Instr.make ~opid:(Asipfb_util.Idgen.fresh t.opids) kind
+let binop t op d a b = instr t (Instr.Binop (op, d, a, b))
+let unop t op d a = instr t (Instr.Unop (op, d, a))
+let cmp t ty op d a b = instr t (Instr.Cmp (ty, op, d, a, b))
+let mov t d a = instr t (Instr.Mov (d, a))
+let load t ty d region index = instr t (Instr.Load (ty, d, region, index))
+
+let store t ty region index value =
+  instr t (Instr.Store (ty, region, index, value))
+
+let jump t l = instr t (Instr.Jump l)
+let cond_jump t a l = instr t (Instr.Cond_jump (a, l))
+let call t d name args = instr t (Instr.Call (d, name, args))
+let ret t a = instr t (Instr.Ret a)
+let label_mark t l = instr t (Instr.Label_mark l)

@@ -1,0 +1,35 @@
+(** Construction context for 3-address code.
+
+    Owns the counters for register ids, label ids, and opids, and offers
+    convenience constructors; the front end's lowering pass and the test
+    suites build all IR through a builder so identities never collide. *)
+
+type t
+
+val create : unit -> t
+
+val seed_from_func : t -> Func.t -> unit
+(** Advance the builder's counters past every id appearing in the function,
+    so subsequently built entities are fresh with respect to it. *)
+
+val fresh_reg : t -> ty:Types.ty -> name:string -> Reg.t
+val fresh_label : t -> hint:string -> Label.t
+
+val instr : t -> Instr.kind -> Instr.t
+(** Allocate an opid and wrap the kind. *)
+
+val binop : t -> Types.binop -> Reg.t -> Instr.operand -> Instr.operand -> Instr.t
+val unop : t -> Types.unop -> Reg.t -> Instr.operand -> Instr.t
+
+val cmp :
+  t -> Types.ty -> Types.relop -> Reg.t -> Instr.operand -> Instr.operand ->
+  Instr.t
+
+val mov : t -> Reg.t -> Instr.operand -> Instr.t
+val load : t -> Types.ty -> Reg.t -> string -> Instr.operand -> Instr.t
+val store : t -> Types.ty -> string -> Instr.operand -> Instr.operand -> Instr.t
+val jump : t -> Label.t -> Instr.t
+val cond_jump : t -> Instr.operand -> Label.t -> Instr.t
+val call : t -> Reg.t option -> string -> Instr.operand list -> Instr.t
+val ret : t -> Instr.operand option -> Instr.t
+val label_mark : t -> Label.t -> Instr.t

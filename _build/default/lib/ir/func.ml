@@ -1,0 +1,65 @@
+type t = {
+  name : string;
+  params : Reg.t list;
+  ret_ty : Types.ty option;
+  body : Instr.t list;
+}
+
+let make ~name ~params ~ret_ty ~body = { name; params; ret_ty; body }
+let with_body f body = { f with body }
+
+let instr_count f =
+  List.length (List.filter (fun i -> not (Instr.is_label i)) f.body)
+
+let defined_regs f =
+  List.fold_left
+    (fun acc i ->
+      match Instr.def i with Some r -> Reg.Set.add r acc | None -> acc)
+    Reg.Set.empty f.body
+
+let used_regs f =
+  List.fold_left
+    (fun acc i -> List.fold_left (fun s r -> Reg.Set.add r s) acc (Instr.uses i))
+    Reg.Set.empty f.body
+
+let max_reg_id f =
+  let from_set s acc = Reg.Set.fold (fun r m -> max (Reg.id r) m) s acc in
+  let params_max =
+    List.fold_left (fun m r -> max (Reg.id r) m) (-1) f.params
+  in
+  from_set (defined_regs f) (from_set (used_regs f) params_max)
+
+let max_opid f =
+  List.fold_left (fun m i -> max (Instr.opid i) m) (-1) f.body
+
+let labels f =
+  List.filter_map
+    (fun i ->
+      match Instr.kind i with
+      | Instr.Label_mark l -> Some l
+      | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+      | Instr.Load _ | Instr.Store _ | Instr.Jump _ | Instr.Cond_jump _
+      | Instr.Call _ | Instr.Ret _ ->
+          None)
+    f.body
+
+let pp fmt f =
+  let pp_param fmt r =
+    Format.fprintf fmt "%a: %a" Reg.pp r Types.pp_ty (Reg.ty r)
+  in
+  Format.fprintf fmt "@[<v>func %s(%a)%s:@," f.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_param)
+    f.params
+    (match f.ret_ty with
+    | Some ty -> " -> " ^ Types.string_of_ty ty
+    | None -> "");
+  List.iter
+    (fun i ->
+      if Instr.is_label i then Format.fprintf fmt "%a@," Instr.pp i
+      else Format.fprintf fmt "  %a@," Instr.pp i)
+    f.body;
+  Format.fprintf fmt "@]"
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,39 @@
+(** Functions in linear 3-address form. *)
+
+type t = {
+  name : string;
+  params : Reg.t list;
+  ret_ty : Types.ty option;  (** [None] for void functions. *)
+  body : Instr.t list;
+}
+
+val make :
+  name:string ->
+  params:Reg.t list ->
+  ret_ty:Types.ty option ->
+  body:Instr.t list ->
+  t
+
+val with_body : t -> Instr.t list -> t
+
+val instr_count : t -> int
+(** Number of real (non-label) instructions. *)
+
+val defined_regs : t -> Reg.Set.t
+(** All registers written anywhere in the body. *)
+
+val used_regs : t -> Reg.Set.t
+(** All registers read anywhere in the body (including parameters if
+    read). *)
+
+val max_reg_id : t -> int
+(** Largest register id appearing in params or body; -1 if none. *)
+
+val max_opid : t -> int
+(** Largest opid in the body; -1 if the body is empty. *)
+
+val labels : t -> Label.t list
+(** Labels marked in the body, in order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

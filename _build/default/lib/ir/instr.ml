@@ -1,0 +1,155 @@
+type operand = Reg of Reg.t | Imm_int of int | Imm_float of float
+
+type kind =
+  | Binop of Types.binop * Reg.t * operand * operand
+  | Unop of Types.unop * Reg.t * operand
+  | Cmp of Types.ty * Types.relop * Reg.t * operand * operand
+  | Mov of Reg.t * operand
+  | Load of Types.ty * Reg.t * string * operand
+  | Store of Types.ty * string * operand * operand
+  | Jump of Label.t
+  | Cond_jump of operand * Label.t
+  | Call of Reg.t option * string * operand list
+  | Ret of operand option
+  | Label_mark of Label.t
+
+type t = { opid : int; kind : kind }
+
+let make ~opid kind = { opid; kind }
+let with_kind i kind = { i with kind }
+let opid i = i.opid
+let kind i = i.kind
+
+let def i =
+  match i.kind with
+  | Binop (_, d, _, _) | Unop (_, d, _) | Cmp (_, _, d, _, _)
+  | Mov (d, _) | Load (_, d, _, _) ->
+      Some d
+  | Call (d, _, _) -> d
+  | Store _ | Jump _ | Cond_jump _ | Ret _ | Label_mark _ -> None
+
+let operands i =
+  match i.kind with
+  | Binop (_, _, a, b) | Cmp (_, _, _, a, b) -> [ a; b ]
+  | Unop (_, _, a) | Mov (_, a) | Load (_, _, _, a) | Cond_jump (a, _) ->
+      [ a ]
+  | Store (_, _, index, value) -> [ index; value ]
+  | Call (_, _, args) -> args
+  | Ret (Some a) -> [ a ]
+  | Ret None | Jump _ | Label_mark _ -> []
+
+let uses i =
+  List.filter_map
+    (function Reg r -> Some r | Imm_int _ | Imm_float _ -> None)
+    (operands i)
+
+let map_operands f i =
+  let kind =
+    match i.kind with
+    | Binop (op, d, a, b) -> Binop (op, d, f a, f b)
+    | Unop (op, d, a) -> Unop (op, d, f a)
+    | Cmp (ty, op, d, a, b) -> Cmp (ty, op, d, f a, f b)
+    | Mov (d, a) -> Mov (d, f a)
+    | Load (ty, d, region, index) -> Load (ty, d, region, f index)
+    | Store (ty, region, index, value) -> Store (ty, region, f index, f value)
+    | Cond_jump (a, l) -> Cond_jump (f a, l)
+    | Call (d, name, args) -> Call (d, name, List.map f args)
+    | Ret (Some a) -> Ret (Some (f a))
+    | (Ret None | Jump _ | Label_mark _) as k -> k
+  in
+  { i with kind }
+
+let map_def f i =
+  let kind =
+    match i.kind with
+    | Binop (op, d, a, b) -> Binop (op, f d, a, b)
+    | Unop (op, d, a) -> Unop (op, f d, a)
+    | Cmp (ty, op, d, a, b) -> Cmp (ty, op, f d, a, b)
+    | Mov (d, a) -> Mov (f d, a)
+    | Load (ty, d, region, index) -> Load (ty, f d, region, index)
+    | Call (Some d, name, args) -> Call (Some (f d), name, args)
+    | ( Call (None, _, _) | Store _ | Jump _ | Cond_jump _ | Ret _
+      | Label_mark _ ) as k ->
+        k
+  in
+  { i with kind }
+
+let is_control i =
+  match i.kind with
+  | Jump _ | Cond_jump _ | Ret _ -> true
+  | Binop _ | Unop _ | Cmp _ | Mov _ | Load _ | Store _ | Call _
+  | Label_mark _ ->
+      false
+
+let is_label i =
+  match i.kind with
+  | Label_mark _ -> true
+  | Binop _ | Unop _ | Cmp _ | Mov _ | Load _ | Store _ | Jump _
+  | Cond_jump _ | Call _ | Ret _ ->
+      false
+
+let has_side_effect i =
+  match i.kind with
+  | Store _ | Call _ | Jump _ | Cond_jump _ | Ret _ -> true
+  | Binop _ | Unop _ | Cmp _ | Mov _ | Load _ | Label_mark _ -> false
+
+let reads_memory i =
+  match i.kind with
+  | Load (_, _, region, _) -> Some region
+  | Binop _ | Unop _ | Cmp _ | Mov _ | Store _ | Jump _ | Cond_jump _
+  | Call _ | Ret _ | Label_mark _ ->
+      None
+
+let writes_memory i =
+  match i.kind with
+  | Store (_, region, _, _) -> Some region
+  | Binop _ | Unop _ | Cmp _ | Mov _ | Load _ | Jump _ | Cond_jump _
+  | Call _ | Ret _ | Label_mark _ ->
+      None
+
+let branch_targets i =
+  match i.kind with
+  | Jump l | Cond_jump (_, l) -> [ l ]
+  | Binop _ | Unop _ | Cmp _ | Mov _ | Load _ | Store _ | Call _ | Ret _
+  | Label_mark _ ->
+      []
+
+let pp_operand fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm_int n -> Format.pp_print_int fmt n
+  | Imm_float x -> Format.fprintf fmt "%g" x
+
+let pp fmt i =
+  let pr f = Format.fprintf fmt f in
+  match i.kind with
+  | Binop (op, d, a, b) ->
+      pr "%a = %a %a, %a" Reg.pp d Types.pp_binop op pp_operand a pp_operand b
+  | Unop (op, d, a) -> pr "%a = %a %a" Reg.pp d Types.pp_unop op pp_operand a
+  | Cmp (ty, op, d, a, b) ->
+      pr "%a = cmp.%a %a %s %a" Reg.pp d Types.pp_ty ty pp_operand a
+        (Types.string_of_relop op) pp_operand b
+  | Mov (d, a) -> pr "%a = %a" Reg.pp d pp_operand a
+  | Load (ty, d, region, index) ->
+      pr "%a = load.%a %s[%a]" Reg.pp d Types.pp_ty ty region pp_operand index
+  | Store (ty, region, index, value) ->
+      pr "store.%a %s[%a], %a" Types.pp_ty ty region pp_operand index
+        pp_operand value
+  | Jump l -> pr "jump %a" Label.pp l
+  | Cond_jump (a, l) -> pr "if %a jump %a" pp_operand a Label.pp l
+  | Call (Some d, name, args) ->
+      pr "%a = call %s(%a)" Reg.pp d name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_operand)
+        args
+  | Call (None, name, args) ->
+      pr "call %s(%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_operand)
+        args
+  | Ret (Some a) -> pr "ret %a" pp_operand a
+  | Ret None -> pr "ret"
+  | Label_mark l -> pr "%a:" Label.pp l
+
+let to_string i = Format.asprintf "%a" pp i

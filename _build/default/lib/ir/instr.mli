@@ -1,0 +1,85 @@
+(** 3-address instructions.
+
+    Every instruction carries a stable unique id ([opid]).  The profiler
+    attaches dynamic execution counts to opids, and the scheduling
+    transformations preserve them (copies share their origin's opid), so a
+    sequence detected in the *optimized* graph can be weighted by the
+    profile gathered on the *unoptimized* code — exactly the paper's
+    step-2-before-step-3 data flow. *)
+
+type operand =
+  | Reg of Reg.t
+  | Imm_int of int
+  | Imm_float of float
+      (** Instruction inputs: a virtual register or a literal. *)
+
+type kind =
+  | Binop of Types.binop * Reg.t * operand * operand
+      (** [dst = a op b]. *)
+  | Unop of Types.unop * Reg.t * operand  (** [dst = op a]. *)
+  | Cmp of Types.ty * Types.relop * Reg.t * operand * operand
+      (** [dst = (a relop b)] over operands of the given type; [dst] is an
+          [Int] register holding 0 or 1. *)
+  | Mov of Reg.t * operand  (** [dst = a]. *)
+  | Load of Types.ty * Reg.t * string * operand
+      (** [dst = array\[index\]] from the named memory region. *)
+  | Store of Types.ty * string * operand * operand
+      (** [array\[index\] = value]. *)
+  | Jump of Label.t  (** Unconditional branch. *)
+  | Cond_jump of operand * Label.t
+      (** Branch to the label when the operand is non-zero; otherwise fall
+          through. *)
+  | Call of Reg.t option * string * operand list
+      (** [dst = f(args)]; [None] destination for void calls. *)
+  | Ret of operand option
+  | Label_mark of Label.t
+      (** Pseudo-instruction marking a branch target in the linear form. *)
+
+type t = private { opid : int; kind : kind }
+
+val make : opid:int -> kind -> t
+
+val with_kind : t -> kind -> t
+(** [with_kind i k] keeps the opid of [i] — transformations that rewrite an
+    instruction in place (e.g. renaming) use this to preserve profile
+    identity. *)
+
+val opid : t -> int
+val kind : t -> kind
+
+val def : t -> Reg.t option
+(** The register written, if any. *)
+
+val uses : t -> Reg.t list
+(** Registers read, in operand order (duplicates preserved). *)
+
+val operands : t -> operand list
+(** All input operands, in order. *)
+
+val map_operands : (operand -> operand) -> t -> t
+(** Rewrite input operands, preserving opid and the defined register. *)
+
+val map_def : (Reg.t -> Reg.t) -> t -> t
+(** Rewrite the defined register, preserving opid and operands. *)
+
+val is_control : t -> bool
+(** Jumps, conditional jumps, returns. *)
+
+val is_label : t -> bool
+
+val has_side_effect : t -> bool
+(** Stores, calls, returns, control flow: anything that cannot be freely
+    duplicated or reordered past itself. *)
+
+val reads_memory : t -> string option
+(** Region name read by a load. *)
+
+val writes_memory : t -> string option
+(** Region name written by a store. *)
+
+val branch_targets : t -> Label.t list
+(** Labels this instruction may transfer control to. *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,18 @@
+type t = { id : int; hint : string }
+
+let make ~id ~hint = { id; hint }
+let id l = l.id
+let hint l = l.hint
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp fmt l = Format.fprintf fmt ".%s%d" l.hint l.id
+let to_string l = Format.asprintf "%a" pp l
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

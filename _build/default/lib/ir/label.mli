@@ -1,0 +1,17 @@
+(** Branch-target labels of the linear 3-address form. *)
+
+type t = private { id : int; hint : string }
+
+val make : id:int -> hint:string -> t
+val id : t -> int
+val hint : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [.hintN], e.g. [.loop3]. *)
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,44 @@
+type region = { region_name : string; elt_ty : Types.ty; size : int }
+type t = { funcs : Func.t list; regions : region list; entry : string }
+
+let make ~funcs ~regions ~entry = { funcs; regions; entry }
+
+let find_func_opt p name =
+  List.find_opt (fun (f : Func.t) -> f.name = name) p.funcs
+
+let find_func p name =
+  match find_func_opt p name with Some f -> f | None -> raise Not_found
+
+let find_region_opt p name =
+  List.find_opt (fun r -> r.region_name = name) p.regions
+
+let find_region p name =
+  match find_region_opt p name with Some r -> r | None -> raise Not_found
+
+let map_funcs f p = { p with funcs = List.map f p.funcs }
+
+let update_func p name f =
+  if not (List.exists (fun (fn : Func.t) -> fn.name = name) p.funcs) then
+    raise Not_found;
+  {
+    p with
+    funcs =
+      List.map
+        (fun (fn : Func.t) -> if fn.name = name then f fn else fn)
+        p.funcs;
+  }
+
+let total_instrs p =
+  List.fold_left (fun acc f -> acc + Func.instr_count f) 0 p.funcs
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "region %s : %a[%d]@," r.region_name Types.pp_ty
+        r.elt_ty r.size)
+    p.regions;
+  List.iter (fun f -> Format.fprintf fmt "%a@," Func.pp f) p.funcs;
+  Format.fprintf fmt "entry %s@]" p.entry
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,37 @@
+(** Whole programs: functions plus named memory regions.
+
+    Arrays in the mini-C source become named regions here; a region is a
+    flat vector of [Int] or [Float] cells.  Scalars never live in memory —
+    they are virtual registers — so the memory-dependence analysis in the
+    scheduler only has to reason about region names and index expressions. *)
+
+type region = { region_name : string; elt_ty : Types.ty; size : int }
+(** A memory region of [size] cells of type [elt_ty]. *)
+
+type t = {
+  funcs : Func.t list;
+  regions : region list;
+  entry : string;  (** Name of the function the simulator starts in. *)
+}
+
+val make : funcs:Func.t list -> regions:region list -> entry:string -> t
+
+val find_func : t -> string -> Func.t
+(** @raise Not_found if no function has that name. *)
+
+val find_func_opt : t -> string -> Func.t option
+
+val find_region : t -> string -> region
+(** @raise Not_found if no region has that name. *)
+
+val find_region_opt : t -> string -> region option
+
+val map_funcs : (Func.t -> Func.t) -> t -> t
+
+val update_func : t -> string -> (Func.t -> Func.t) -> t
+(** [update_func p name f] replaces the named function by [f] applied to
+    it.  @raise Not_found if absent. *)
+
+val total_instrs : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

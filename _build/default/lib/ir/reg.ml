@@ -1,0 +1,21 @@
+type t = { id : int; ty : Types.ty; name : string }
+
+let make ~id ~ty ~name = { id; ty; name }
+let id r = r.id
+let ty r = r.ty
+let name r = r.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash r = r.id
+let with_id r ~id = { r with id }
+let pp fmt r = Format.fprintf fmt "%s.%d" r.name r.id
+let to_string r = Format.asprintf "%a" pp r
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,31 @@
+(** Virtual registers.
+
+    The front end allocates an unbounded supply of typed virtual registers;
+    scalar C variables and compiler temporaries both live here.  Identity is
+    the integer [id]; the [name] is a debugging hint only (renaming keeps
+    the hint of the original register). *)
+
+type t = private { id : int; ty : Types.ty; name : string }
+
+val make : id:int -> ty:Types.ty -> name:string -> t
+val id : t -> int
+val ty : t -> Types.ty
+val name : t -> string
+
+val equal : t -> t -> bool
+(** Identity comparison on [id] only. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val with_id : t -> id:int -> t
+(** [with_id r ~id] is a register like [r] under a new identity — the
+    renaming primitive. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [name.id], e.g. [sum.17]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

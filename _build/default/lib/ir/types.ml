@@ -1,0 +1,63 @@
+type ty = Int | Float
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type unop =
+  | Neg | Not | Fneg
+  | Int_to_float | Float_to_int
+  | Sin | Cos | Sqrt | Fabs
+
+let binop_ty = function
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr -> Int
+  | Fadd | Fsub | Fmul | Fdiv -> Float
+
+let binop_operand_ty = binop_ty
+
+let unop_ty = function
+  | Neg | Not | Float_to_int -> Int
+  | Fneg | Int_to_float | Sin | Cos | Sqrt | Fabs -> Float
+
+let unop_operand_ty = function
+  | Neg | Not | Int_to_float -> Int
+  | Fneg | Float_to_int | Sin | Cos | Sqrt | Fabs -> Float
+
+let string_of_ty = function Int -> "int" | Float -> "float"
+
+let string_of_relop = function
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let string_of_unop = function
+  | Neg -> "neg" | Not -> "not" | Fneg -> "fneg"
+  | Int_to_float -> "itof" | Float_to_int -> "ftoi"
+  | Sin -> "sin" | Cos -> "cos" | Sqrt -> "sqrt" | Fabs -> "fabs"
+
+let pp_ty fmt t = Format.pp_print_string fmt (string_of_ty t)
+let pp_binop fmt op = Format.pp_print_string fmt (string_of_binop op)
+let pp_unop fmt op = Format.pp_print_string fmt (string_of_unop op)
+let pp_relop fmt op = Format.pp_print_string fmt (string_of_relop op)
+
+let eval_relop_int op a b =
+  match op with
+  | Eq -> a = b | Ne -> a <> b
+  | Lt -> a < b | Le -> a <= b
+  | Gt -> a > b | Ge -> a >= b
+
+let eval_relop_float op a b =
+  match op with
+  | Eq -> a = b | Ne -> a <> b
+  | Lt -> a < b | Le -> a <= b
+  | Gt -> a > b | Ge -> a >= b
+
+let negate_relop = function
+  | Eq -> Ne | Ne -> Eq
+  | Lt -> Ge | Ge -> Lt
+  | Gt -> Le | Le -> Gt

@@ -1,0 +1,59 @@
+(** Scalar types and operator vocabularies of the 3-address code.
+
+    The operator set mirrors what a modified-gcc 3-address front end emits
+    for the paper's DSP kernels: integer and floating ALU operations,
+    shifts, comparisons, conversions, and the math intrinsics the FFT-based
+    benchmarks require. *)
+
+type ty = Int | Float
+(** Scalar value types.  The mini-C front end maps [int] and [float] here;
+    there are no pointers — arrays are named memory regions. *)
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+(** Comparison operators; a comparison yields an [Int] holding 0 or 1. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Fadd | Fsub | Fmul | Fdiv
+(** Two-operand operators.  [Shr] is arithmetic shift right. *)
+
+type unop =
+  | Neg | Not | Fneg
+  | Int_to_float | Float_to_int
+  | Sin | Cos | Sqrt | Fabs
+(** One-operand operators.  [Not] is bitwise complement.  The trigonometric
+    intrinsics stand in for the C library calls the benchmarks make; they
+    are evaluated by the simulator and excluded from operator chaining. *)
+
+val binop_ty : binop -> ty
+(** Result type of a binary operator. *)
+
+val unop_ty : unop -> ty
+(** Result type of a unary operator. *)
+
+val binop_operand_ty : binop -> ty
+(** Operand type expected by a binary operator (uniform on both sides). *)
+
+val unop_operand_ty : unop -> ty
+(** Operand type expected by a unary operator. *)
+
+val string_of_ty : ty -> string
+val string_of_relop : relop -> string
+val string_of_binop : binop -> string
+val string_of_unop : unop -> string
+
+val pp_ty : Format.formatter -> ty -> unit
+val pp_binop : Format.formatter -> binop -> unit
+val pp_unop : Format.formatter -> unop -> unit
+val pp_relop : Format.formatter -> relop -> unit
+
+val eval_relop_int : relop -> int -> int -> bool
+(** [eval_relop_int op a b] applies the comparison to integers. *)
+
+val eval_relop_float : relop -> float -> float -> bool
+(** [eval_relop_float op a b] applies the comparison to floats. *)
+
+val negate_relop : relop -> relop
+(** [negate_relop op] is the comparison testing the complementary
+    condition. *)

@@ -1,0 +1,238 @@
+type error = { where : string; what : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.where e.what
+
+let operand_ty (op : Instr.operand) =
+  match op with
+  | Instr.Reg r -> Some (Reg.ty r)
+  | Instr.Imm_int _ -> Some Types.Int
+  | Instr.Imm_float _ -> Some Types.Float
+
+let type_errors (f : Func.t) =
+  let err what = { where = f.name; what } in
+  let bad i what = err (Format.asprintf "%s in [%a]" what Instr.pp i) in
+  let expect i what op ty errs =
+    match operand_ty op with
+    | Some t when t = ty -> errs
+    | Some t ->
+        bad i
+          (Printf.sprintf "%s expects %s operand, got %s" what
+             (Types.string_of_ty ty) (Types.string_of_ty t))
+        :: errs
+    | None -> errs
+  in
+  let check errs i =
+    match Instr.kind i with
+    | Instr.Binop (op, d, a, b) ->
+        let oty = Types.binop_operand_ty op in
+        let errs = expect i "binop" a oty errs in
+        let errs = expect i "binop" b oty errs in
+        if Reg.ty d <> Types.binop_ty op then
+          bad i "binop destination type mismatch" :: errs
+        else errs
+    | Instr.Unop (op, d, a) ->
+        let errs = expect i "unop" a (Types.unop_operand_ty op) errs in
+        if Reg.ty d <> Types.unop_ty op then
+          bad i "unop destination type mismatch" :: errs
+        else errs
+    | Instr.Cmp (ty, _, d, a, b) ->
+        let errs = expect i "cmp" a ty errs in
+        let errs = expect i "cmp" b ty errs in
+        if Reg.ty d <> Types.Int then
+          bad i "cmp destination must be int" :: errs
+        else errs
+    | Instr.Mov (d, a) -> (
+        match operand_ty a with
+        | Some t when t <> Reg.ty d -> bad i "mov type mismatch" :: errs
+        | Some _ | None -> errs)
+    | Instr.Load (ty, d, _, index) ->
+        let errs = expect i "load index" index Types.Int errs in
+        if Reg.ty d <> ty then bad i "load destination type mismatch" :: errs
+        else errs
+    | Instr.Store (ty, _, index, value) ->
+        let errs = expect i "store index" index Types.Int errs in
+        expect i "store value" value ty errs
+    | Instr.Cond_jump (a, _) -> expect i "cond_jump" a Types.Int errs
+    | Instr.Ret (Some a) -> (
+        match f.ret_ty with
+        | None -> bad i "value returned from void function" :: errs
+        | Some ty -> expect i "ret" a ty errs)
+    | Instr.Ret None -> (
+        match f.ret_ty with
+        | Some _ -> bad i "missing return value" :: errs
+        | None -> errs)
+    | Instr.Call _ | Instr.Jump _ | Instr.Label_mark _ -> errs
+  in
+  List.fold_left check [] f.body
+
+let label_errors (f : Func.t) =
+  let err what = { where = f.name; what } in
+  let marked = Func.labels f in
+  let unique_errs =
+    let sorted = List.sort Label.compare marked in
+    let rec dups = function
+      | a :: b :: rest when Label.equal a b ->
+          err (Format.asprintf "label %a marked twice" Label.pp a)
+          :: dups rest
+      | _ :: rest -> dups rest
+      | [] -> []
+    in
+    dups sorted
+  in
+  let target_errs =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun l ->
+            if List.exists (Label.equal l) marked then None
+            else
+              Some
+                (err
+                   (Format.asprintf "branch to unmarked label %a" Label.pp l)))
+          (Instr.branch_targets i))
+      f.body
+  in
+  unique_errs @ target_errs
+
+let opid_errors (f : Func.t) =
+  let err what = { where = f.name; what } in
+  let ids = List.map Instr.opid f.body in
+  let sorted = List.sort Int.compare ids in
+  let rec dups = function
+    | a :: b :: rest when a = b ->
+        err (Printf.sprintf "duplicate opid %d" a) :: dups rest
+    | _ :: rest -> dups rest
+    | [] -> []
+  in
+  dups sorted
+
+let structure_errors (f : Func.t) =
+  let err what = { where = f.name; what } in
+  let terminated =
+    match List.rev f.body with
+    | last :: _ -> Instr.is_control last
+    | [] -> false
+  in
+  let term_errs =
+    if terminated then []
+    else [ err "body must end in a jump or return" ]
+  in
+  (* After an unconditional transfer, the next instruction must be a label
+     (otherwise it is unreachable). *)
+  let rec dead_code = function
+    | i :: next :: rest ->
+        let falls_off =
+          match Instr.kind i with
+          | Instr.Jump _ | Instr.Ret _ -> true
+          | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+          | Instr.Load _ | Instr.Store _ | Instr.Cond_jump _ | Instr.Call _
+          | Instr.Label_mark _ ->
+              false
+        in
+        if falls_off && not (Instr.is_label next) then
+          err
+            (Format.asprintf "unreachable instruction [%a]" Instr.pp next)
+          :: dead_code (next :: rest)
+        else dead_code (next :: rest)
+    | [ _ ] | [] -> []
+  in
+  term_errs @ dead_code f.body
+
+let callee_errors (p : Prog.t) (f : Func.t) =
+  let err what = { where = f.name; what } in
+  let check errs i =
+    match Instr.kind i with
+    | Instr.Call (dst, name, args) -> (
+        match Prog.find_func_opt p name with
+        | None -> err (Printf.sprintf "call to undefined function %s" name) :: errs
+        | Some callee ->
+            let errs =
+              if List.length callee.params <> List.length args then
+                err
+                  (Printf.sprintf "call to %s with %d args (expects %d)" name
+                     (List.length args) (List.length callee.params))
+                :: errs
+              else errs
+            in
+            if dst <> None && callee.ret_ty = None then
+              err (Printf.sprintf "using result of void function %s" name)
+              :: errs
+            else errs)
+    | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+    | Instr.Load _ | Instr.Store _ | Instr.Jump _ | Instr.Cond_jump _
+    | Instr.Ret _ | Instr.Label_mark _ ->
+        errs
+  in
+  List.fold_left check [] f.body
+
+let region_errors (p : Prog.t) (f : Func.t) =
+  let err what = { where = f.name; what } in
+  let check errs i =
+    let touch region errs =
+      if Prog.find_region_opt p region = None then
+        err (Printf.sprintf "reference to undeclared region %s" region)
+        :: errs
+      else errs
+    in
+    let errs =
+      match Instr.reads_memory i with Some r -> touch r errs | None -> errs
+    in
+    match Instr.writes_memory i with Some r -> touch r errs | None -> errs
+  in
+  List.fold_left check [] f.body
+
+let check_func p f =
+  type_errors f @ label_errors f @ opid_errors f @ structure_errors f
+  @ callee_errors p f @ region_errors p f
+
+let check p =
+  let err what = { where = "program"; what } in
+  let entry_errs =
+    match Prog.find_func_opt p p.entry with
+    | None -> [ err (Printf.sprintf "entry function %s undefined" p.entry) ]
+    | Some f when f.params <> [] ->
+        [ err (Printf.sprintf "entry function %s must take no parameters" p.entry) ]
+    | Some _ -> []
+  in
+  let name_errs =
+    let names = List.map (fun (f : Func.t) -> f.name) p.funcs in
+    let sorted = List.sort String.compare names in
+    let rec dups = function
+      | a :: b :: rest when a = b ->
+          err (Printf.sprintf "duplicate function %s" a) :: dups rest
+      | _ :: rest -> dups rest
+      | [] -> []
+    in
+    dups sorted
+  in
+  let region_decl_errs =
+    let names = List.map (fun (r : Prog.region) -> r.region_name) p.regions in
+    let sorted = List.sort String.compare names in
+    let rec dups = function
+      | a :: b :: rest when a = b ->
+          err (Printf.sprintf "duplicate region %s" a) :: dups rest
+      | _ :: rest -> dups rest
+      | [] -> []
+    in
+    let size_errs =
+      List.filter_map
+        (fun (r : Prog.region) ->
+          if r.size <= 0 then
+            Some (err (Printf.sprintf "region %s has size %d" r.region_name r.size))
+          else None)
+        p.regions
+    in
+    dups sorted @ size_errs
+  in
+  entry_errs @ name_errs @ region_decl_errs
+  @ List.concat_map (check_func p) p.funcs
+
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | errs ->
+      let msg =
+        String.concat "\n"
+          (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
+      in
+      failwith ("IR validation failed:\n" ^ msg)

@@ -1,0 +1,29 @@
+(** Well-formedness checking of programs.
+
+    Run after the front end and after every scheduling transformation in
+    tests: catching a malformed graph at the IR boundary is far cheaper
+    than debugging a divergent simulation. *)
+
+type error = {
+  where : string;  (** Function name, or "program". *)
+  what : string;  (** Human-readable description. *)
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check_func : Prog.t -> Func.t -> error list
+(** Checks on one function: every branch target is marked exactly once in
+    the body; opids are unique; the body ends in control flow; loads and
+    stores name declared regions; operand types agree with operator
+    signatures; calls name declared functions with matching arity; returns
+    agree with the declared return type; no instruction follows a label-less
+    unconditional control transfer without an intervening label (no trivially
+    dead code). *)
+
+val check : Prog.t -> error list
+(** All per-function checks plus: the entry function exists and takes no
+    parameters; function names are unique; region names are unique and
+    sizes positive. *)
+
+val check_exn : Prog.t -> unit
+(** @raise Failure with a rendered error list if any check fails. *)

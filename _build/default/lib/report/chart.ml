@@ -1,0 +1,76 @@
+let glyphs = [| 'o'; 'x'; '+'; '*'; '#'; '@' |]
+
+let line ?(height = 14) ?title ~series () =
+  let all_points = List.concat_map snd series in
+  let max_v = List.fold_left max 0.0 all_points in
+  let max_v = if max_v <= 0.0 then 1.0 else max_v in
+  let width =
+    List.fold_left (fun acc (_, pts) -> max acc (List.length pts)) 0 series
+  in
+  let grid = Array.make_matrix height (max width 1) ' ' in
+  List.iteri
+    (fun si (_, pts) ->
+      let glyph = glyphs.(si mod Array.length glyphs) in
+      List.iteri
+        (fun x v ->
+          let y =
+            int_of_float (Float.round (v /. max_v *. float_of_int (height - 1)))
+          in
+          let y = max 0 (min (height - 1) y) in
+          let row = height - 1 - y in
+          grid.(row).(x) <- glyph)
+        pts)
+    series;
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Array.iteri
+    (fun row line_cells ->
+      let y_label =
+        if row = 0 then Printf.sprintf "%6.2f" max_v
+        else if row = height - 1 then Printf.sprintf "%6.2f" 0.0
+        else String.make 6 ' '
+      in
+      Buffer.add_string buf y_label;
+      Buffer.add_string buf " |";
+      Array.iter (Buffer.add_char buf) line_cells;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 7 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make (max width 1) '-');
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun si (name, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "        %c = %s\n" glyphs.(si mod Array.length glyphs)
+           name))
+    series;
+  Buffer.contents buf
+
+let bars ?(width = 50) ?title ~items () =
+  let max_v = List.fold_left (fun acc (_, v) -> max acc v) 0.0 items in
+  let max_v = if max_v <= 0.0 then 1.0 else max_v in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+  in
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (label, v) ->
+      let n =
+        int_of_float (Float.round (v /. max_v *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s %6.2f\n" label_w label
+           (String.make (max 0 n) '#')
+           v))
+    items;
+  Buffer.contents buf

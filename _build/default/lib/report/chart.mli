@@ -1,0 +1,20 @@
+(** ASCII charts for regenerating the paper's figures in a terminal. *)
+
+val line :
+  ?height:int ->
+  ?title:string ->
+  series:(string * float list) list ->
+  unit ->
+  string
+(** Figures 3/4 style: one glyph per series ('o', 'x', '+', '*', …),
+    x = point rank, y = value, with a y-axis scale and a legend.  Series
+    may have different lengths. *)
+
+val bars :
+  ?width:int ->
+  ?title:string ->
+  items:(string * float) list ->
+  unit ->
+  string
+(** Figures 5/6 style: horizontal bars, one per labelled item, scaled to
+    [width] characters for the largest value. *)

@@ -1,0 +1,24 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    let escaped =
+      String.concat "\"\"" (String.split_on_char '"' s)
+    in
+    "\"" ^ escaped ^ "\""
+  else s
+
+let of_rows rows =
+  String.concat ""
+    (List.map
+       (fun row -> String.concat "," (List.map escape row) ^ "\n")
+       rows)
+
+let write_file ~path rows =
+  let oc = open_out path in
+  (try output_string oc (of_rows rows)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,11 @@
+(** Minimal CSV emission for exporting experiment data. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes, or newlines. *)
+
+val of_rows : string list list -> string
+(** Render rows (first row typically the header) as CSV text with a
+    trailing newline. *)
+
+val write_file : path:string -> string list list -> unit
+(** [of_rows] to a file. *)

@@ -1,0 +1,50 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?(aligns = []) ~headers ~rows () =
+  let ncols =
+    List.fold_left
+      (fun acc row -> max acc (List.length row))
+      (List.length headers) rows
+  in
+  let normalize row =
+    row @ List.init (ncols - List.length row) (fun _ -> "")
+  in
+  let headers = normalize headers in
+  let rows = List.map normalize rows in
+  let aligns =
+    aligns @ List.init (max 0 (ncols - List.length aligns)) (fun _ -> Left)
+  in
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length h) rows)
+      headers
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c cell -> pad (List.nth aligns c) (List.nth widths c) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|"
+    ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n"
+    ((render_row headers :: rule :: List.map render_row rows) @ [])
+
+let fmt_pct v = Printf.sprintf "%.2f%%" v
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v

@@ -1,0 +1,19 @@
+(** Aligned ASCII tables for terminal reports. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list ->
+  headers:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** [render ~headers ~rows ()] lays out the table with column separators
+    and a header rule.  Ragged rows are padded with empty cells; [aligns]
+    defaults to left for every column and is padded with [Left] if
+    shorter. *)
+
+val fmt_pct : float -> string
+(** Two-decimal percentage, e.g. "13.78%". *)
+
+val fmt_float : ?decimals:int -> float -> string

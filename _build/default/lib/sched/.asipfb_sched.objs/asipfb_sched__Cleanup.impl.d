@@ -1,0 +1,1 @@
+lib/sched/cleanup.ml: Asipfb_cfg Asipfb_ir Asipfb_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/sched/cleanup.mli: Asipfb_ir

@@ -1,0 +1,1 @@
+lib/sched/compact.ml: Array Ddg List

@@ -1,0 +1,1 @@
+lib/sched/compact.mli: Asipfb_ir Ddg

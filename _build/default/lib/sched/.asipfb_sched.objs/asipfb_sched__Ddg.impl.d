@@ -1,0 +1,1 @@
+lib/sched/ddg.ml: Array Asipfb_ir Format List

@@ -1,0 +1,1 @@
+lib/sched/ddg.mli: Asipfb_ir Format

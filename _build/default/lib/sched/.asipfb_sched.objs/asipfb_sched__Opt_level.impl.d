@@ -1,0 +1,1 @@
+lib/sched/opt_level.ml: Format String

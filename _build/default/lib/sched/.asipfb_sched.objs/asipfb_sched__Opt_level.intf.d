@@ -1,0 +1,1 @@
+lib/sched/opt_level.mli: Format

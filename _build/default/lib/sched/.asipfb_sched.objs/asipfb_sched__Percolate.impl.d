@@ -1,0 +1,1 @@
+lib/sched/percolate.ml: Array Asipfb_cfg Asipfb_ir List

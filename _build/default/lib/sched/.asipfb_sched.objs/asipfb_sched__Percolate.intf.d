@@ -1,0 +1,1 @@
+lib/sched/percolate.mli: Asipfb_ir

@@ -1,0 +1,1 @@
+lib/sched/rename.ml: Asipfb_cfg Asipfb_ir Asipfb_util Hashtbl List

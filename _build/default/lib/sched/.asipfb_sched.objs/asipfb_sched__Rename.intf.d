@@ -1,0 +1,1 @@
+lib/sched/rename.mli: Asipfb_ir

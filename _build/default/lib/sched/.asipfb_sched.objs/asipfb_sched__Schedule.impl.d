@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Asipfb_cfg Asipfb_ir Asipfb_util Compact Ddg List Opt_level Percolate Rename

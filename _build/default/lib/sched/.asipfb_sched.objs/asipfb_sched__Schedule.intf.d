@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Asipfb_cfg Asipfb_ir Compact Ddg Opt_level

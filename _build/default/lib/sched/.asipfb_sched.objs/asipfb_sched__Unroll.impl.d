@@ -1,0 +1,1 @@
+lib/sched/unroll.ml: Array Asipfb_cfg Asipfb_ir List Schedule

@@ -1,0 +1,1 @@
+lib/sched/unroll.mli: Asipfb_ir

@@ -1,0 +1,1 @@
+lib/sched/vliw.ml: Array Asipfb_cfg Asipfb_ir Asipfb_sim Ddg Fun Int List Option

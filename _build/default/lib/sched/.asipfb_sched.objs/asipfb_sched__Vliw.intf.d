@@ -1,0 +1,1 @@
+lib/sched/vliw.mli: Asipfb_ir Asipfb_sim

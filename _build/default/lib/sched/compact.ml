@@ -1,0 +1,36 @@
+type t = { ddg : Ddg.t; cycle : int array; length : int }
+
+let schedule ops =
+  let ddg = Ddg.build ~carried:false ops in
+  let n = Array.length ops in
+  let cycle = Array.make n 0 in
+  (* Positions ascend along every intra edge, so one forward sweep works. *)
+  for j = 0 to n - 1 do
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.distance = 0 then
+          cycle.(j) <- max cycle.(j) (cycle.(e.src) + e.latency))
+      (Ddg.preds ddg j)
+  done;
+  let length = Array.fold_left (fun acc c -> max acc (c + 1)) 0 cycle in
+  { ddg; cycle; length }
+
+let ops_per_cycle t =
+  let n = Array.length t.cycle in
+  if t.length = 0 then 0.0 else float_of_int n /. float_of_int t.length
+
+let alap t =
+  let n = Array.length t.cycle in
+  let late = Array.make n (max 0 (t.length - 1)) in
+  for i = n - 1 downto 0 do
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.distance = 0 then
+          late.(i) <- min late.(i) (late.(e.dst) - e.latency))
+      (Ddg.succs t.ddg i)
+  done;
+  late
+
+let slack t =
+  let late = alap t in
+  Array.mapi (fun i l -> l - t.cycle.(i)) late

@@ -1,0 +1,54 @@
+(** Data-dependence graphs over straight-line operation lists.
+
+    Nodes are the positions of a block's instruction list.  Edges carry a
+    kind, a latency (cycles the sink must start after the source: 1 for
+    value flow, 0 for pure ordering), and an iteration distance (0 within
+    one iteration; 1 for loop-carried edges, built only when requested).
+
+    Memory dependences are conservative at region granularity: any store to
+    a region conflicts with every load/store of the same region; calls
+    conflict with all memory operations, other calls, and returns. *)
+
+type kind =
+  | Flow  (** Def → use of a register, or store → load of a region. *)
+  | Anti  (** Use → redefinition. *)
+  | Output  (** Def → redefinition. *)
+  | Mem_order  (** Store/call ordering not captured above. *)
+  | Control  (** Ordering against branch/return instructions. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : kind;
+  latency : int;
+  distance : int;
+  via_register : bool;
+      (** True for def→use register flow — the only edges operator chains
+          may be built from.  Memory (store→load) flow still constrains
+          scheduling but cannot be chained. *)
+}
+
+type t
+
+val build : ?carried:bool -> Asipfb_ir.Instr.t array -> t
+(** [build ops] computes all intra-iteration edges.  With [~carried:true],
+    also the distance-1 edges that arise when the list is a loop body
+    executed repeatedly (register values and memory state flowing around
+    the back edge). *)
+
+val ops : t -> Asipfb_ir.Instr.t array
+val edges : t -> edge list
+val succs : t -> int -> edge list
+val preds : t -> int -> edge list
+
+val flow_edges_from : t -> int -> edge list
+(** Outgoing [Flow] edges with [via_register = true] (any distance). *)
+
+val longest_path : t -> copies:int -> (int * int) -> (int * int) -> int option
+(** [longest_path t ~copies (i, ci) (j, cj)] — longest total latency over
+    dependence paths from op [i] in virtual iteration copy [ci] to op [j]
+    in copy [cj], in the graph unrolled [copies] times (carried edges step
+    between consecutive copies).  [None] when no path exists.
+    Positions are (op index, copy index) with copies in [\[0, copies)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type t = O0 | O1 | O2
+
+let all = [ O0; O1; O2 ]
+let to_int = function O0 -> 0 | O1 -> 1 | O2 -> 2
+
+let of_int = function
+  | 0 -> Some O0
+  | 1 -> Some O1
+  | 2 -> Some O2
+  | _ -> None
+
+let to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "0" | "o0" -> Some O0
+  | "1" | "o1" -> Some O1
+  | "2" | "o2" -> Some O2
+  | _ -> None
+
+let description = function
+  | O0 -> "no optimization"
+  | O1 -> "loop pipelining + percolation scheduling (no renaming)"
+  | O2 -> "loop pipelining + percolation scheduling + register renaming"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

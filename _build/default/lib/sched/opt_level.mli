@@ -1,0 +1,21 @@
+(** The three optimization levels of the paper's study (section 5):
+    0 — no optimization;
+    1 — loop pipelining and percolation scheduling, no register renaming;
+    2 — level 1 plus register renaming. *)
+
+type t = O0 | O1 | O2
+
+val all : t list
+(** [[O0; O1; O2]]. *)
+
+val to_int : t -> int
+val of_int : int -> t option
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts "0"/"1"/"2" and "O0"/"O1"/"O2" (case-insensitive). *)
+
+val description : t -> string
+(** The paper's wording for the level. *)
+
+val pp : Format.formatter -> t -> unit

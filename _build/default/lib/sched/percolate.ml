@@ -1,0 +1,233 @@
+module Types = Asipfb_ir.Types
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Cfg = Asipfb_cfg.Cfg
+module Liveness = Asipfb_cfg.Liveness
+
+let hoistable_past_branch i =
+  match Instr.kind i with
+  | Instr.Binop ((Types.Div | Types.Rem | Types.Fdiv), _, _, _) -> false
+  | Instr.Binop ((Types.Shl | Types.Shr), _, _, amount) -> (
+      match amount with
+      | Instr.Imm_int n -> n >= 0 && n <= 62
+      | Instr.Reg _ | Instr.Imm_float _ -> false)
+  | Instr.Binop
+      ( ( Types.Add | Types.Sub | Types.Mul | Types.And | Types.Or
+        | Types.Xor | Types.Fadd | Types.Fsub | Types.Fmul ),
+        _, _, _ ) ->
+      true
+  | Instr.Unop (Types.Sqrt, _, _) -> false
+  | Instr.Unop
+      ( ( Types.Neg | Types.Not | Types.Fneg | Types.Int_to_float
+        | Types.Float_to_int | Types.Sin | Types.Cos | Types.Fabs ),
+        _, _ ) ->
+      true
+  | Instr.Cmp _ | Instr.Mov _ -> true
+  | Instr.Load _ | Instr.Store _ | Instr.Jump _ | Instr.Cond_jump _
+  | Instr.Call _ | Instr.Ret _ | Instr.Label_mark _ ->
+      false
+
+let is_call i =
+  match Instr.kind i with
+  | Instr.Call _ -> true
+  | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _ | Instr.Load _
+  | Instr.Store _ | Instr.Jump _ | Instr.Cond_jump _ | Instr.Ret _
+  | Instr.Label_mark _ ->
+      false
+
+(* [o] is movable to the very top of its block: no dependence on any earlier
+   instruction of the block. *)
+let at_dependence_top earlier o =
+  let d = Instr.def o in
+  let uses = Instr.uses o in
+  List.for_all
+    (fun e ->
+      let e_def = Instr.def e in
+      let no_flow =
+        match e_def with
+        | Some r -> not (List.exists (Reg.equal r) uses)
+        | None -> true
+      in
+      let no_anti =
+        match d with
+        | Some r -> not (List.exists (Reg.equal r) (Instr.uses e))
+        | None -> true
+      in
+      let no_output =
+        match (d, e_def) with
+        | Some a, Some b -> not (Reg.equal a b)
+        | _ -> true
+      in
+      let no_mem_read =
+        match Instr.reads_memory o with
+        | Some region -> Instr.writes_memory e <> Some region && not (is_call e)
+        | None -> true
+      in
+      let no_mem_write =
+        (* A store may not move above any access to its region or a call. *)
+        match Instr.writes_memory o with
+        | Some region ->
+            Instr.writes_memory e <> Some region
+            && Instr.reads_memory e <> Some region
+            && not (is_call e)
+        | None -> true
+      in
+      no_flow && no_anti && no_output && no_mem_read && no_mem_write)
+    earlier
+
+(* Must-define analysis: registers definitely assigned at each block's end. *)
+let definitely_defined (cfg : Cfg.t) (f : Func.t) =
+  let universe =
+    Asipfb_ir.Reg.Set.union (Func.defined_regs f)
+      (List.fold_left
+         (fun s r -> Asipfb_ir.Reg.Set.add r s)
+         (Asipfb_ir.Reg.Set.of_list f.params)
+         [])
+  in
+  let n = Array.length cfg.blocks in
+  let def_out = Array.make n universe in
+  let block_defs b =
+    List.fold_left
+      (fun s i ->
+        match Instr.def i with
+        | Some d -> Asipfb_ir.Reg.Set.add d s
+        | None -> s)
+      Asipfb_ir.Reg.Set.empty cfg.blocks.(b).instrs
+  in
+  let params = Asipfb_ir.Reg.Set.of_list f.params in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      let def_in =
+        if b = cfg.entry then params
+        else
+          match cfg.blocks.(b).preds with
+          | [] -> universe
+          | p :: rest ->
+              List.fold_left
+                (fun acc q -> Asipfb_ir.Reg.Set.inter acc def_out.(q))
+                def_out.(p) rest
+      in
+      let out = Asipfb_ir.Reg.Set.union def_in (block_defs b) in
+      if not (Asipfb_ir.Reg.Set.equal out def_out.(b)) then begin
+        def_out.(b) <- out;
+        changed := true
+      end
+    done
+  done;
+  def_out
+
+let terminator_of (block : Cfg.block) =
+  match List.rev block.instrs with
+  | last :: _ when Instr.is_control last -> Some last
+  | _ -> None
+
+(* Attempt one legal move anywhere in the function; liveness and
+   definite-definition facts are recomputed from scratch for each attempt so
+   every legality check sees current code.  Returns the updated CFG on
+   success. *)
+let one_move (cfg : Cfg.t) (f : Func.t) ~skip : (Cfg.t * int) option =
+  let live = Liveness.compute cfg in
+  let def_out = definitely_defined cfg f in
+  let try_block bidx =
+    let b = cfg.blocks.(bidx) in
+    match b.preds with
+    | [ p ] when p <> bidx && bidx <> cfg.entry ->
+        let pred_term = terminator_of cfg.blocks.(p) in
+        let speculative = List.length cfg.blocks.(p).succs > 1 in
+        (* Find the first movable op not already rejected this round.
+           Pure value-producing ops move freely (subject to the speculation
+           whitelist past branches); stores move only along unconditional
+           edges — executing a store speculatively would be observable. *)
+        let rec split earlier = function
+          | [] -> None
+          | o :: rest ->
+              let movable_kind =
+                match Instr.kind o with
+                | Instr.Store _ -> not speculative
+                | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _
+                | Instr.Load _ ->
+                    true
+                | Instr.Call _ | Instr.Jump _ | Instr.Cond_jump _
+                | Instr.Ret _ | Instr.Label_mark _ ->
+                    false
+              in
+              let candidate =
+                (not (List.mem (Instr.opid o) skip))
+                && movable_kind
+                && at_dependence_top (List.rev earlier) o
+                && ((not speculative) || hoistable_past_branch o)
+              in
+              if candidate then Some (List.rev earlier, o, rest)
+              else split (o :: earlier) rest
+        in
+        (match split [] b.instrs with
+        | Some (before, o, after) ->
+            let uses_defined =
+              List.for_all
+                (fun u -> Asipfb_ir.Reg.Set.mem u def_out.(p))
+                (Instr.uses o)
+            in
+            let term_ok =
+              match (pred_term, Instr.def o) with
+              | Some t, Some d ->
+                  not (List.exists (Reg.equal d) (Instr.uses t))
+              | _, _ -> true
+            in
+            let other_succs_ok =
+              match Instr.def o with
+              | None -> true
+              | Some d ->
+                  List.for_all
+                    (fun s ->
+                      s = bidx
+                      || not
+                           (Asipfb_ir.Reg.Set.mem d (Liveness.live_in live s)))
+                    cfg.blocks.(p).succs
+            in
+            if uses_defined && term_ok && other_succs_ok then begin
+              let updated =
+                Cfg.map_blocks
+                  (fun (blk : Cfg.block) ->
+                    if blk.index = bidx then before @ after
+                    else if blk.index = p then
+                      match List.rev blk.instrs with
+                      | last :: rev_rest when Instr.is_control last ->
+                          List.rev rev_rest @ [ o; last ]
+                      | _ -> blk.instrs @ [ o ]
+                    else blk.instrs)
+                  cfg
+              in
+              Some (updated, Instr.opid o)
+            end
+            else None
+        | None -> None)
+    | _ -> None
+  in
+  let rec first bidx =
+    if bidx >= Array.length cfg.blocks then None
+    else match try_block bidx with Some r -> Some r | None -> first (bidx + 1)
+  in
+  first 0
+
+let run_func ?(max_passes = 8) (f : Func.t) : Func.t =
+  (* [max_passes] bounds how many blocks upward a single op may climb; the
+     move budget bounds total motion. *)
+  let budget = max 16 (max_passes * Func.instr_count f) in
+  let rec go cfg remaining skip =
+    if remaining = 0 then cfg
+    else
+      match one_move cfg f ~skip with
+      | Some (cfg', _) -> go cfg' (remaining - 1) []
+      | None -> cfg
+  in
+  let cfg = go (Cfg.build f) budget [] in
+  Func.with_body f (Cfg.linearize cfg)
+
+let run ?max_passes (p : Prog.t) : Prog.t =
+  let p' = Prog.map_funcs (run_func ?max_passes) p in
+  Asipfb_ir.Validate.check_exn p';
+  p'

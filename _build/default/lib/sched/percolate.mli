@@ -1,0 +1,26 @@
+(** Percolation-style upward code motion (move-op).
+
+    Repeatedly moves dependence-free operations from the top of a block
+    into its unique predecessor, inserting before the predecessor's
+    terminator.  Motion past a conditional branch is speculation and is
+    restricted to trap-free operations whose destination is dead on the
+    other paths; motion along an unconditional edge is unrestricted (for
+    side-effect-free operations).  No duplication (the multi-predecessor
+    unify primitive is not performed), so every instruction keeps its
+    opid and pre-optimization profile counts remain exact.
+
+    Iterating the single-step motion to a fixpoint lets operations climb
+    through several blocks, which is what exposes cross-basic-block data
+    flow to the sequence detector — the paper's central mechanism. *)
+
+val run : ?max_passes:int -> Asipfb_ir.Prog.t -> Asipfb_ir.Prog.t
+(** [run p] applies motion passes until a fixpoint or [max_passes]
+    (default 8).  Result validates and is observationally equivalent. *)
+
+val run_func : ?max_passes:int -> Asipfb_ir.Func.t -> Asipfb_ir.Func.t
+
+val hoistable_past_branch : Asipfb_ir.Instr.t -> bool
+(** Trap-free test used for speculation (exposed for unit tests): ALU,
+    compare, move, conversion and non-trapping intrinsics; excludes loads,
+    stores, division/remainder, square root, calls, control, and shifts by
+    a non-constant or out-of-range amount. *)

@@ -1,0 +1,97 @@
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+module Builder = Asipfb_ir.Builder
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Cfg = Asipfb_cfg.Cfg
+module Liveness = Asipfb_cfg.Liveness
+
+(* Should the definition of [d] at position [pos] get a fresh name?  Only
+   when the rename removes a real output or anti dependence inside the block
+   — renaming a register nothing earlier touches buys no mobility and would
+   only add restore copies. *)
+let worth_renaming block_instrs pos d _live_in =
+  let earlier = Asipfb_util.Listx.take pos block_instrs in
+  let defined_earlier =
+    List.exists
+      (fun e ->
+        match Instr.def e with Some r -> Reg.equal r d | None -> false)
+      earlier
+  in
+  let used_earlier =
+    List.exists (fun e -> List.exists (Reg.equal d) (Instr.uses e)) earlier
+  in
+  defined_earlier || used_earlier
+
+let rename_block b (block : Cfg.block) live_in live_out =
+  (* current version of each renamed register, by original id *)
+  let version : (int, Reg.t) Hashtbl.t = Hashtbl.create 8 in
+  let subst operand =
+    match operand with
+    | Instr.Reg r -> (
+        match Hashtbl.find_opt version (Reg.id r) with
+        | Some v -> Instr.Reg v
+        | None -> operand)
+    | Instr.Imm_int _ | Instr.Imm_float _ -> operand
+  in
+  let renamed_origin : (int, Reg.t) Hashtbl.t = Hashtbl.create 8 in
+  let rewritten =
+    List.mapi
+      (fun pos i ->
+        let i = Instr.map_operands subst i in
+        match Instr.def i with
+        | Some d when worth_renaming block.instrs pos d live_in ->
+            let fresh = Builder.fresh_reg b ~ty:(Reg.ty d) ~name:(Reg.name d) in
+            Hashtbl.replace version (Reg.id d) fresh;
+            Hashtbl.replace renamed_origin (Reg.id d) d;
+            Instr.map_def (fun _ -> fresh) i
+        | Some d ->
+            (* Unrenamed def supersedes any older version mapping. *)
+            Hashtbl.remove version (Reg.id d);
+            Hashtbl.remove renamed_origin (Reg.id d);
+            i
+        | None -> i)
+      block.instrs
+  in
+  (* Restore copies for renamed registers that are live out. *)
+  let restores =
+    Hashtbl.fold
+      (fun id origin acc ->
+        if Asipfb_ir.Reg.Set.mem origin live_out then
+          match Hashtbl.find_opt version id with
+          | Some v when not (Reg.equal v origin) ->
+              Builder.mov b origin (Instr.Reg v) :: acc
+          | Some _ | None -> acc
+        else acc)
+      renamed_origin []
+    (* Deterministic order: by original register id. *)
+    |> List.sort (fun a b ->
+           match (Instr.def a, Instr.def b) with
+           | Some x, Some y -> Reg.compare x y
+           | _ -> 0)
+  in
+  match List.rev rewritten with
+  | last :: before when Instr.is_control last ->
+      List.rev before @ restores @ [ last ]
+  | _ -> rewritten @ restores
+
+let run_func b (_p : Prog.t) (f : Func.t) : Func.t =
+  Builder.seed_from_func b f;
+  let cfg = Cfg.build f in
+  let live = Liveness.compute cfg in
+  let cfg' =
+    Cfg.map_blocks
+      (fun block ->
+        rename_block b block
+          (Liveness.live_in live block.index)
+          (Liveness.live_out live block.index))
+      cfg
+  in
+  Func.with_body f (Cfg.linearize cfg')
+
+let run (p : Prog.t) : Prog.t =
+  let b = Builder.create () in
+  List.iter (Builder.seed_from_func b) p.funcs;
+  let p' = Prog.map_funcs (run_func b p) p in
+  Asipfb_ir.Validate.check_exn p';
+  p'

@@ -1,0 +1,27 @@
+(** Register renaming (the paper's optimization level 2 ingredient).
+
+    Local value renaming with restore copies: inside each block, a
+    definition of [r] gets a fresh register version when renaming can
+    increase mobility — [r] was already defined or used earlier in the
+    block, or [r] is live into the block (the accumulator case).  Later
+    uses in the block read the version directly, so intra-block flow
+    dependences survive; if the renamed register is live out, a restoring
+    [mov r ← version] is appended before the terminator.
+
+    The restore copies are exactly the paper's observed drawback: a
+    producer and a cross-block (or cross-iteration) consumer now
+    communicate "only through the renamed register" — through a move that
+    is not a chainable operation — so sequences that spanned the block
+    boundary disappear, while anti/output dependences inside the block
+    vanish and upward code motion gains freedom. *)
+
+val run : Asipfb_ir.Prog.t -> Asipfb_ir.Prog.t
+(** Rename every function.  The result validates and is observationally
+    equivalent (same memory/return under {!Asipfb_sim.Interp.run}); new
+    [mov] instructions carry fresh opids (absent from pre-optimization
+    profiles), while surviving instructions keep their opids. *)
+
+val run_func :
+  Asipfb_ir.Builder.t -> Asipfb_ir.Prog.t -> Asipfb_ir.Func.t ->
+  Asipfb_ir.Func.t
+(** Rename one function using the caller's builder for fresh ids. *)

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Asipfb_ir Float Format Hashtbl List Memory Option Profile Value

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Asipfb_ir Memory Profile Value

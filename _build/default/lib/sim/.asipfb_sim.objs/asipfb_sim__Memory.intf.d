@@ -1,0 +1,1 @@
+lib/sim/memory.mli: Asipfb_ir Value

@@ -1,0 +1,1 @@
+lib/sim/profile.ml: Float Hashtbl Int List Option

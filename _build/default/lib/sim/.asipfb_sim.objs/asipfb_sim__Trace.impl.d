@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Asipfb_ir Interp List

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Asipfb_ir Interp Value

@@ -1,0 +1,1 @@
+lib/sim/value.ml: Asipfb_ir Float Format

@@ -1,0 +1,36 @@
+(** The 3-address-code interpreter and profiler — step 2 of the paper's
+    pipeline.
+
+    Executes a validated program from its entry function, recording a
+    per-opid dynamic count.  Every executed non-label instruction costs one
+    cycle; the total dynamic count is the baseline cycle count the ASIP
+    speedup model compares against. *)
+
+exception Runtime_error of string
+(** Division by zero, out-of-bounds access, fuel exhaustion, shift out of
+    range, or an unbound register (an IR bug). *)
+
+type outcome = {
+  return_value : Value.t option;  (** Entry function's return, if any. *)
+  profile : Profile.t;
+  memory : Memory.t;  (** Final memory, for output checking. *)
+  instrs_executed : int;
+}
+
+val run :
+  ?fuel:int ->
+  ?inputs:(string * Value.t array) list ->
+  ?on_exec:(string -> Asipfb_ir.Instr.t -> unit) ->
+  Asipfb_ir.Prog.t ->
+  outcome
+(** [run p ~inputs] seeds the named regions and interprets from
+    [p.entry].  [fuel] bounds total executed instructions (default
+    50 million).  [on_exec] is invoked with the current function name and
+    instruction before each execution — the hook {!Trace} builds on.
+    @raise Runtime_error as above. *)
+
+val eval_binop : Asipfb_ir.Types.binop -> Value.t -> Value.t -> Value.t
+(** Exposed for unit tests and for the ASIP rewriter's constant folding.
+    @raise Runtime_error on division by zero or out-of-range shift. *)
+
+val eval_unop : Asipfb_ir.Types.unop -> Value.t -> Value.t

@@ -1,0 +1,25 @@
+type event = { step : int; func : string; opid : int; text : string }
+
+let run ?(limit = 1000) ?inputs prog =
+  let events = ref [] in
+  let count = ref 0 in
+  let on_exec func i =
+    if !count < limit then begin
+      events :=
+        { step = !count; func; opid = Asipfb_ir.Instr.opid i;
+          text = Asipfb_ir.Instr.to_string i }
+        :: !events;
+      incr count
+    end
+    else incr count
+  in
+  let outcome = Interp.run ?inputs ~on_exec prog in
+  (List.rev !events, outcome)
+
+let first_divergence a b =
+  let rec go = function
+    | ea :: ra, eb :: rb ->
+        if ea.opid = eb.opid then go (ra, rb) else Some (ea, eb)
+    | _, [] | [], _ -> None
+  in
+  go (a, b)

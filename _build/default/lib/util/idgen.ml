@@ -1,0 +1,11 @@
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let fresh t =
+  let id = t.next in
+  t.next <- id + 1;
+  id
+
+let peek t = t.next
+let advance_past t n = if n >= t.next then t.next <- n + 1

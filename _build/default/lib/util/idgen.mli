@@ -1,0 +1,23 @@
+(** Monotonic identifier generation.
+
+    Several IR entities (operations, virtual registers, labels, basic
+    blocks) need process-local unique integer identities with independent
+    counters; a generator is an explicit value so test suites can reset
+    numbering per test. *)
+
+type t
+(** A counter producing [0, 1, 2, ...]. *)
+
+val create : unit -> t
+(** [create ()] is a fresh counter starting at 0. *)
+
+val fresh : t -> int
+(** [fresh t] returns the next identifier and advances the counter. *)
+
+val peek : t -> int
+(** [peek t] is the identifier [fresh] would return next, without
+    advancing. *)
+
+val advance_past : t -> int -> unit
+(** [advance_past t n] ensures subsequent [fresh] results are [> n].  Used
+    when merging IR fragments whose ids were generated elsewhere. *)

@@ -1,0 +1,51 @@
+let rec take n l =
+  match (n, l) with
+  | n, _ when n <= 0 -> []
+  | _, [] -> []
+  | n, x :: rest -> x :: take (n - 1) rest
+
+let rec drop n l =
+  match (n, l) with
+  | n, l when n <= 0 -> l
+  | _, [] -> []
+  | n, _ :: rest -> drop (n - 1) rest
+
+let sum_by f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l
+
+let max_by f l =
+  let better best x =
+    match best with
+    | None -> Some (x, f x)
+    | Some (_, v) ->
+        let fx = f x in
+        if fx > v then Some (x, fx) else best
+  in
+  Option.map fst (List.fold_left better None l)
+
+let group_by key l =
+  let upsert groups x =
+    let k = key x in
+    let rec go = function
+      | [] -> [ (k, [ x ]) ]
+      | (k', members) :: rest when k' = k -> (k', x :: members) :: rest
+      | g :: rest -> g :: go rest
+    in
+    go groups
+  in
+  List.fold_left upsert [] l
+  |> List.map (fun (k, members) -> (k, List.rev members))
+
+let index_of p l =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else go (i + 1) rest
+  in
+  go 0 l
+
+let dedup eq l =
+  let keep seen x = if List.exists (eq x) seen then seen else x :: seen in
+  List.rev (List.fold_left keep [] l)
+
+let rec pairs = function
+  | [] | [ _ ] -> []
+  | a :: (b :: _ as rest) -> (a, b) :: pairs rest

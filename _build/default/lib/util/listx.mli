@@ -1,0 +1,29 @@
+(** List helpers used throughout the analyses. *)
+
+val take : int -> 'a list -> 'a list
+(** [take n l] is the first [n] elements of [l] (all of [l] if shorter). *)
+
+val drop : int -> 'a list -> 'a list
+(** [drop n l] is [l] without its first [n] elements ([[]] if shorter). *)
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** [sum_by f l] is the sum of [f x] over [l]. *)
+
+val max_by : ('a -> float) -> 'a list -> 'a option
+(** [max_by f l] is the element maximizing [f], or [None] on the empty
+    list.  Ties resolve to the earliest element. *)
+
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+(** [group_by key l] partitions [l] into groups sharing a key, with each
+    group's members in their original order.  Group order follows first
+    appearance of the key. *)
+
+val index_of : ('a -> bool) -> 'a list -> int option
+(** [index_of p l] is the index of the first element satisfying [p]. *)
+
+val dedup : ('a -> 'a -> bool) -> 'a list -> 'a list
+(** [dedup eq l] keeps the first occurrence of each equivalence class,
+    preserving order.  Quadratic; used on small lists. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** [pairs l] is the list of adjacent pairs of [l]. *)

@@ -1,0 +1,27 @@
+type t = { mutable state : int64 }
+
+(* Knuth MMIX LCG constants; 64-bit state, high 30 bits used per draw. *)
+let multiplier = 6364136223846793005L
+let increment = 1442695040888963407L
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let step t =
+  t.state <- Int64.add (Int64.mul t.state multiplier) increment;
+  Int64.to_int (Int64.shift_right_logical t.state 34) land 0x3FFFFFFF
+
+let next_int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound must be positive";
+  step t mod bound
+
+let next_float t = float_of_int (step t) /. 1073741824.0
+
+let next_float_range t ~lo ~hi =
+  if hi <= lo then invalid_arg "Prng.next_float_range: empty range";
+  lo +. ((hi -. lo) *. next_float t)
+
+let int_array t ~len ~bound = Array.init len (fun _ -> next_int t ~bound)
+
+let float_array t ~len ~lo ~hi =
+  Array.init len (fun _ -> next_float_range t ~lo ~hi)

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator.
+
+    A small linear-congruential generator with an explicit state record, so
+    every benchmark input in the suite is reproducible bit-for-bit across
+    runs and platforms.  Not suitable for cryptography; entirely suitable for
+    generating the paper's "random array of N values" benchmark inputs. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next_int : t -> bound:int -> int
+(** [next_int t ~bound] draws a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** [next_float t] draws a uniform float in [\[0, 1)]. *)
+
+val next_float_range : t -> lo:float -> hi:float -> float
+(** [next_float_range t ~lo ~hi] draws a uniform float in [\[lo, hi)].
+    @raise Invalid_argument if [hi <= lo]. *)
+
+val int_array : t -> len:int -> bound:int -> int array
+(** [int_array t ~len ~bound] draws [len] integers in [\[0, bound)]. *)
+
+val float_array : t -> len:int -> lo:float -> hi:float -> float array
+(** [float_array t ~len ~lo ~hi] draws [len] floats in [\[lo, hi)]. *)

@@ -1,0 +1,1 @@
+test/gen_minic.ml: Array Asipfb_sim List Printf QCheck2 String

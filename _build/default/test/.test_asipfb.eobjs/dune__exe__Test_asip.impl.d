@@ -1,0 +1,1 @@
+test/test_asip.ml: Alcotest Asipfb Asipfb_asip Asipfb_bench_suite Asipfb_sched Asipfb_sim Asipfb_util List Printf String

@@ -1,0 +1,1 @@
+test/test_bench_suite.ml: Alcotest Array Asipfb_bench_suite Asipfb_ir Asipfb_sim Float Format List String

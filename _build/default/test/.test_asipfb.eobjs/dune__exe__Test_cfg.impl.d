@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Asipfb_cfg Asipfb_frontend Asipfb_ir Asipfb_sim Fun List Printf

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Asipfb Asipfb_bench_suite Asipfb_chain Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Asipfb_util Float Int List Printf

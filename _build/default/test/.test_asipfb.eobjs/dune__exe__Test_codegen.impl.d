@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Asipfb Asipfb_asip Asipfb_bench_suite Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Format List String

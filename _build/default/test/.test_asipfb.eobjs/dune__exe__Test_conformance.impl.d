@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Array Asipfb_asip Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Gen_minic List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Asipfb Asipfb_asip Asipfb_bench_suite Asipfb_chain Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Fun Gen_minic List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extra_suite.ml: Alcotest Array Asipfb Asipfb_asip Asipfb_bench_suite Asipfb_chain Asipfb_ir Asipfb_sched Asipfb_sim List Printf

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Asipfb_ir Format List String

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Asipfb_frontend Asipfb_ir Asipfb_sim Format Int List

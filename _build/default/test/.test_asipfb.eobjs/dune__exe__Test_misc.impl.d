@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Asipfb_asip Asipfb_chain Asipfb_frontend Asipfb_report Asipfb_sched Asipfb_sim List Option String

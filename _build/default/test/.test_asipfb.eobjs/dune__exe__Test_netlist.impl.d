@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Asipfb Asipfb_asip Asipfb_bench_suite Asipfb_sched List String

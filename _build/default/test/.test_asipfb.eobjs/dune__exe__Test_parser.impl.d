@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Asipfb_frontend Float Format List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Asipfb Asipfb_bench_suite Asipfb_chain Asipfb_ir Asipfb_sched Asipfb_sim Asipfb_util Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Asipfb_asip Asipfb_chain Asipfb_frontend Asipfb_sched Asipfb_sim Asipfb_util Float Gen_minic List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reaching.ml: Alcotest Array Asipfb_cfg Asipfb_frontend Asipfb_ir Asipfb_util Gen_minic List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Asipfb_report Filename List String Sys

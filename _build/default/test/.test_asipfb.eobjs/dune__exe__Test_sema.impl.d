@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Asipfb_frontend Asipfb_ir List Printf String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Asipfb_frontend Asipfb_ir Asipfb_sim List

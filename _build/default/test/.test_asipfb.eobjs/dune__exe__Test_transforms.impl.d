@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Array Asipfb_bench_suite Asipfb_cfg Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Gen_minic Int List Printf QCheck2 QCheck_alcotest

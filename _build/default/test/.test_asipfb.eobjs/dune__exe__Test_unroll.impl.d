@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Array Asipfb Asipfb_bench_suite Asipfb_cfg Asipfb_chain Asipfb_frontend Asipfb_ir Asipfb_sched Asipfb_sim Float List Printf

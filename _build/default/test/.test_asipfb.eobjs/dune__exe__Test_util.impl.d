@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Asipfb_util List QCheck2 QCheck_alcotest

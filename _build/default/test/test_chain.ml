@@ -1,0 +1,367 @@
+(* Tests for the core contribution: chain classification, the
+   branch-and-bound sequence detector, coverage, and combination. *)
+
+module Types = Asipfb_ir.Types
+module Instr = Asipfb_ir.Instr
+module Builder = Asipfb_ir.Builder
+module Lower = Asipfb_frontend.Lower
+module Interp = Asipfb_sim.Interp
+module Schedule = Asipfb_sched.Schedule
+module Opt_level = Asipfb_sched.Opt_level
+module Chainop = Asipfb_chain.Chainop
+module Detect = Asipfb_chain.Detect
+module Coverage = Asipfb_chain.Coverage
+module Combine = Asipfb_chain.Combine
+
+(* --- classification ------------------------------------------------------ *)
+
+let test_class_of () =
+  let b = Builder.create () in
+  let reg name ty = Builder.fresh_reg b ~ty ~name in
+  let x = reg "x" Types.Int and f = reg "f" Types.Float in
+  let cls i = Chainop.class_of i in
+  Alcotest.(check (option string)) "add" (Some "add")
+    (cls (Builder.binop b Types.Add x (Instr.Imm_int 1) (Instr.Imm_int 2)));
+  Alcotest.(check (option string)) "fmul" (Some "fmultiply")
+    (cls (Builder.binop b Types.Fmul f (Instr.Imm_float 1.) (Instr.Imm_float 2.)));
+  Alcotest.(check (option string)) "shift" (Some "shift")
+    (cls (Builder.binop b Types.Shr x (Instr.Reg x) (Instr.Imm_int 1)));
+  Alcotest.(check (option string)) "compare" (Some "compare")
+    (cls (Builder.cmp b Types.Int Types.Lt x (Instr.Reg x) (Instr.Imm_int 9)));
+  Alcotest.(check (option string)) "fcompare" (Some "fcompare")
+    (cls (Builder.cmp b Types.Float Types.Lt x (Instr.Reg f) (Instr.Reg f)));
+  Alcotest.(check (option string)) "load" (Some "load")
+    (cls (Builder.load b Types.Int x "m" (Instr.Imm_int 0)));
+  Alcotest.(check (option string)) "fstore" (Some "fstore")
+    (cls (Builder.store b Types.Float "m" (Instr.Imm_int 0) (Instr.Reg f)));
+  Alcotest.(check (option string)) "mov not chainable" None
+    (cls (Builder.mov b x (Instr.Imm_int 1)));
+  Alcotest.(check (option string)) "conversion not chainable" None
+    (cls (Builder.unop b Types.Int_to_float f (Instr.Reg x)));
+  Alcotest.(check (option string)) "sin not chainable" None
+    (cls (Builder.unop b Types.Sin f (Instr.Reg f)));
+  Alcotest.(check (option string)) "call not chainable" None
+    (cls (Builder.call b None "g" []));
+  Alcotest.(check bool) "store is terminal" true
+    (Chainop.terminal_only
+       (Builder.store b Types.Int "m" (Instr.Imm_int 0) (Instr.Imm_int 1)));
+  Alcotest.(check bool) "add is not terminal" false
+    (Chainop.terminal_only
+       (Builder.binop b Types.Add x (Instr.Imm_int 1) (Instr.Imm_int 2)))
+
+let test_family () =
+  Alcotest.(check string) "fmultiply family" "multiply"
+    (Chainop.family "fmultiply");
+  Alcotest.(check string) "fload family" "load" (Chainop.family "fload");
+  Alcotest.(check string) "add family" "add" (Chainop.family "add");
+  let base_classes =
+    [ "add"; "subtract"; "multiply"; "divide"; "logic"; "shift"; "compare";
+      "load"; "store" ]
+  in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family of %s is a base class" cls)
+        true
+        (List.mem (Chainop.family cls) base_classes))
+    Chainop.all_classes;
+  Alcotest.(check string) "sequence name" "multiply-add"
+    (Chainop.sequence_name [ "multiply"; "add" ])
+
+(* --- detection ----------------------------------------------------------- *)
+
+let analyze ?(level = Opt_level.O1) src =
+  let p = Lower.compile src ~entry:"main" in
+  let profile = (Interp.run p).profile in
+  (Schedule.optimize ~level p, profile)
+
+let detect ?(level = Opt_level.O1) ?(length = 2) ?(min_freq = 0.5) src =
+  let sched, profile = analyze ~level src in
+  Detect.run
+    { (Detect.default_config ~length) with min_freq }
+    sched ~profile
+
+let names ds = List.map Detect.display_name ds
+
+let mac_src =
+  {|
+float x[32];
+float y[32];
+void main() {
+  int i;
+  float s = 0.0;
+  for (i = 0; i < 32; i++) {
+    x[i] = 1.0;
+    y[i] = 2.0;
+  }
+  for (i = 0; i < 32; i++) {
+    s = s + x[i] * y[i];
+  }
+  x[0] = s;
+}
+|}
+
+let test_detects_mac_at_o0 () =
+  let ds = detect ~level:Opt_level.O0 mac_src in
+  Alcotest.(check bool) "fmultiply-fadd found" true
+    (List.mem "fmultiply-fadd" (names ds));
+  Alcotest.(check bool) "fload-fmultiply found" true
+    (List.mem "fload-fmultiply" (names ds))
+
+let test_o1_exposes_cross_iteration () =
+  let ds0 = detect ~level:Opt_level.O0 mac_src in
+  let ds1 = detect ~level:Opt_level.O1 mac_src in
+  (* The loop-index add feeding next iteration's compare only appears once
+     pipelining follows the back edge. *)
+  Alcotest.(check bool) "add-compare absent at O0" false
+    (List.mem "add-compare" (names ds0));
+  Alcotest.(check bool) "add-compare present at O1" true
+    (List.mem "add-compare" (names ds1));
+  Alcotest.(check bool) "accumulation fadd-fadd at O1" true
+    (List.mem "fadd-fadd" (names ds1));
+  Alcotest.(check bool) "O1 finds at least as many" true
+    (List.length ds1 >= List.length ds0)
+
+let test_o2_renaming_breaks_index_chains () =
+  let ds1 = detect ~level:Opt_level.O1 mac_src in
+  let ds2 = detect ~level:Opt_level.O2 mac_src in
+  Alcotest.(check bool) "add-compare at O1" true
+    (List.mem "add-compare" (names ds1));
+  Alcotest.(check bool) "add-compare gone at O2 (renamed index)" false
+    (List.mem "add-compare" (names ds2));
+  (* The unrenamed accumulator still chains. *)
+  Alcotest.(check bool) "fadd-fadd survives O2" true
+    (List.mem "fadd-fadd" (names ds2))
+
+let test_frequencies_bounded () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun length ->
+          let sched, profile = analyze ~level mac_src in
+          let ds =
+            Detect.run (Detect.default_config ~length) sched ~profile
+          in
+          List.iter
+            (fun (d : Detect.detected) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "0 <= %s <= 100" (Detect.display_name d))
+                true
+                (d.freq >= 0.0 && d.freq <= 100.0))
+            ds)
+        [ 2; 3; 4; 5 ])
+    Opt_level.all
+
+let test_sorted_by_freq () =
+  let ds = detect ~level:Opt_level.O1 mac_src in
+  let freqs = List.map (fun (d : Detect.detected) -> d.freq) ds in
+  Alcotest.(check bool) "descending" true
+    (freqs = List.sort (fun a b -> Float.compare b a) freqs)
+
+let test_min_freq_filters () =
+  let all = detect ~min_freq:0.0001 mac_src in
+  let some = detect ~min_freq:20.0 mac_src in
+  Alcotest.(check bool) "higher threshold, fewer results" true
+    (List.length some <= List.length all);
+  List.iter
+    (fun (d : Detect.detected) ->
+      Alcotest.(check bool) "above threshold" true (d.freq >= 20.0))
+    some
+
+let test_store_only_terminal () =
+  List.iter
+    (fun length ->
+      let ds = detect ~length mac_src in
+      List.iter
+        (fun (d : Detect.detected) ->
+          List.iteri
+            (fun idx cls ->
+              if idx < length - 1 then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: store only last"
+                     (Detect.display_name d))
+                  true
+                  (cls <> "store" && cls <> "fstore"))
+            d.classes)
+        ds)
+    [ 2; 3 ]
+
+let test_banned_ops_excluded () =
+  let sched, profile = analyze mac_src in
+  let ds = Detect.run (Detect.default_config ~length:2) sched ~profile in
+  let all_opids =
+    List.concat_map
+      (fun (d : Detect.detected) ->
+        List.concat_map
+          (fun (o : Detect.occurrence) -> List.map fst o.opids)
+          d.occurrences)
+      ds
+    |> List.sort_uniq Int.compare
+  in
+  let banned = all_opids in
+  let ds' =
+    Detect.run
+      { (Detect.default_config ~length:2) with banned }
+      sched ~profile
+  in
+  Alcotest.(check int) "banning every member finds nothing" 0
+    (List.length ds')
+
+let test_length_bounds () =
+  let sched, profile = analyze mac_src in
+  match Detect.run (Detect.default_config ~length:1) sched ~profile with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length 1 must be rejected"
+
+let test_occurrence_counts_positive () =
+  let ds = detect mac_src in
+  List.iter
+    (fun (d : Detect.detected) ->
+      List.iter
+        (fun (o : Detect.occurrence) ->
+          Alcotest.(check bool) "positive count" true (o.count > 0))
+        d.occurrences)
+    ds
+
+(* --- coverage ------------------------------------------------------------ *)
+
+let coverage_of ?(level = Opt_level.O1) src =
+  let sched, profile = analyze ~level src in
+  Coverage.analyze Coverage.default_config sched ~profile
+
+let test_coverage_basics () =
+  let r = coverage_of mac_src in
+  Alcotest.(check bool) "some picks" true (r.picks <> []);
+  Alcotest.(check bool) "coverage positive" true (r.coverage > 0.0);
+  Alcotest.(check bool) "coverage bounded" true (r.coverage <= 100.0);
+  Alcotest.(check (float 1e-6)) "coverage = sum of picks" r.coverage
+    (Asipfb_util.Listx.sum_by (fun (p : Coverage.pick) -> p.pick_freq) r.picks);
+  List.iter
+    (fun (p : Coverage.pick) ->
+      Alcotest.(check bool) "pick above stop threshold" true
+        (p.pick_freq >= Coverage.default_config.stop_below))
+    r.picks
+
+let test_coverage_respects_max_picks () =
+  let sched, profile = analyze mac_src in
+  let r =
+    Coverage.analyze
+      { Coverage.default_config with max_picks = 1 }
+      sched ~profile
+  in
+  Alcotest.(check bool) "at most one pick" true (List.length r.picks <= 1)
+
+let test_coverage_opt_beats_none_on_suite () =
+  (* On the paper's detailed benchmarks, optimization should raise (or at
+     worst roughly match) the achievable coverage. *)
+  let wins =
+    List.filter
+      (fun name ->
+        let b = Asipfb_bench_suite.Registry.find name in
+        let a = Asipfb.Pipeline.analyze b in
+        let c0 = (Asipfb.Pipeline.coverage a ~level:Opt_level.O0 ()).coverage in
+        let c1 = (Asipfb.Pipeline.coverage a ~level:Opt_level.O1 ()).coverage in
+        c1 >= c0 -. 5.0)
+      [ "sewha"; "feowf"; "bspline"; "iir" ]
+  in
+  Alcotest.(check int) "optimization competitive on all four" 4
+    (List.length wins)
+
+(* --- combination ---------------------------------------------------------- *)
+
+let fake name freq : Detect.detected =
+  { classes = [ name; "add" ]; freq; occurrences = [] }
+
+let test_equal_weight () =
+  let entries =
+    Combine.equal_weight
+      [ ("b1", [ fake "multiply" 10.0 ]);
+        ("b2", [ fake "multiply" 20.0 ]);
+        ("b3", []) ]
+  in
+  match Combine.find entries [ "multiply"; "add" ] with
+  | Some e ->
+      Alcotest.(check (float 1e-9)) "mean over all three" 10.0
+        e.combined_freq;
+      Alcotest.(check int) "two contributors" 2
+        (List.length e.per_benchmark)
+  | None -> Alcotest.fail "entry missing"
+
+let test_weighted () =
+  let entries =
+    Combine.weighted
+      [ ("b1", 100, [ fake "multiply" 10.0 ]);
+        ("b2", 300, [ fake "multiply" 20.0 ]) ]
+  in
+  match Combine.find entries [ "multiply"; "add" ] with
+  | Some e ->
+      Alcotest.(check (float 1e-9)) "weighted mean" 17.5 e.combined_freq
+  | None -> Alcotest.fail "entry missing"
+
+let test_merge_families () =
+  let ds =
+    [ { Detect.classes = [ "fmultiply"; "fadd" ]; freq = 5.0; occurrences = [] };
+      { Detect.classes = [ "multiply"; "add" ]; freq = 3.0; occurrences = [] };
+      { Detect.classes = [ "add"; "add" ]; freq = 1.0; occurrences = [] } ]
+  in
+  let merged = Combine.merge_families ds in
+  Alcotest.(check int) "two groups" 2 (List.length merged);
+  match merged with
+  | first :: _ ->
+      Alcotest.(check (list string)) "families merged"
+        [ "multiply"; "add" ] first.classes;
+      Alcotest.(check (float 1e-9)) "frequencies add" 8.0 first.freq
+  | [] -> Alcotest.fail "empty"
+
+let test_combine_sorted () =
+  let entries =
+    Combine.equal_weight
+      [ ("b1", [ fake "multiply" 1.0; { (fake "shift" 30.0) with classes = [ "shift"; "add" ] } ]) ]
+  in
+  match entries with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "descending" true
+        (a.combined_freq >= b.combined_freq)
+  | _ -> Alcotest.fail "expected two entries"
+
+let suite =
+  [
+    ( "chain.chainop",
+      [
+        Alcotest.test_case "classification" `Quick test_class_of;
+        Alcotest.test_case "families" `Quick test_family;
+      ] );
+    ( "chain.detect",
+      [
+        Alcotest.test_case "MAC at O0" `Quick test_detects_mac_at_o0;
+        Alcotest.test_case "O1 exposes cross-iteration" `Quick
+          test_o1_exposes_cross_iteration;
+        Alcotest.test_case "O2 renaming breaks index chains" `Quick
+          test_o2_renaming_breaks_index_chains;
+        Alcotest.test_case "frequencies bounded" `Quick
+          test_frequencies_bounded;
+        Alcotest.test_case "sorted by frequency" `Quick test_sorted_by_freq;
+        Alcotest.test_case "min_freq filters" `Quick test_min_freq_filters;
+        Alcotest.test_case "stores only terminal" `Quick
+          test_store_only_terminal;
+        Alcotest.test_case "banned ops excluded" `Quick
+          test_banned_ops_excluded;
+        Alcotest.test_case "length bounds" `Quick test_length_bounds;
+        Alcotest.test_case "occurrence counts positive" `Quick
+          test_occurrence_counts_positive;
+      ] );
+    ( "chain.coverage",
+      [
+        Alcotest.test_case "basics" `Quick test_coverage_basics;
+        Alcotest.test_case "max picks" `Quick test_coverage_respects_max_picks;
+        Alcotest.test_case "optimization competitive" `Slow
+          test_coverage_opt_beats_none_on_suite;
+      ] );
+    ( "chain.combine",
+      [
+        Alcotest.test_case "equal weight" `Quick test_equal_weight;
+        Alcotest.test_case "weighted" `Quick test_weighted;
+        Alcotest.test_case "merge families" `Quick test_merge_families;
+        Alcotest.test_case "sorted" `Quick test_combine_sorted;
+      ] );
+  ]

@@ -1,0 +1,245 @@
+(* Dependence-graph and compaction tests on hand-built instruction lists. *)
+
+module Types = Asipfb_ir.Types
+module Instr = Asipfb_ir.Instr
+module Builder = Asipfb_ir.Builder
+module Ddg = Asipfb_sched.Ddg
+module Compact = Asipfb_sched.Compact
+
+(* A tiny block builder DSL. *)
+let ctx () =
+  let b = Builder.create () in
+  let reg name ty = Builder.fresh_reg b ~ty ~name in
+  (b, reg)
+
+let edge_between (ddg : Ddg.t) src dst kind =
+  List.exists
+    (fun (e : Ddg.edge) -> e.src = src && e.dst = dst && e.kind = kind)
+    (Ddg.edges ddg)
+
+let test_flow_anti_output () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int and y = reg "y" Types.Int in
+  let ops =
+    [| Builder.mov b x (Instr.Imm_int 1);           (* 0: x = 1 *)
+       Builder.binop b Types.Add y (Instr.Reg x) (Instr.Imm_int 2);
+                                                    (* 1: y = x+2 *)
+       Builder.mov b x (Instr.Imm_int 3);           (* 2: x = 3 *)
+    |]
+  in
+  let ddg = Ddg.build ops in
+  Alcotest.(check bool) "flow 0->1" true (edge_between ddg 0 1 Ddg.Flow);
+  Alcotest.(check bool) "anti 1->2" true (edge_between ddg 1 2 Ddg.Anti);
+  Alcotest.(check bool) "output 0->2" true (edge_between ddg 0 2 Ddg.Output);
+  Alcotest.(check bool) "no flow 1->2" false (edge_between ddg 1 2 Ddg.Flow)
+
+let test_memory_edges () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int and y = reg "y" Types.Int in
+  let ops =
+    [| Builder.store b Types.Int "m" (Instr.Imm_int 0) (Instr.Imm_int 1);
+       Builder.load b Types.Int x "m" (Instr.Imm_int 0);
+       Builder.store b Types.Int "m" (Instr.Imm_int 1) (Instr.Imm_int 2);
+       Builder.load b Types.Int y "other" (Instr.Imm_int 0);
+    |]
+  in
+  let ddg = Ddg.build ops in
+  Alcotest.(check bool) "store->load flow" true (edge_between ddg 0 1 Ddg.Flow);
+  Alcotest.(check bool) "load->store anti" true (edge_between ddg 1 2 Ddg.Anti);
+  Alcotest.(check bool) "store->store output" true
+    (edge_between ddg 0 2 Ddg.Output);
+  Alcotest.(check bool) "different regions independent" false
+    (edge_between ddg 0 3 Ddg.Flow);
+  (* Memory flow must not be register flow. *)
+  let mem_flow =
+    List.find
+      (fun (e : Ddg.edge) -> e.src = 0 && e.dst = 1 && e.kind = Ddg.Flow)
+      (Ddg.edges ddg)
+  in
+  Alcotest.(check bool) "store->load not via register" false
+    mem_flow.via_register
+
+let test_control_edges () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int in
+  let l = Builder.fresh_label b ~hint:"t" in
+  let ops =
+    [| Builder.mov b x (Instr.Imm_int 1);
+       Builder.cond_jump b (Instr.Imm_int 1) l;
+    |]
+  in
+  let ddg = Ddg.build ops in
+  Alcotest.(check bool) "op constrained by terminator" true
+    (edge_between ddg 0 1 Ddg.Control)
+
+let test_call_edges () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int in
+  let ops =
+    [| Builder.store b Types.Int "m" (Instr.Imm_int 0) (Instr.Imm_int 1);
+       Builder.call b None "f" [];
+       Builder.load b Types.Int x "m" (Instr.Imm_int 0);
+    |]
+  in
+  let ddg = Ddg.build ops in
+  Alcotest.(check bool) "store before call" true
+    (edge_between ddg 0 1 Ddg.Mem_order);
+  Alcotest.(check bool) "load after call" true
+    (edge_between ddg 1 2 Ddg.Mem_order)
+
+let test_carried_edges () =
+  let b, reg = ctx () in
+  let s = reg "s" Types.Int and t = reg "t" Types.Int in
+  (* s = s + t  — accumulation: carried flow from the def to its own use. *)
+  let ops = [| Builder.binop b Types.Add s (Instr.Reg s) (Instr.Reg t) |] in
+  let ddg = Ddg.build ~carried:true ops in
+  let carried_flow =
+    List.filter
+      (fun (e : Ddg.edge) ->
+        e.kind = Ddg.Flow && e.distance = 1 && e.src = 0 && e.dst = 0)
+      (Ddg.edges ddg)
+  in
+  Alcotest.(check int) "self carried flow" 1 (List.length carried_flow)
+
+let test_carried_cross_op () =
+  let b, reg = ctx () in
+  let i = reg "i" Types.Int and u = reg "u" Types.Int in
+  (* u = i * 2; i = i + 1 — i's new value flows to next iteration's mul. *)
+  let ops =
+    [| Builder.binop b Types.Mul u (Instr.Reg i) (Instr.Imm_int 2);
+       Builder.binop b Types.Add i (Instr.Reg i) (Instr.Imm_int 1);
+    |]
+  in
+  let ddg = Ddg.build ~carried:true ops in
+  Alcotest.(check bool) "add (iter k) -> mul (iter k+1)" true
+    (List.exists
+       (fun (e : Ddg.edge) ->
+         e.kind = Ddg.Flow && e.distance = 1 && e.src = 1 && e.dst = 0
+         && e.via_register)
+       (Ddg.edges ddg))
+
+let test_longest_path () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int and y = reg "y" Types.Int and z = reg "z" Types.Int in
+  let ops =
+    [| Builder.mov b x (Instr.Imm_int 1);                     (* 0 *)
+       Builder.binop b Types.Add y (Instr.Reg x) (Instr.Imm_int 1);  (* 1 *)
+       Builder.binop b Types.Add z (Instr.Reg y) (Instr.Reg x);      (* 2 *)
+    |]
+  in
+  let ddg = Ddg.build ops in
+  Alcotest.(check (option int)) "0->1 is 1" (Some 1)
+    (Ddg.longest_path ddg ~copies:1 (0, 0) (1, 0));
+  Alcotest.(check (option int)) "0->2 longest is 2" (Some 2)
+    (Ddg.longest_path ddg ~copies:1 (0, 0) (2, 0));
+  Alcotest.(check (option int)) "no path 2->0" None
+    (Ddg.longest_path ddg ~copies:1 (2, 0) (0, 0));
+  Alcotest.(check (option int)) "self distance 0" (Some 0)
+    (Ddg.longest_path ddg ~copies:1 (1, 0) (1, 0))
+
+let test_longest_path_across_copies () =
+  let b, reg = ctx () in
+  let s = reg "s" Types.Int in
+  let ops = [| Builder.binop b Types.Add s (Instr.Reg s) (Instr.Imm_int 1) |] in
+  let ddg = Ddg.build ~carried:true ops in
+  Alcotest.(check (option int)) "one wrap is 1" (Some 1)
+    (Ddg.longest_path ddg ~copies:3 (0, 0) (0, 1));
+  Alcotest.(check (option int)) "two wraps are 2" (Some 2)
+    (Ddg.longest_path ddg ~copies:3 (0, 0) (0, 2));
+  Alcotest.(check (option int)) "cannot go backwards" None
+    (Ddg.longest_path ddg ~copies:3 (0, 1) (0, 0))
+
+(* --- compaction --------------------------------------------------------- *)
+
+let test_compact_chain () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int and y = reg "y" Types.Int and z = reg "z" Types.Int in
+  let ops =
+    [| Builder.mov b x (Instr.Imm_int 1);
+       Builder.binop b Types.Add y (Instr.Reg x) (Instr.Imm_int 1);
+       Builder.binop b Types.Add z (Instr.Reg y) (Instr.Imm_int 1);
+    |]
+  in
+  let c = Compact.schedule ops in
+  Alcotest.(check (list int)) "chain cycles" [ 0; 1; 2 ]
+    (Array.to_list c.cycle);
+  Alcotest.(check int) "length 3" 3 c.length;
+  Alcotest.(check (float 1e-9)) "ilp 1.0" 1.0 (Compact.ops_per_cycle c)
+
+let test_compact_parallel () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int and y = reg "y" Types.Int in
+  let ops =
+    [| Builder.mov b x (Instr.Imm_int 1);
+       Builder.mov b y (Instr.Imm_int 2);
+    |]
+  in
+  let c = Compact.schedule ops in
+  Alcotest.(check (list int)) "independent ops share a cycle" [ 0; 0 ]
+    (Array.to_list c.cycle);
+  Alcotest.(check (float 1e-9)) "ilp 2.0" 2.0 (Compact.ops_per_cycle c)
+
+let test_compact_slack () =
+  let b, reg = ctx () in
+  let x = reg "x" Types.Int and y = reg "y" Types.Int and z = reg "z" Types.Int in
+  let w = reg "w" Types.Int in
+  (* A 3-op chain plus one independent op: the independent op has slack 2. *)
+  let ops =
+    [| Builder.mov b x (Instr.Imm_int 1);
+       Builder.binop b Types.Add y (Instr.Reg x) (Instr.Imm_int 1);
+       Builder.binop b Types.Add z (Instr.Reg y) (Instr.Imm_int 1);
+       Builder.mov b w (Instr.Imm_int 9);
+    |]
+  in
+  let c = Compact.schedule ops in
+  let slack = Compact.slack c in
+  Alcotest.(check int) "critical path has zero slack" 0 slack.(0);
+  Alcotest.(check int) "independent op slack" 2 slack.(3);
+  Alcotest.(check bool) "slack nonnegative" true
+    (Array.for_all (fun s -> s >= 0) slack)
+
+let test_compact_empty () =
+  let c = Compact.schedule [||] in
+  Alcotest.(check int) "empty length" 0 c.length;
+  Alcotest.(check (float 1e-9)) "empty ilp" 0.0 (Compact.ops_per_cycle c)
+
+(* Property: ASAP cycles respect every intra-iteration edge. *)
+let prop_compact_respects_edges =
+  QCheck2.Test.make ~name:"compaction respects dependences" ~count:60
+    Gen_minic.gen_program (fun src ->
+      let prog = Asipfb_frontend.Lower.compile src ~entry:"main" in
+      let f = Asipfb_ir.Prog.find_func prog "main" in
+      let cfg = Asipfb_cfg.Cfg.build f in
+      Array.for_all
+        (fun (blk : Asipfb_cfg.Cfg.block) ->
+          let c = Compact.schedule (Array.of_list blk.instrs) in
+          List.for_all
+            (fun (e : Ddg.edge) ->
+              e.distance > 0
+              || c.cycle.(e.dst) >= c.cycle.(e.src) + e.latency)
+            (Ddg.edges c.ddg))
+        cfg.blocks)
+
+let suite =
+  [
+    ( "sched.ddg",
+      [
+        Alcotest.test_case "flow/anti/output" `Quick test_flow_anti_output;
+        Alcotest.test_case "memory edges" `Quick test_memory_edges;
+        Alcotest.test_case "control edges" `Quick test_control_edges;
+        Alcotest.test_case "call edges" `Quick test_call_edges;
+        Alcotest.test_case "carried self edge" `Quick test_carried_edges;
+        Alcotest.test_case "carried cross edge" `Quick test_carried_cross_op;
+        Alcotest.test_case "longest path" `Quick test_longest_path;
+        Alcotest.test_case "longest path across copies" `Quick
+          test_longest_path_across_copies;
+      ] );
+    ( "sched.compact",
+      [
+        Alcotest.test_case "dependent chain" `Quick test_compact_chain;
+        Alcotest.test_case "parallel ops" `Quick test_compact_parallel;
+        Alcotest.test_case "slack" `Quick test_compact_slack;
+        Alcotest.test_case "empty block" `Quick test_compact_empty;
+        QCheck_alcotest.to_alcotest prop_compact_respects_edges;
+      ] );
+  ]

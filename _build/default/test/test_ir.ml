@@ -1,0 +1,223 @@
+(* IR-layer tests: instruction accessors, registers, and the validator's
+   rejection of malformed programs. *)
+
+module Types = Asipfb_ir.Types
+module Reg = Asipfb_ir.Reg
+module Label = Asipfb_ir.Label
+module Instr = Asipfb_ir.Instr
+module Builder = Asipfb_ir.Builder
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Validate = Asipfb_ir.Validate
+
+let reg id ty name = Reg.make ~id ~ty ~name
+
+let test_reg_identity () =
+  let a = reg 1 Types.Int "x" and b = reg 1 Types.Float "y" in
+  Alcotest.(check bool) "identity is id only" true (Reg.equal a b);
+  let c = Reg.with_id a ~id:2 in
+  Alcotest.(check bool) "with_id changes identity" false (Reg.equal a c);
+  Alcotest.(check string) "name kept" "x" (Reg.name c)
+
+let test_instr_def_uses () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let y = Builder.fresh_reg b ~ty:Types.Int ~name:"y" in
+  let z = Builder.fresh_reg b ~ty:Types.Int ~name:"z" in
+  let i = Builder.binop b Types.Add z (Instr.Reg x) (Instr.Reg y) in
+  Alcotest.(check bool) "def" true
+    (match Instr.def i with Some d -> Reg.equal d z | None -> false);
+  Alcotest.(check int) "uses" 2 (List.length (Instr.uses i));
+  let st = Builder.store b Types.Int "m" (Instr.Reg x) (Instr.Reg y) in
+  Alcotest.(check bool) "store has no def" true (Instr.def st = None);
+  Alcotest.(check bool) "store writes memory" true
+    (Instr.writes_memory st = Some "m");
+  let ld = Builder.load b Types.Int x "m" (Instr.Imm_int 0) in
+  Alcotest.(check bool) "load reads memory" true
+    (Instr.reads_memory ld = Some "m");
+  let same_use = Builder.binop b Types.Add z (Instr.Reg x) (Instr.Reg x) in
+  Alcotest.(check int) "duplicate uses preserved" 2
+    (List.length (Instr.uses same_use))
+
+let test_map_operands_preserves_opid () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let i = Builder.binop b Types.Add x (Instr.Imm_int 1) (Instr.Imm_int 2) in
+  let j = Instr.map_operands (fun _ -> Instr.Imm_int 9) i in
+  Alcotest.(check int) "opid preserved" (Instr.opid i) (Instr.opid j);
+  Alcotest.(check bool) "operands rewritten" true
+    (Instr.operands j = [ Instr.Imm_int 9; Instr.Imm_int 9 ])
+
+let test_branch_targets () =
+  let b = Builder.create () in
+  let l = Builder.fresh_label b ~hint:"l" in
+  Alcotest.(check int) "jump targets" 1
+    (List.length (Instr.branch_targets (Builder.jump b l)));
+  Alcotest.(check int) "ret targets" 0
+    (List.length (Instr.branch_targets (Builder.ret b None)))
+
+(* --- validator ---------------------------------------------------------- *)
+
+let simple_func b ~name body =
+  Func.make ~name ~params:[] ~ret_ty:None ~body:(body @ [ Builder.ret b None ])
+
+let make_prog ?(regions = []) funcs =
+  Prog.make ~funcs ~regions ~entry:"main"
+
+let has_error_containing errs fragment =
+  List.exists
+    (fun (e : Validate.error) ->
+      let msg = Format.asprintf "%a" Validate.pp_error e in
+      let nh = String.length msg and nn = String.length fragment in
+      let rec go i =
+        if i + nn > nh then false
+        else if String.sub msg i nn = fragment then true
+        else go (i + 1)
+      in
+      go 0)
+    errs
+
+let test_validate_ok () =
+  let b = Builder.create () in
+  let p = make_prog [ simple_func b ~name:"main" [] ] in
+  Alcotest.(check int) "clean program" 0 (List.length (Validate.check p))
+
+let test_validate_missing_entry () =
+  let b = Builder.create () in
+  let p = make_prog [ simple_func b ~name:"other" [] ] in
+  Alcotest.(check bool) "entry missing" true
+    (has_error_containing (Validate.check p) "entry function")
+
+let test_validate_unmarked_label () =
+  let b = Builder.create () in
+  let l = Builder.fresh_label b ~hint:"nowhere" in
+  let f =
+    Func.make ~name:"main" ~params:[] ~ret_ty:None
+      ~body:[ Builder.jump b l ]
+  in
+  Alcotest.(check bool) "branch to unmarked label" true
+    (has_error_containing (Validate.check (make_prog [ f ])) "unmarked label")
+
+let test_validate_duplicate_opid () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let i = Builder.mov b x (Instr.Imm_int 1) in
+  let dup = Instr.make ~opid:(Instr.opid i) (Instr.kind i) in
+  let f =
+    Func.make ~name:"main" ~params:[] ~ret_ty:None
+      ~body:[ i; dup; Builder.ret b None ]
+  in
+  Alcotest.(check bool) "duplicate opid" true
+    (has_error_containing (Validate.check (make_prog [ f ])) "duplicate opid")
+
+let test_validate_type_mismatch () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Float ~name:"x" in
+  let i = Instr.make ~opid:100 (Instr.Binop (Types.Add, x, Instr.Imm_int 1, Instr.Imm_int 2)) in
+  let f =
+    Func.make ~name:"main" ~params:[] ~ret_ty:None
+      ~body:[ i; Builder.ret b None ]
+  in
+  Alcotest.(check bool) "destination type mismatch" true
+    (has_error_containing
+       (Validate.check (make_prog [ f ]))
+       "destination type mismatch")
+
+let test_validate_unterminated () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let f =
+    Func.make ~name:"main" ~params:[] ~ret_ty:None
+      ~body:[ Builder.mov b x (Instr.Imm_int 1) ]
+  in
+  Alcotest.(check bool) "missing terminator" true
+    (has_error_containing
+       (Validate.check (make_prog [ f ]))
+       "end in a jump or return")
+
+let test_validate_unreachable_code () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let f =
+    Func.make ~name:"main" ~params:[] ~ret_ty:None
+      ~body:[ Builder.ret b None; Builder.mov b x (Instr.Imm_int 1);
+              Builder.ret b None ]
+  in
+  Alcotest.(check bool) "unreachable after ret" true
+    (has_error_containing (Validate.check (make_prog [ f ])) "unreachable")
+
+let test_validate_undeclared_region () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let f =
+    simple_func b ~name:"main" [ Builder.load b Types.Int x "ghost" (Instr.Imm_int 0) ]
+  in
+  Alcotest.(check bool) "undeclared region" true
+    (has_error_containing (Validate.check (make_prog [ f ])) "undeclared region")
+
+let test_validate_bad_call () =
+  let b = Builder.create () in
+  let f = simple_func b ~name:"main" [ Builder.call b None "nope" [] ] in
+  Alcotest.(check bool) "undefined callee" true
+    (has_error_containing (Validate.check (make_prog [ f ])) "undefined function")
+
+let test_validate_arity () =
+  let b = Builder.create () in
+  let callee =
+    Func.make ~name:"callee"
+      ~params:[ Builder.fresh_reg b ~ty:Types.Int ~name:"a" ]
+      ~ret_ty:None
+      ~body:[ Builder.ret b None ]
+  in
+  let f = simple_func b ~name:"main" [ Builder.call b None "callee" [] ] in
+  Alcotest.(check bool) "arity mismatch" true
+    (has_error_containing (Validate.check (make_prog [ f; callee ])) "expects 1")
+
+let test_validate_bad_region_size () =
+  let b = Builder.create () in
+  let p =
+    Prog.make
+      ~funcs:[ simple_func b ~name:"main" [] ]
+      ~regions:[ { Prog.region_name = "r"; elt_ty = Types.Int; size = 0 } ]
+      ~entry:"main"
+  in
+  Alcotest.(check bool) "zero-size region" true
+    (has_error_containing (Validate.check p) "size 0")
+
+let test_check_exn () =
+  let b = Builder.create () in
+  let good = make_prog [ simple_func b ~name:"main" [] ] in
+  Validate.check_exn good;
+  let bad = make_prog [] in
+  match Validate.check_exn bad with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected failure on empty program"
+
+let suite =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "register identity" `Quick test_reg_identity;
+        Alcotest.test_case "instr def/uses" `Quick test_instr_def_uses;
+        Alcotest.test_case "map_operands keeps opid" `Quick
+          test_map_operands_preserves_opid;
+        Alcotest.test_case "branch targets" `Quick test_branch_targets;
+      ] );
+    ( "ir.validate",
+      [
+        Alcotest.test_case "accepts clean program" `Quick test_validate_ok;
+        Alcotest.test_case "missing entry" `Quick test_validate_missing_entry;
+        Alcotest.test_case "unmarked label" `Quick test_validate_unmarked_label;
+        Alcotest.test_case "duplicate opid" `Quick test_validate_duplicate_opid;
+        Alcotest.test_case "type mismatch" `Quick test_validate_type_mismatch;
+        Alcotest.test_case "unterminated body" `Quick test_validate_unterminated;
+        Alcotest.test_case "unreachable code" `Quick
+          test_validate_unreachable_code;
+        Alcotest.test_case "undeclared region" `Quick
+          test_validate_undeclared_region;
+        Alcotest.test_case "undefined callee" `Quick test_validate_bad_call;
+        Alcotest.test_case "call arity" `Quick test_validate_arity;
+        Alcotest.test_case "region size" `Quick test_validate_bad_region_size;
+        Alcotest.test_case "check_exn" `Quick test_check_exn;
+      ] );
+  ]

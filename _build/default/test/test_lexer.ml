@@ -1,0 +1,102 @@
+(* Lexer tests: token recognition, comments, literals, positions, errors. *)
+
+module Lexer = Asipfb_frontend.Lexer
+module Token = Asipfb_frontend.Token
+
+let toks src = List.map (fun (t : Token.spanned) -> t.tok) (Lexer.tokenize src)
+
+let token_t : Token.t Alcotest.testable =
+  Alcotest.testable Token.pp ( = )
+
+let check_tokens msg expected src =
+  Alcotest.check (Alcotest.list token_t) msg (expected @ [ Token.Eof ])
+    (toks src)
+
+let test_operators () =
+  check_tokens "arith" [ Token.Plus; Token.Minus; Token.Star; Token.Slash;
+                         Token.Percent ] "+ - * / %";
+  check_tokens "compound assign"
+    [ Token.Plus_assign; Token.Minus_assign; Token.Star_assign;
+      Token.Slash_assign ] "+= -= *= /=";
+  check_tokens "inc/dec" [ Token.Plus_plus; Token.Minus_minus ] "++ --";
+  check_tokens "comparison"
+    [ Token.Lt; Token.Le; Token.Gt; Token.Ge; Token.Eq_eq; Token.Bang_eq ]
+    "< <= > >= == !=";
+  check_tokens "shift vs relational"
+    [ Token.Shl; Token.Shr; Token.Lt; Token.Gt ] "<< >> < >";
+  check_tokens "logical vs bitwise"
+    [ Token.Amp_amp; Token.Amp; Token.Pipe_pipe; Token.Pipe; Token.Caret ]
+    "&& & || | ^";
+  check_tokens "assign vs eq" [ Token.Assign; Token.Eq_eq ] "= =="
+
+let test_keywords_and_idents () =
+  check_tokens "keywords"
+    [ Token.Kw_int; Token.Kw_float; Token.Kw_void; Token.Kw_if;
+      Token.Kw_else; Token.Kw_while; Token.Kw_for; Token.Kw_return ]
+    "int float void if else while for return";
+  check_tokens "keyword prefix is ident" [ Token.Ident "integer" ] "integer";
+  check_tokens "underscored" [ Token.Ident "foo_bar2" ] "foo_bar2"
+
+let test_literals () =
+  check_tokens "ints" [ Token.Int_lit 0; Token.Int_lit 42 ] "0 42";
+  check_tokens "float with point" [ Token.Float_lit 3.5 ] "3.5";
+  check_tokens "float exponent" [ Token.Float_lit 1e3 ] "1e3";
+  check_tokens "float point+exp" [ Token.Float_lit 2.5e-2 ] "2.5e-2";
+  check_tokens "int then dot needs digit"
+    [ Token.Int_lit 1; Token.Ident "e" ] "1 e";
+  (* '3.' without a following digit lexes as int then... our rule requires a
+     digit after the point, so "3." is Int 3 followed by an error-free
+     context-dependent token — there is no '.' token, so it must error. *)
+  (match Lexer.tokenize "3." with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected error on bare trailing dot")
+
+let test_comments () =
+  check_tokens "line comment" [ Token.Int_lit 1; Token.Int_lit 2 ]
+    "1 // comment\n2";
+  check_tokens "block comment" [ Token.Int_lit 1; Token.Int_lit 2 ]
+    "1 /* anything\n at all */ 2";
+  check_tokens "comment with stars" [ Token.Int_lit 9 ] "/* ** * */ 9"
+
+let test_positions () =
+  let spanned = Lexer.tokenize "a\n  b" in
+  match spanned with
+  | [ a; b; _eof ] ->
+      Alcotest.(check (pair int int))
+        "a at 1:1" (1, 1)
+        (a.pos.line, a.pos.col);
+      Alcotest.(check (pair int int))
+        "b at 2:3" (2, 3)
+        (b.pos.line, b.pos.col)
+  | _ -> Alcotest.fail "expected exactly three tokens"
+
+let test_errors () =
+  (match Lexer.tokenize "$" with
+  | exception Lexer.Error (_, pos) ->
+      Alcotest.(check int) "error line" 1 pos.line
+  | _ -> Alcotest.fail "expected error on '$'");
+  match Lexer.tokenize "/* never closed" with
+  | exception Lexer.Error (msg, _) ->
+      Alcotest.(check bool) "mentions comment" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected error on unterminated comment"
+
+let test_empty_input () =
+  check_tokens "empty" [] "";
+  check_tokens "only whitespace" [] "  \n\t  ";
+  check_tokens "only comment" [] "// nothing\n"
+
+let suite =
+  [
+    ( "frontend.lexer",
+      [
+        Alcotest.test_case "operators" `Quick test_operators;
+        Alcotest.test_case "keywords and identifiers" `Quick
+          test_keywords_and_idents;
+        Alcotest.test_case "literals" `Quick test_literals;
+        Alcotest.test_case "comments" `Quick test_comments;
+        Alcotest.test_case "positions" `Quick test_positions;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "empty input" `Quick test_empty_input;
+      ] );
+  ]

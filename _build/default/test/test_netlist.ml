@@ -1,0 +1,95 @@
+(* Netlist generation tests. *)
+
+module Netlist = Asipfb_asip.Netlist
+module Select = Asipfb_asip.Select
+
+let choice classes =
+  {
+    Select.classes;
+    freq = 10.0;
+    area = Asipfb_asip.Cost.chain_area classes;
+    delay = Asipfb_asip.Cost.chain_delay classes;
+    saved_cycles = 100;
+  }
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_mac_netlist () =
+  let n = Netlist.of_choice (choice [ "multiply"; "add" ]) in
+  Alcotest.(check string) "named after the mnemonic" "CHN_MUL_ADD"
+    n.netlist_name;
+  Alcotest.(check int) "two FUs" 2 (List.length n.nodes);
+  (* op_a, op_b, op_c in; result out. *)
+  Alcotest.(check int) "four ports" 4 (List.length n.ports);
+  let forwarding =
+    List.filter (fun (w : Netlist.wire) -> w.is_forwarding) n.wires
+  in
+  Alcotest.(check int) "one forwarding wire" 1 (List.length forwarding);
+  Alcotest.(check (float 1e-9)) "area = unit sum"
+    (Asipfb_asip.Cost.unit_area "multiply" +. Asipfb_asip.Cost.unit_area "add")
+    (Netlist.total_area n);
+  Alcotest.(check (float 1e-9)) "delay = unit sum"
+    (Asipfb_asip.Cost.unit_delay "multiply"
+    +. Asipfb_asip.Cost.unit_delay "add")
+    (Netlist.critical_delay n)
+
+let test_store_terminated_netlist () =
+  let n = Netlist.of_choice (choice [ "fmultiply"; "fsub"; "fstore" ]) in
+  Alcotest.(check int) "three FUs" 3 (List.length n.nodes);
+  Alcotest.(check bool) "no result port" true
+    (List.for_all
+       (fun (p : Netlist.port) -> p.direction = `In)
+       n.ports);
+  Alcotest.(check int) "two forwarding wires" 2
+    (List.length
+       (List.filter (fun (w : Netlist.wire) -> w.is_forwarding) n.wires))
+
+let test_dot_output () =
+  let nets =
+    [ Netlist.of_choice (choice [ "multiply"; "add" ]);
+      Netlist.of_choice (choice [ "load"; "shift" ]) ]
+  in
+  let dot = Netlist.to_dot nets in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "two clusters" true (contains dot "cluster_1");
+  Alcotest.(check bool) "mentions both units" true
+    (contains dot "CHN_MUL_ADD" && contains dot "CHN_LD_SHF");
+  Alcotest.(check bool) "forwarding highlighted" true
+    (contains dot "color=red");
+  let s = Netlist.summary nets in
+  Alcotest.(check bool) "summary lines" true
+    (contains s "CHN_MUL_ADD" && contains s "2 FUs")
+
+let test_netlists_for_real_selection () =
+  let a = Asipfb.Pipeline.analyze (Asipfb_bench_suite.Registry.find "smooth") in
+  let sched = Asipfb.Pipeline.sched a Asipfb_sched.Opt_level.O1 in
+  let choices =
+    Select.choose Select.default_config sched ~profile:a.profile
+  in
+  let nets = List.map Netlist.of_choice choices in
+  Alcotest.(check bool) "netlists built" true (nets <> []);
+  List.iter
+    (fun (n : Netlist.t) ->
+      Alcotest.(check bool) (n.netlist_name ^ " within clock") true
+        (Netlist.critical_delay n <= Select.default_config.max_delay +. 1e-9))
+    nets
+
+let suite =
+  [
+    ( "asip.netlist",
+      [
+        Alcotest.test_case "MAC netlist" `Quick test_mac_netlist;
+        Alcotest.test_case "store-terminated" `Quick
+          test_store_terminated_netlist;
+        Alcotest.test_case "dot output" `Quick test_dot_output;
+        Alcotest.test_case "real selection" `Quick
+          test_netlists_for_real_selection;
+      ] );
+  ]

@@ -1,0 +1,216 @@
+(* Parser tests: precedence, statement forms, top-level declarations,
+   syntax errors, and a print/reparse fixpoint property. *)
+
+module Parser = Asipfb_frontend.Parser
+module Ast = Asipfb_frontend.Ast
+
+let show_expr e = Format.asprintf "%a" Ast.pp_expr e
+let parse_show src = show_expr (Parser.parse_expr src)
+
+let check_expr msg expected src =
+  Alcotest.(check string) msg expected (parse_show src)
+
+let test_precedence () =
+  check_expr "mul binds tighter" "(1 + (2 * 3))" "1 + 2 * 3";
+  check_expr "left assoc sub" "((1 - 2) - 3)" "1 - 2 - 3";
+  check_expr "shift below add" "((1 + 2) << 3)" "1 + 2 << 3";
+  check_expr "relational below shift" "((1 << 2) < (3 << 4))"
+    "1 << 2 < 3 << 4";
+  check_expr "equality below relational" "((1 < 2) == (3 > 4))"
+    "1 < 2 == 3 > 4";
+  check_expr "bitand below equality" "((1 == 2) & (3 == 4))"
+    "1 == 2 & 3 == 4";
+  check_expr "xor between and/or" "((1 & 2) ^ (3 & 4))" "1 & 2 ^ 3 & 4";
+  check_expr "bitor above xor" "((1 ^ 2) | 3)" "1 ^ 2 | 3";
+  check_expr "logical and below bitor" "((1 | 2) && 3)" "1 | 2 && 3";
+  check_expr "logical or lowest" "(1 || (2 && 3))" "1 || 2 && 3";
+  check_expr "parens override" "((1 + 2) * 3)" "(1 + 2) * 3"
+
+let test_unary_and_cast () =
+  check_expr "negation" "((-1) + 2)" "-1 + 2";
+  check_expr "double negation" "(-(-1))" "- -1";
+  check_expr "logical not" "(!(1 < 2))" "!(1 < 2)";
+  check_expr "bitwise not" "(~5)" "~5";
+  check_expr "unary plus dropped" "5" "+5";
+  check_expr "int cast" "((int)3.5)" "(int)3.5";
+  check_expr "float cast binds unary" "(((float)2) * 3)" "(float)2 * 3";
+  check_expr "paren expr is not a cast" "(x + 1)" "(x) + 1"
+
+let test_conditional () =
+  check_expr "ternary" "(1 ? 2 : 3)" "1 ? 2 : 3";
+  check_expr "right assoc" "(1 ? 2 : (3 ? 4 : 5))" "1 ? 2 : 3 ? 4 : 5";
+  check_expr "condition binds ||" "((1 || 2) ? 3 : 4)" "1 || 2 ? 3 : 4"
+
+let test_postfix () =
+  check_expr "index" "a[(i + 1)]" "a[i + 1]";
+  check_expr "call no args" "f()" "f()";
+  check_expr "call args" "f(1, (2 + 3))" "f(1, 2 + 3)";
+  check_expr "call in expr" "(f(1) + g(2))" "f(1) + g(2)"
+
+let parse_fn body =
+  let src = Printf.sprintf "void main() { %s }" body in
+  let p = Parser.parse src in
+  match p.funcs with
+  | [ f ] -> f.f_body
+  | _ -> Alcotest.fail "expected one function"
+
+let test_statements () =
+  (match parse_fn "int x = 1; x = 2;" with
+  | [ { sdesc = Ast.Decl (Ast.Tint, "x", Some _); _ };
+      { sdesc = Ast.Assign (Ast.Lvar "x", _); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "decl+assign shape");
+  (match parse_fn "int a, b = 2;" with
+  | [ { sdesc = Ast.Seq [ _; _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "multi-declarator becomes a scopeless pair");
+  (match parse_fn "x += 1; y[2] -= 3;" with
+  | [ { sdesc = Ast.Op_assign (Ast.Add, Ast.Lvar "x", _); _ };
+      { sdesc = Ast.Op_assign (Ast.Sub, Ast.Lindex ("y", _), _); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "op-assign shapes");
+  (match parse_fn "i++; j--;" with
+  | [ { sdesc = Ast.Incr (Ast.Lvar "i"); _ };
+      { sdesc = Ast.Decr (Ast.Lvar "j"); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "inc/dec shapes");
+  (match parse_fn "if (x) y = 1; else { y = 2; }" with
+  | [ { sdesc = Ast.If (_, [ _ ], Some [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "if with unbraced then and braced else");
+  (match parse_fn "while (i < 10) i++;" with
+  | [ { sdesc = Ast.While (_, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "while with single-statement body");
+  (match parse_fn "for (i = 0; i < 10; i++) { s = s + i; }" with
+  | [ { sdesc = Ast.For (Some _, Some _, Some _, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "full for header");
+  (match parse_fn "for (;;) { x = 1; }" with
+  | [ { sdesc = Ast.For (None, None, None, _); _ } ] -> ()
+  | _ -> Alcotest.fail "empty for header");
+  (match parse_fn "for (int i = 0; i < 3; i++) x = i;" with
+  | [ { sdesc = Ast.For (Some { sdesc = Ast.Decl _; _ }, _, _, _); _ } ] -> ()
+  | _ -> Alcotest.fail "C99 loop-scoped declaration");
+  (match parse_fn "return;" with
+  | [ { sdesc = Ast.Return None; _ } ] -> ()
+  | _ -> Alcotest.fail "bare return");
+  (match parse_fn "return x + 1;" with
+  | [ { sdesc = Ast.Return (Some _); _ } ] -> ()
+  | _ -> Alcotest.fail "return with value");
+  (match parse_fn "f(1);" with
+  | [ { sdesc = Ast.Expr_stmt { edesc = Ast.Call ("f", [ _ ]); _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "call statement");
+  match parse_fn ";" with
+  | [ { sdesc = Ast.Block []; _ } ] -> ()
+  | _ -> Alcotest.fail "empty statement"
+
+let test_top_level () =
+  let p = Parser.parse "int buf[16]; float w[4]; int f(int a, float b) { return a; }" in
+  Alcotest.(check int) "two globals" 2 (List.length p.globals);
+  Alcotest.(check int) "one function" 1 (List.length p.funcs);
+  (match p.globals with
+  | [ g1; g2 ] ->
+      Alcotest.(check string) "first global" "buf" g1.g_name;
+      Alcotest.(check int) "size" 16 g1.g_size;
+      Alcotest.(check string) "second global" "w" g2.g_name
+  | _ -> Alcotest.fail "globals");
+  match p.funcs with
+  | [ f ] ->
+      Alcotest.(check int) "two params" 2 (List.length f.f_params);
+      Alcotest.(check bool) "ret int" true (f.f_ret = Ast.Tint)
+  | _ -> Alcotest.fail "funcs"
+
+let expect_syntax_error src =
+  match Parser.parse src with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail ("expected syntax error: " ^ src)
+
+let test_errors () =
+  expect_syntax_error "void main() { 1 = 2; }";
+  expect_syntax_error "void main() { if x { } }";
+  expect_syntax_error "void main() { int; }";
+  expect_syntax_error "void main() { x + ; }";
+  expect_syntax_error "void main() { return 1 }";
+  expect_syntax_error "int a[]; void main() { }";
+  expect_syntax_error "void main() { for (i = 0 i < 3; i++) x = 1; }";
+  expect_syntax_error "void v; void main() { }";
+  (match Parser.parse_expr "1 + 2 extra" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "trailing input rejected")
+
+(* Printing a parsed program and reparsing it must reach a fixpoint. *)
+let test_roundtrip_fixpoint () =
+  let src =
+    {|
+int data[8];
+float scale[4];
+int sum(int n) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    acc += data[i] * 2;
+  }
+  return acc;
+}
+void main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    data[i] = i << 1;
+  }
+  i = sum(8);
+  data[0] = i > 100 ? 100 : i;
+}
+|}
+  in
+  let once = Format.asprintf "%a" Ast.pp_program (Parser.parse src) in
+  let twice = Format.asprintf "%a" Ast.pp_program (Parser.parse once) in
+  Alcotest.(check string) "pp . parse fixpoint" once twice
+
+(* Random expression generator for the print/reparse property. *)
+let gen_expr =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map (fun i -> Ast.Int_lit (abs i)) small_int;
+            map (fun f -> Ast.Float_lit (Float.abs f +. 0.5))
+              (float_bound_exclusive 100.0);
+            return (Ast.Var "x");
+            return (Ast.Var "y");
+          ]
+      in
+      let wrap d = { Ast.edesc = d; epos = { line = 0; col = 0 } } in
+      if n <= 0 then map wrap leaf
+      else
+        let sub = self (n / 2) in
+        map wrap
+          (oneof
+             [
+               leaf;
+               map2 (fun a b -> Ast.Binary (Ast.Add, a, b)) sub sub;
+               map2 (fun a b -> Ast.Binary (Ast.Mul, a, b)) sub sub;
+               map2 (fun a b -> Ast.Binary (Ast.Lt, a, b)) sub sub;
+               map (fun a -> Ast.Unary (Ast.Neg, a)) sub;
+               map3 (fun c a b -> Ast.Cond (c, a, b)) sub sub sub;
+             ]))
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"pp_expr then parse_expr is identity" ~count:300
+    gen_expr (fun e ->
+      let printed = show_expr e in
+      let reparsed = Parser.parse_expr printed in
+      show_expr reparsed = printed)
+
+let suite =
+  [
+    ( "frontend.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_precedence;
+        Alcotest.test_case "unary and cast" `Quick test_unary_and_cast;
+        Alcotest.test_case "conditional" `Quick test_conditional;
+        Alcotest.test_case "postfix" `Quick test_postfix;
+        Alcotest.test_case "statements" `Quick test_statements;
+        Alcotest.test_case "top level" `Quick test_top_level;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "roundtrip fixpoint" `Quick test_roundtrip_fixpoint;
+        QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,179 @@
+(* Reaching-definitions and def-use chain tests. *)
+
+module Lower = Asipfb_frontend.Lower
+module Prog = Asipfb_ir.Prog
+module Instr = Asipfb_ir.Instr
+module Reg = Asipfb_ir.Reg
+module Cfg = Asipfb_cfg.Cfg
+module Reaching = Asipfb_cfg.Reaching
+
+let setup src =
+  let p = Lower.compile src ~entry:"main" in
+  let f = Prog.find_func p "main" in
+  let cfg = Cfg.build f in
+  (f, cfg, Reaching.compute cfg)
+
+(* Find the opid of the k-th instruction satisfying [pred]. *)
+let opid_of (f : Asipfb_ir.Func.t) pred =
+  match List.find_opt pred f.body with
+  | Some i -> Instr.opid i
+  | None -> Alcotest.fail "instruction not found"
+
+let defines_named name i =
+  match Instr.def i with Some d -> Reg.name d = name | None -> false
+
+let test_straight_line_kill () =
+  let _, _, r =
+    setup "int out[1]; void main() { int x = 1; x = 2; out[0] = x; }"
+  in
+  ignore r;
+  (* With both defs in one block, only the second reaches the exit. *)
+  let f, cfg, r =
+    setup "int out[1]; void main() { int x = 1; x = 2; out[0] = x; }"
+  in
+  ignore cfg;
+  let first = opid_of f (defines_named "x") in
+  let out = Reaching.reach_out r 0 in
+  Alcotest.(check bool) "first def killed" false (List.mem first out);
+  Alcotest.(check bool) "some def of x reaches" true (out <> [])
+
+let test_branch_merge () =
+  let f, cfg, r =
+    setup
+      "int out[1]; void main() { int x = 1; if (out[0] > 0) x = 2; else x = 3; out[0] = x; }"
+  in
+  (* The join block sees both branch definitions but not the initial one. *)
+  let join =
+    Array.to_list cfg.blocks
+    |> List.find (fun (b : Cfg.block) -> List.length b.preds = 2)
+  in
+  let reaching = Reaching.reach_in r join.index in
+  let defs_of_x =
+    List.filter
+      (fun opid ->
+        List.exists
+          (fun i -> Instr.opid i = opid && defines_named "x" i)
+          f.body)
+      reaching
+  in
+  Alcotest.(check int) "two defs of x reach the join" 2
+    (List.length defs_of_x)
+
+let test_loop_def_reaches_itself () =
+  let f, cfg, r =
+    setup "void main() { int i = 0; while (i < 4) { i = i + 1; } }"
+  in
+  (* The loop-body increment reaches the loop header (around the back
+     edge). *)
+  let body_def =
+    opid_of f (fun i ->
+        match Instr.kind i with
+        | Instr.Binop (Asipfb_ir.Types.Add, d, _, _) -> Reg.name d = "i"
+        | _ -> false)
+  in
+  let header =
+    Array.to_list cfg.blocks
+    |> List.find (fun (b : Cfg.block) -> List.length b.preds = 2)
+  in
+  Alcotest.(check bool) "increment reaches header" true
+    (List.mem body_def (Reaching.reach_in r header.index))
+
+let test_defs_reaching_use () =
+  let f, cfg, r =
+    setup "int out[1]; void main() { int x = 5; int y = x + 1; out[0] = y; }"
+  in
+  ignore cfg;
+  (* The use of x in the addition sees exactly the single definition. *)
+  let def_x = opid_of f (defines_named "x") in
+  let x_reg =
+    match
+      List.find_opt (defines_named "x") f.body
+    with
+    | Some i -> (match Instr.def i with Some d -> d | None -> assert false)
+    | None -> assert false
+  in
+  (* Position of the add in block 0. *)
+  let pos =
+    match
+      Asipfb_util.Listx.index_of
+        (fun i ->
+          match Instr.kind i with
+          | Instr.Binop (Asipfb_ir.Types.Add, _, _, _) -> true
+          | _ -> false)
+        f.body
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "no add"
+  in
+  Alcotest.(check (list int)) "single reaching def" [ def_x ]
+    (Reaching.defs_reaching_use r ~block:0 ~pos ~reg:x_reg)
+
+let test_du_chains () =
+  let f, _, r =
+    setup
+      "int out[2]; void main() { int x = 5; out[0] = x; out[1] = x * 2; }"
+  in
+  let def_x = opid_of f (defines_named "x") in
+  let chains = Reaching.du_chains r in
+  match List.assoc_opt def_x chains with
+  | Some uses -> Alcotest.(check int) "x used twice" 2 (List.length uses)
+  | None -> Alcotest.fail "def of x has no chain"
+
+let test_single_def_uses () =
+  let f, _, r =
+    setup
+      "int out[1]; void main() { int a = 1; int b; if (out[0] > 0) b = 2; else b = 3; out[0] = a + b; }"
+  in
+  let def_a = opid_of f (defines_named "a") in
+  let singles = Reaching.single_def_uses r in
+  Alcotest.(check bool) "a is single-def at its use" true
+    (List.mem def_a singles);
+  (* b has two reaching defs at its use, so neither qualifies. *)
+  let b_defs =
+    List.filter_map
+      (fun i ->
+        if defines_named "b" i then Some (Instr.opid i) else None)
+      f.body
+  in
+  List.iter
+    (fun opid ->
+      Alcotest.(check bool) "b defs not single" false (List.mem opid singles))
+    b_defs
+
+let prop_reaching_terminates_and_sound =
+  QCheck2.Test.make ~name:"every use has a reaching def on random programs"
+    ~count:50 Gen_minic.gen_program (fun src ->
+      let p = Lower.compile src ~entry:"main" in
+      let f = Prog.find_func p "main" in
+      let cfg = Cfg.build f in
+      let r = Reaching.compute cfg in
+      (* Every register use whose register is defined somewhere in the
+         function must see at least one reaching definition (our generator
+         initializes every variable before use). *)
+      let defined_regs = Asipfb_ir.Func.defined_regs f in
+      Array.for_all
+        (fun (b : Cfg.block) ->
+          List.for_all
+            (fun (pos, i) ->
+              List.for_all
+                (fun reg ->
+                  (not (Asipfb_ir.Reg.Set.mem reg defined_regs))
+                  || Reaching.defs_reaching_use r ~block:b.index ~pos ~reg
+                     <> [])
+                (Instr.uses i))
+            (List.mapi (fun pos i -> (pos, i)) b.instrs))
+        cfg.blocks)
+
+let suite =
+  [
+    ( "cfg.reaching",
+      [
+        Alcotest.test_case "straight-line kill" `Quick test_straight_line_kill;
+        Alcotest.test_case "branch merge" `Quick test_branch_merge;
+        Alcotest.test_case "loop back edge" `Quick test_loop_def_reaches_itself;
+        Alcotest.test_case "defs reaching a use" `Quick test_defs_reaching_use;
+        Alcotest.test_case "def-use chains" `Quick test_du_chains;
+        Alcotest.test_case "single-def uses" `Quick test_single_def_uses;
+        QCheck_alcotest.to_alcotest prop_reaching_terminates_and_sound;
+      ] );
+  ]

@@ -1,0 +1,121 @@
+(* Report-layer tests: tables, charts, CSV. *)
+
+module Table = Asipfb_report.Table
+module Chart = Asipfb_report.Chart
+module Csv = Asipfb_report.Csv
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_table_layout () =
+  let rendered =
+    Table.render ~headers:[ "Name"; "Value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* All lines are the same width. *)
+  (match lines with
+  | first :: rest ->
+      List.iter
+        (fun line ->
+          Alcotest.(check int) "aligned widths" (String.length first)
+            (String.length line))
+        rest
+  | [] -> Alcotest.fail "empty render");
+  Alcotest.(check bool) "contains cell" true (contains rendered "alpha")
+
+let test_table_alignment () =
+  let rendered =
+    Table.render
+      ~aligns:[ Table.Left; Table.Right ]
+      ~headers:[ "k"; "num" ]
+      ~rows:[ [ "x"; "5" ] ]
+      ()
+  in
+  Alcotest.(check bool) "right-aligned number" true
+    (contains rendered "|   5 |")
+
+let test_table_ragged_rows () =
+  let rendered =
+    Table.render ~headers:[ "a"; "b"; "c" ] ~rows:[ [ "1" ]; [ "1"; "2"; "3"; ] ] ()
+  in
+  Alcotest.(check bool) "no exception, padded" true
+    (String.length rendered > 0)
+
+let test_fmt () =
+  Alcotest.(check string) "pct" "13.78%" (Table.fmt_pct 13.78);
+  Alcotest.(check string) "float default" "2.50" (Table.fmt_float 2.5);
+  Alcotest.(check string) "float decimals" "2.5000"
+    (Table.fmt_float ~decimals:4 2.5)
+
+let test_line_chart () =
+  let rendered =
+    Chart.line ~title:"t"
+      ~series:[ ("up", [ 1.0; 2.0; 3.0 ]); ("down", [ 3.0; 2.0 ]) ]
+      ()
+  in
+  Alcotest.(check bool) "has title" true (contains rendered "t\n");
+  Alcotest.(check bool) "has legend" true (contains rendered "o = up");
+  Alcotest.(check bool) "has second glyph" true (contains rendered "x = down");
+  Alcotest.(check bool) "y axis max labelled" true (contains rendered "3.00")
+
+let test_line_chart_empty_series () =
+  let rendered = Chart.line ~series:[ ("none", []) ] () in
+  Alcotest.(check bool) "renders without exception" true
+    (String.length rendered > 0)
+
+let test_bar_chart () =
+  let rendered =
+    Chart.bars ~width:10 ~items:[ ("big", 10.0); ("half", 5.0) ] ()
+  in
+  Alcotest.(check bool) "big bar full width" true
+    (contains rendered (String.make 10 '#'));
+  Alcotest.(check bool) "half bar half width" true
+    (contains rendered (String.make 5 '#'));
+  Alcotest.(check bool) "labels aligned" true (contains rendered "big ");
+  let zero = Chart.bars ~items:[ ("z", 0.0) ] () in
+  Alcotest.(check bool) "zero renders" true (String.length zero > 0)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain untouched" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_rows () =
+  Alcotest.(check string) "rows" "a,b\n1,\"x,y\"\n"
+    (Csv.of_rows [ [ "a"; "b" ]; [ "1"; "x,y" ] ])
+
+let test_csv_file () =
+  let path = Filename.temp_file "asipfb" ".csv" in
+  Csv.write_file ~path [ [ "h" ]; [ "v" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file contents" "h\nv\n" content
+
+let suite =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "table layout" `Quick test_table_layout;
+        Alcotest.test_case "table alignment" `Quick test_table_alignment;
+        Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+        Alcotest.test_case "formatting" `Quick test_fmt;
+        Alcotest.test_case "line chart" `Quick test_line_chart;
+        Alcotest.test_case "empty series" `Quick test_line_chart_empty_series;
+        Alcotest.test_case "bar chart" `Quick test_bar_chart;
+        Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+        Alcotest.test_case "csv rows" `Quick test_csv_rows;
+        Alcotest.test_case "csv file" `Quick test_csv_file;
+      ] );
+  ]

@@ -1,0 +1,180 @@
+(* Semantic analysis tests: typing, promotion, scoping, desugaring, and the
+   mini-C restrictions. *)
+
+module Parser = Asipfb_frontend.Parser
+module Ast = Asipfb_frontend.Ast
+module Sema = Asipfb_frontend.Sema
+module Tast = Asipfb_frontend.Tast
+module Types = Asipfb_ir.Types
+
+let check_ok src =
+  match Sema.check (Parser.parse src) with
+  | tp -> tp
+  | exception Sema.Error (msg, _) -> Alcotest.fail ("unexpected error: " ^ msg)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let expect_error ~containing src =
+  match Sema.check (Parser.parse src) with
+  | exception Sema.Error (msg, _) ->
+      if contains msg containing then ()
+      else
+        Alcotest.fail
+          (Printf.sprintf "error %S does not mention %S" msg containing)
+  | _ -> Alcotest.fail ("expected a semantic error: " ^ src)
+
+let body_of tp name =
+  match
+    List.find_opt (fun (f : Tast.tfunc) -> f.tf_name = name) tp.Tast.tfuncs
+  with
+  | Some f -> f.tf_body
+  | None -> Alcotest.fail ("no function " ^ name)
+
+let test_promotion () =
+  let tp = check_ok "void main() { float x = 1; int i = 3; x = x + i; }" in
+  match body_of tp "main" with
+  | [ Tast.Tdecl (Types.Float, _, Some init); _;
+      Tast.Tassign_var (_, rhs) ] ->
+      (* int literal folded to a float literal *)
+      (match init.tdesc with
+      | Tast.Tfloat_lit 1.0 -> ()
+      | _ -> Alcotest.fail "literal fold");
+      (* i promoted via cast inside the addition *)
+      (match rhs.tdesc with
+      | Tast.Tbinary (Ast.Add, _, { tdesc = Tast.Tcast (Types.Float, _); _ })
+        -> ()
+      | _ -> Alcotest.fail "promotion cast on the int operand");
+      Alcotest.(check bool) "rhs is float" true (rhs.tty = Types.Float)
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_comparison_type () =
+  let tp = check_ok "void main() { float x = 1.0; int b = x < 2.0; }" in
+  match body_of tp "main" with
+  | [ _; Tast.Tdecl (Types.Int, _, Some cmp) ] ->
+      Alcotest.(check bool) "comparison yields int" true (cmp.tty = Types.Int)
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_desugar_for () =
+  let tp =
+    check_ok "void main() { int s = 0; int i; for (i = 0; i < 4; i++) s += i; }"
+  in
+  let rec has_loop = function
+    | [] -> false
+    | Tast.Tloop (_, _, step) :: _ -> step <> []
+    | Tast.Tblock b :: rest -> has_loop b || has_loop rest
+    | _ :: rest -> has_loop rest
+  in
+  Alcotest.(check bool) "for desugars to a stepped loop" true
+    (has_loop (body_of tp "main"))
+
+let test_desugar_incr_on_array () =
+  let tp = check_ok "int h[4]; void main() { h[2]++; }" in
+  match body_of tp "main" with
+  | [ Tast.Tassign_arr ("h", _, rhs) ] -> (
+      match rhs.tdesc with
+      | Tast.Tbinary (Ast.Add, _, { tdesc = Tast.Tint_lit 1; _ }) -> ()
+      | _ -> Alcotest.fail "increment desugars to +1")
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_shadowing_renames () =
+  let tp =
+    check_ok
+      "void main() { int x = 1; { int x = 2; x = 3; } x = 4; }"
+  in
+  let rec assigned acc = function
+    | [] -> acc
+    | Tast.Tassign_var (name, _) :: rest -> assigned (name :: acc) rest
+    | Tast.Tdecl (_, name, Some _) :: rest -> assigned (name :: acc) rest
+    | Tast.Tblock b :: rest -> assigned (assigned acc b) rest
+    | _ :: rest -> assigned acc rest
+  in
+  let names = List.sort_uniq compare (assigned [] (body_of tp "main")) in
+  Alcotest.(check int) "two distinct x's" 2 (List.length names)
+
+let test_intrinsics () =
+  let tp = check_ok "void main() { float y = sin(1); }" in
+  match body_of tp "main" with
+  | [ Tast.Tdecl (Types.Float, _, Some e) ] -> (
+      match e.tdesc with
+      | Tast.Tintrinsic (Types.Sin, arg) ->
+          Alcotest.(check bool) "argument promoted to float" true
+            (arg.tty = Types.Float)
+      | _ -> Alcotest.fail "sin becomes an intrinsic")
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_condition_float_coercion () =
+  let tp = check_ok "void main() { float x = 0.5; if (x) x = 1.0; }" in
+  match body_of tp "main" with
+  | [ _; Tast.Tif (cond, _, _) ] ->
+      Alcotest.(check bool) "condition is int-typed" true
+        (cond.tty = Types.Int)
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_errors () =
+  expect_error ~containing:"undeclared variable"
+    "void main() { x = 1; }";
+  expect_error ~containing:"undeclared array"
+    "void main() { a[0] = 1; }";
+  expect_error ~containing:"without an index"
+    "int a[4]; void main() { int x = a; }";
+  expect_error ~containing:"is a scalar"
+    "void main() { int x = 0; x[1] = 2; }";
+  expect_error ~containing:"redeclaration"
+    "void main() { int x = 1; int x = 2; }";
+  expect_error ~containing:"index must be an int"
+    "int a[4]; void main() { a[1.5] = 1; }";
+  expect_error ~containing:"must be int"
+    "void main() { float x = 1.0 % 2.0; }";
+  expect_error ~containing:"void"
+    "void f() { } void main() { int x = f(); }";
+  expect_error ~containing:"expects 2 arguments"
+    "int g(int a, int b) { return a; } void main() { int x = g(1); }";
+  expect_error ~containing:"undeclared function"
+    "void main() { h(1); }";
+  expect_error ~containing:"returns a value"
+    "void main() { return 3; }";
+  expect_error ~containing:"returns no value"
+    "int f() { return; } void main() { }";
+  expect_error ~containing:"recursion"
+    "int f(int n) { return f(n - 1); } void main() { }";
+  expect_error ~containing:"recursion"
+    "int f(int n) { return g(n); } int g(int n) { return f(n); } void main() { }";
+  expect_error ~containing:"declared twice"
+    "int a[4]; int a[8]; void main() { }";
+  expect_error ~containing:"declared twice"
+    "void f() { } void f() { } void main() { }";
+  expect_error ~containing:"shadows a builtin"
+    "float sin(float x) { return x; } void main() { }";
+  expect_error ~containing:"positive size"
+    "int a[0]; void main() { }";
+  expect_error ~containing:"one argument"
+    "void main() { float x = sqrt(1.0, 2.0); }";
+  expect_error ~containing:"'break' outside"
+    "void main() { break; }";
+  expect_error ~containing:"'continue' outside"
+    "void main() { if (1 > 0) { continue; } }"
+
+let suite =
+  [
+    ( "frontend.sema",
+      [
+        Alcotest.test_case "int/float promotion" `Quick test_promotion;
+        Alcotest.test_case "comparison type" `Quick test_comparison_type;
+        Alcotest.test_case "for desugars to while" `Quick test_desugar_for;
+        Alcotest.test_case "array increment desugars" `Quick
+          test_desugar_incr_on_array;
+        Alcotest.test_case "shadowing renames apart" `Quick
+          test_shadowing_renames;
+        Alcotest.test_case "math intrinsics" `Quick test_intrinsics;
+        Alcotest.test_case "float condition coerces" `Quick
+          test_condition_float_coercion;
+        Alcotest.test_case "errors" `Quick test_errors;
+      ] );
+  ]

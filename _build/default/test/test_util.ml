@@ -1,0 +1,198 @@
+(* Unit and property tests for asipfb.util. *)
+
+module Prng = Asipfb_util.Prng
+module Idgen = Asipfb_util.Idgen
+module Listx = Asipfb_util.Listx
+
+let check = Alcotest.check
+
+(* --- Prng --------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  let xs = List.init 64 (fun _ -> Prng.next_int a ~bound:1000) in
+  let ys = List.init 64 (fun _ -> Prng.next_int b ~bound:1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" xs ys
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xs = List.init 32 (fun _ -> Prng.next_int a ~bound:1_000_000) in
+  let ys = List.init 32 (fun _ -> Prng.next_int b ~bound:1_000_000) in
+  check Alcotest.bool "different seeds diverge" true (xs <> ys)
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:3 in
+  let _ = Prng.next_int a ~bound:10 in
+  let b = Prng.copy a in
+  let xa = Prng.next_int a ~bound:1000 in
+  let xb = Prng.next_int b ~bound:1000 in
+  check Alcotest.int "copy continues from the same state" xa xb;
+  (* advancing the copy does not disturb the original *)
+  let _ = Prng.next_int b ~bound:1000 in
+  let a' = Prng.copy a in
+  check Alcotest.int "original unaffected"
+    (Prng.next_int a ~bound:1000)
+    (Prng.next_int a' ~bound:1000)
+
+let test_prng_bad_bound () =
+  let g = Prng.create ~seed:0 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.next_int: bound must be positive") (fun () ->
+      ignore (Prng.next_int g ~bound:0))
+
+let test_prng_bad_range () =
+  let g = Prng.create ~seed:0 in
+  Alcotest.check_raises "empty range rejected"
+    (Invalid_argument "Prng.next_float_range: empty range") (fun () ->
+      ignore (Prng.next_float_range g ~lo:1.0 ~hi:1.0))
+
+let prop_prng_int_bounds =
+  QCheck2.Test.make ~name:"prng ints within bound" ~count:200
+    QCheck2.Gen.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let xs = Prng.int_array g ~len:50 ~bound in
+      Array.for_all (fun x -> x >= 0 && x < bound) xs)
+
+let prop_prng_float_bounds =
+  QCheck2.Test.make ~name:"prng floats within range" ~count:200
+    QCheck2.Gen.small_int (fun seed ->
+      let g = Prng.create ~seed in
+      let xs = Prng.float_array g ~len:50 ~lo:(-2.5) ~hi:3.5 in
+      Array.for_all (fun x -> x >= -2.5 && x < 3.5) xs)
+
+(* --- Idgen -------------------------------------------------------------- *)
+
+let test_idgen_sequence () =
+  let g = Idgen.create () in
+  let a = Idgen.fresh g in
+  let b = Idgen.fresh g in
+  let c = Idgen.fresh g in
+  check (Alcotest.list Alcotest.int) "0,1,2" [ 0; 1; 2 ] [ a; b; c ]
+
+let test_idgen_peek () =
+  let g = Idgen.create () in
+  check Alcotest.int "peek does not advance" (Idgen.peek g) (Idgen.peek g);
+  let v = Idgen.fresh g in
+  check Alcotest.int "fresh returns peeked" 0 v
+
+let test_idgen_advance_past () =
+  let g = Idgen.create () in
+  Idgen.advance_past g 10;
+  check Alcotest.int "skips past" 11 (Idgen.fresh g);
+  Idgen.advance_past g 5;
+  check Alcotest.int "no-op when behind" 12 (Idgen.fresh g)
+
+(* --- Listx -------------------------------------------------------------- *)
+
+let test_take_drop () =
+  check (Alcotest.list Alcotest.int) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  check (Alcotest.list Alcotest.int) "take beyond" [ 1 ] (Listx.take 5 [ 1 ]);
+  check (Alcotest.list Alcotest.int) "take zero" [] (Listx.take 0 [ 1 ]);
+  check (Alcotest.list Alcotest.int) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  check (Alcotest.list Alcotest.int) "drop beyond" [] (Listx.drop 5 [ 1 ])
+
+let prop_take_drop_partition =
+  QCheck2.Test.make ~name:"take n @ drop n = original" ~count:300
+    QCheck2.Gen.(pair small_nat (small_list int))
+    (fun (n, l) -> Listx.take n l @ Listx.drop n l = l)
+
+let test_sum_by () =
+  check (Alcotest.float 1e-9) "sum" 6.0
+    (Listx.sum_by float_of_int [ 1; 2; 3 ]);
+  check (Alcotest.float 1e-9) "empty" 0.0 (Listx.sum_by float_of_int [])
+
+let test_max_by () =
+  check (Alcotest.option Alcotest.int) "max" (Some 9)
+    (Listx.max_by float_of_int [ 3; 9; 1 ]);
+  check (Alcotest.option Alcotest.int) "empty" None
+    (Listx.max_by float_of_int []);
+  (* ties resolve to the first *)
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+    "first of ties"
+    (Some (1, "a"))
+    (Listx.max_by
+       (fun (v, _) -> float_of_int v)
+       [ (1, "a"); (1, "b") ])
+
+let test_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.int)))
+    "parity groups"
+    [ (1, [ 1; 3; 5 ]); (0, [ 2; 4 ]) ]
+    groups
+
+let prop_group_by_preserves_elements =
+  QCheck2.Test.make ~name:"group_by preserves all elements" ~count:300
+    QCheck2.Gen.(small_list (int_range 0 5))
+    (fun l ->
+      let grouped = Listx.group_by (fun x -> x mod 3) l in
+      List.sort compare (List.concat_map snd grouped) = List.sort compare l)
+
+let test_index_of () =
+  check (Alcotest.option Alcotest.int) "found" (Some 1)
+    (Listx.index_of (fun x -> x > 1) [ 1; 2; 3 ]);
+  check (Alcotest.option Alcotest.int) "missing" None
+    (Listx.index_of (fun x -> x > 9) [ 1; 2; 3 ])
+
+let test_dedup () =
+  check (Alcotest.list Alcotest.int) "dedup keeps first" [ 1; 2; 3 ]
+    (Listx.dedup ( = ) [ 1; 2; 1; 3; 2 ])
+
+let prop_dedup_idempotent =
+  QCheck2.Test.make ~name:"dedup idempotent" ~count:300
+    QCheck2.Gen.(small_list (int_range 0 10))
+    (fun l ->
+      let once = Listx.dedup ( = ) l in
+      Listx.dedup ( = ) once = once)
+
+let test_pairs () =
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "adjacent pairs"
+    [ (1, 2); (2, 3) ]
+    (Listx.pairs [ 1; 2; 3 ]);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "singleton" [] (Listx.pairs [ 1 ])
+
+let prop_pairs_length =
+  QCheck2.Test.make ~name:"pairs length = n-1" ~count:300
+    QCheck2.Gen.(small_list int)
+    (fun l -> List.length (Listx.pairs l) = max 0 (List.length l - 1))
+
+let suite =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "copy independence" `Quick test_prng_copy_independent;
+        Alcotest.test_case "bad bound" `Quick test_prng_bad_bound;
+        Alcotest.test_case "bad range" `Quick test_prng_bad_range;
+        QCheck_alcotest.to_alcotest prop_prng_int_bounds;
+        QCheck_alcotest.to_alcotest prop_prng_float_bounds;
+      ] );
+    ( "util.idgen",
+      [
+        Alcotest.test_case "sequence" `Quick test_idgen_sequence;
+        Alcotest.test_case "peek" `Quick test_idgen_peek;
+        Alcotest.test_case "advance_past" `Quick test_idgen_advance_past;
+      ] );
+    ( "util.listx",
+      [
+        Alcotest.test_case "take/drop" `Quick test_take_drop;
+        Alcotest.test_case "sum_by" `Quick test_sum_by;
+        Alcotest.test_case "max_by" `Quick test_max_by;
+        Alcotest.test_case "group_by" `Quick test_group_by;
+        Alcotest.test_case "index_of" `Quick test_index_of;
+        Alcotest.test_case "dedup" `Quick test_dedup;
+        Alcotest.test_case "pairs" `Quick test_pairs;
+        QCheck_alcotest.to_alcotest prop_take_drop_partition;
+        QCheck_alcotest.to_alcotest prop_group_by_preserves_elements;
+        QCheck_alcotest.to_alcotest prop_dedup_idempotent;
+        QCheck_alcotest.to_alcotest prop_pairs_length;
+      ] );
+  ]
