@@ -11,19 +11,18 @@ let benchmark_arg =
   let doc = "Benchmark name (one of the Table 1 suite; see 'asipfb list')." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
 
+(* Parsed as a raw string and validated in the command body so a bad level
+   exits 1 with a one-line "asipfb:" message rather than cmdliner's 124. *)
 let level_arg =
-  let parse s =
-    match Asipfb_sched.Opt_level.of_string s with
-    | Some level -> Ok level
-    | None -> Error (`Msg (Printf.sprintf "invalid optimization level %S" s))
-  in
-  let print fmt level =
-    Format.pp_print_string fmt (Asipfb_sched.Opt_level.to_string level)
-  in
-  let level_conv = Arg.conv (parse, print) in
   let doc = "Optimization level: 0 (none), 1 (pipelining+percolation), 2 (+renaming)." in
-  Arg.(value & opt level_conv Asipfb_sched.Opt_level.O1
-       & info [ "O"; "level" ] ~docv:"LEVEL" ~doc)
+  Arg.(value & opt string "1" & info [ "O"; "level" ] ~docv:"LEVEL" ~doc)
+
+let find_level s =
+  match Asipfb_sched.Opt_level.of_string s with
+  | Some level -> Ok level
+  | None ->
+      Error
+        (Printf.sprintf "invalid optimization level %S (expected 0, 1, or 2)" s)
 
 let length_arg =
   let doc = "Sequence length to detect (2-5)." in
@@ -37,6 +36,14 @@ let area_arg =
   let doc = "Area budget in adder-equivalents for chained units." in
   Arg.(value & opt float 30.0 & info [ "area" ] ~docv:"AREA" ~doc)
 
+let budget_arg =
+  let doc =
+    "Branch-and-bound node budget for the sequence search; on exhaustion \
+     the analyzer degrades to the greedy adjacency scan and tags its \
+     output as budget-truncated."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"NODES" ~doc)
+
 let find_benchmark name =
   match Asipfb_bench_suite.Registry.find_opt name with
   | Some b -> Ok b
@@ -45,15 +52,27 @@ let find_benchmark name =
         (Printf.sprintf "unknown benchmark %S (try: %s)" name
            (String.concat ", " Asipfb_bench_suite.Registry.names))
 
+let ( let* ) = Result.bind
+
 let or_die = function
   | Ok () -> 0
   | Error msg ->
       prerr_endline ("asipfb: " ^ msg);
       1
 
+(* Catch every exception a pipeline stage can raise — positioned frontend
+   errors, simulator traps, memory bounds, timing-simulator errors — and
+   render the structured diagnostic as a clean one-line message.  Anything
+   unrecognised still escapes with a backtrace (a real bug). *)
 let wrap f = or_die (try f () with
-  | Failure msg -> Error msg
-  | Asipfb_sim.Interp.Runtime_error msg -> Error ("runtime error: " ^ msg))
+  | Sys_error msg | Invalid_argument msg ->
+      (* User-facing input errors (unreadable path, rate/length out of
+         range): one clean line, exit 1 — never a backtrace. *)
+      Error msg
+  | exn -> (
+      match Asipfb.Pipeline.diag_of_exn_opt exn with
+      | Some d -> Error (Asipfb_diag.Diag.to_string d)
+      | None -> raise exn))
 
 (* --- subcommand bodies -------------------------------------------------- *)
 
@@ -70,29 +89,85 @@ let cmd_compile name =
             (Asipfb_ir.Prog.to_string (Asipfb_bench_suite.Benchmark.compile b)))
         (find_benchmark name))
 
-let cmd_simulate name =
+let cmd_simulate name fault_seed fault_reg_rate fault_mem_rate fault_fuel =
   wrap (fun () ->
-      Result.map
-        (fun b ->
-          let o = Asipfb_bench_suite.Benchmark.run b in
-          Printf.printf "%s: %d dynamic operations (= baseline cycles)\n"
-            name o.instrs_executed;
-          List.iter
-            (fun region ->
-              let data = Asipfb_sim.Memory.dump o.memory region in
-              let shown = min 8 (Array.length data) in
-              Printf.printf "  %s[0..%d] =" region (shown - 1);
-              Array.iteri
-                (fun i v ->
-                  if i < shown then
-                    Printf.printf " %s" (Asipfb_sim.Value.to_string v))
-                data;
-              print_newline ())
-            b.output_regions)
-        (find_benchmark name))
+      let* () =
+        if fault_seed = None
+           && (fault_reg_rate > 0.0 || fault_mem_rate > 0.0
+               || fault_fuel <> None)
+        then Error "fault injection flags require --fault-seed"
+        else Ok ()
+      in
+      let faults =
+        match fault_seed with
+        | None -> None
+        | Some seed ->
+            Some
+              (Asipfb_sim.Fault.create
+                 { Asipfb_sim.Fault.seed;
+                   reg_corrupt_rate = fault_reg_rate;
+                   mem_fault_rate = fault_mem_rate;
+                   fuel_cap = fault_fuel })
+      in
+      let* b = find_benchmark name in
+      let o =
+        match faults with
+        | None -> Asipfb_bench_suite.Benchmark.run b
+        | Some f -> Asipfb_bench_suite.Benchmark.run_with_faults b ~faults:f
+      in
+      let* () =
+        match faults with
+        | None -> Ok ()
+        | Some f -> (
+            match Asipfb_bench_suite.Benchmark.self_check b o with
+            | Ok () ->
+                Printf.printf "self-check passed (%d corruption(s) injected)\n"
+                  (Asipfb_sim.Fault.injected_total f);
+                Ok ()
+            | Error msg ->
+                Error
+                  (Asipfb_diag.Diag.to_string
+                     (Asipfb_diag.Diag.make ~stage:Asipfb_diag.Diag.Simulation
+                        ~context:(Asipfb_sim.Fault.summary f)
+                        msg)))
+      in
+      Printf.printf "%s: %d dynamic operations (= baseline cycles)\n"
+        name o.instrs_executed;
+      List.iter
+        (fun region ->
+          let data = Asipfb_sim.Memory.dump o.memory region in
+          let shown = min 8 (Array.length data) in
+          Printf.printf "  %s[0..%d] =" region (shown - 1);
+          Array.iteri
+            (fun i v ->
+              if i < shown then
+                Printf.printf " %s" (Asipfb_sim.Value.to_string v))
+            data;
+          print_newline ())
+        b.output_regions;
+      Ok ())
+
+(* Compile a mini-C file from disk, reporting positioned diagnostics.
+   Exercises the frontend error path end-to-end (the benchmarks themselves
+   are compiled from embedded, known-good sources). *)
+let cmd_check path =
+  wrap (fun () ->
+      let* src =
+        match In_channel.with_open_text path In_channel.input_all with
+        | src -> Ok src
+        | exception Sys_error msg -> Error msg
+      in
+      match Asipfb_frontend.Frontend_diag.compile_result src ~entry:"main" with
+      | Ok prog ->
+          Printf.printf "%s: ok (%d function(s), %d region(s))\n" path
+            (List.length prog.funcs) (List.length prog.regions);
+          Ok ()
+      | Error d ->
+          Error (Asipfb_diag.Diag.to_string (Asipfb_diag.Diag.with_file d path)))
 
 let cmd_optimize name level =
   wrap (fun () ->
+      let* level = find_level level in
       Result.map
         (fun b ->
           let a = Asipfb.Pipeline.analyze b in
@@ -105,12 +180,22 @@ let cmd_optimize name level =
             sched.prog.funcs)
         (find_benchmark name))
 
-let cmd_detect name level length min_freq =
+let cmd_detect name level length min_freq budget =
   wrap (fun () ->
+      let* level = find_level level in
       Result.map
         (fun b ->
           let a = Asipfb.Pipeline.analyze b in
-          let ds = Asipfb.Pipeline.detect a ~level ~length ~min_freq () in
+          let r =
+            Asipfb.Pipeline.detect_report a ~level ~length ~min_freq ?budget ()
+          in
+          let ds = r.Asipfb_chain.Detect.detections in
+          (match r.completeness with
+          | Asipfb_chain.Detect.Exact -> ()
+          | Asipfb_chain.Detect.Budget_truncated ->
+              prerr_endline
+                "asipfb: warning[detection] node budget exhausted; showing \
+                 greedy (budget-truncated) results");
           let rows =
             List.map
               (fun (d : Asipfb_chain.Detect.detected) ->
@@ -128,19 +213,28 @@ let cmd_detect name level length min_freq =
                ~rows ()))
         (find_benchmark name))
 
-let cmd_coverage name level =
+let cmd_coverage name level budget =
   wrap (fun () ->
+      let* level = find_level level in
       Result.map
         (fun b ->
           let a = Asipfb.Pipeline.analyze b in
-          let r = Asipfb.Pipeline.coverage a ~level () in
+          let config =
+            { Asipfb_chain.Coverage.default_config with budget }
+          in
+          let r = Asipfb.Pipeline.coverage a ~level ~config () in
           List.iter
             (fun (p : Asipfb_chain.Coverage.pick) ->
               Printf.printf "%-30s %6.2f%%\n"
                 (Asipfb_chain.Chainop.sequence_name p.pick_classes)
                 p.pick_freq)
             r.picks;
-          Printf.printf "coverage = %.2f%%\n" r.coverage)
+          let tag =
+            match r.completeness with
+            | Asipfb_chain.Detect.Exact -> ""
+            | Asipfb_chain.Detect.Budget_truncated -> " (budget-truncated)"
+          in
+          Printf.printf "coverage = %.2f%%%s\n" r.coverage tag)
         (find_benchmark name))
 
 let cmd_design name area dot =
@@ -180,9 +274,59 @@ let artifact_names =
     "ablation_cleanup"; "codegen"; "ablation_motion"; "opmix"; "extra";
     "validation_unroll" ]
 
-let cmd_report artifact =
+(* Write the machine-readable error report (a JSON array of structured
+   diagnostics; empty when the run was clean). *)
+let write_diag_json path diags =
+  match path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Asipfb_diag.Diag.report_to_json diags);
+      output_char oc '\n';
+      close_out oc
+
+(* Full-suite analysis for report/export.  With [--keep-going] a broken
+   benchmark is isolated: its diagnostic goes to stderr (and the JSON
+   report), and the remaining benchmarks still produce artifacts. *)
+let run_suite ~keep_going ~diag_json =
+  if keep_going then begin
+    let r = Asipfb.Pipeline.suite_resilient () in
+    List.iter
+      (fun (f : Asipfb.Pipeline.failure) ->
+        prerr_endline
+          (Printf.sprintf "asipfb: skipped %s: %s" f.failed_benchmark
+             (Asipfb_diag.Diag.to_string f.diag)))
+      r.failures;
+    write_diag_json diag_json
+      (List.map (fun (f : Asipfb.Pipeline.failure) -> f.diag) r.failures);
+    r.analyses
+  end
+  else
+    match Asipfb.Pipeline.suite () with
+    | suite ->
+        write_diag_json diag_json [];
+        suite
+    | exception exn ->
+        write_diag_json diag_json [ Asipfb.Pipeline.diag_of_exn exn ];
+        raise exn
+
+let keep_going_arg =
+  let doc =
+    "Do not abort the suite when one benchmark fails; report its \
+     diagnostic and continue with the rest."
+  in
+  Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+
+let diag_json_arg =
+  let doc =
+    "Write failures as a machine-readable JSON diagnostic report to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "diag-json" ] ~docv:"FILE" ~doc)
+
+let cmd_report artifact keep_going diag_json =
   wrap (fun () ->
-      let suite = Asipfb.Pipeline.suite () in
+      let suite = run_suite ~keep_going ~diag_json in
       let produce = function
         | "table1" -> Ok (Asipfb.Experiments.table1 ())
         | "figure3" -> Ok (Asipfb.Experiments.figure_combined suite ~length:2)
@@ -239,10 +383,45 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark to 3-address code.")
     Term.(const cmd_compile $ benchmark_arg)
 
+let fault_seed_arg =
+  let doc =
+    "Enable fault injection with PRNG seed $(docv) (reproducible: equal \
+     seeds give identical fault streams)."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let fault_reg_rate_arg =
+  let doc = "Probability of corrupting each register write." in
+  Arg.(value & opt float 0.0 & info [ "fault-reg-rate" ] ~docv:"RATE" ~doc)
+
+let fault_mem_rate_arg =
+  let doc = "Probability of corrupting each memory load." in
+  Arg.(value & opt float 0.0 & info [ "fault-mem-rate" ] ~docv:"RATE" ~doc)
+
+let fault_fuel_arg =
+  let doc = "Clamp interpreter fuel (premature exhaustion fault)." in
+  Arg.(value & opt (some int) None
+       & info [ "fault-fuel" ] ~docv:"FUEL" ~doc)
+
 let simulate_cmd =
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Simulate and profile a benchmark (step 2).")
-    Term.(const cmd_simulate $ benchmark_arg)
+    (Cmd.info "simulate"
+       ~doc:
+         "Simulate and profile a benchmark (step 2), optionally under \
+          seeded fault injection with an expected-output self-check.")
+    Term.(const cmd_simulate $ benchmark_arg $ fault_seed_arg
+          $ fault_reg_rate_arg $ fault_mem_rate_arg $ fault_fuel_arg)
+
+let check_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Mini-C source file to check.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Compile a mini-C source file and report diagnostics.")
+    Term.(const cmd_check $ path)
 
 let optimize_cmd =
   Cmd.v
@@ -255,12 +434,12 @@ let detect_cmd =
     (Cmd.info "detect"
        ~doc:"Detect chainable operation sequences (step 4).")
     Term.(const cmd_detect $ benchmark_arg $ level_arg $ length_arg
-          $ min_freq_arg)
+          $ min_freq_arg $ budget_arg)
 
 let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage" ~doc:"Iterative sequence coverage (section 7).")
-    Term.(const cmd_coverage $ benchmark_arg $ level_arg)
+    Term.(const cmd_coverage $ benchmark_arg $ level_arg $ budget_arg)
 
 let design_cmd =
   let dot =
@@ -274,9 +453,9 @@ let design_cmd =
        ~doc:"Select a chained-instruction set under an area budget.")
     Term.(const cmd_design $ benchmark_arg $ area_arg $ dot)
 
-let cmd_export dir =
+let cmd_export dir keep_going diag_json =
   wrap (fun () ->
-      let suite = Asipfb.Pipeline.suite () in
+      let suite = run_suite ~keep_going ~diag_json in
       let written = Asipfb.Experiments.export_csv suite ~dir in
       List.iter print_endline written;
       Ok ())
@@ -289,7 +468,7 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export the raw experiment data as CSV files.")
-    Term.(const cmd_export $ dir)
+    Term.(const cmd_export $ dir $ keep_going_arg $ diag_json_arg)
 
 let report_cmd =
   let artifact =
@@ -299,12 +478,12 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's tables and figures over the whole suite.")
-    Term.(const cmd_report $ artifact)
+    Term.(const cmd_report $ artifact $ keep_going_arg $ diag_json_arg)
 
 let main =
   let doc = "compiler feedback for ASIP design (DATE 1995 reproduction)" in
   Cmd.group (Cmd.info "asipfb" ~version:"1.0.0" ~doc)
-    [ list_cmd; compile_cmd; simulate_cmd; optimize_cmd; detect_cmd;
-      coverage_cmd; design_cmd; report_cmd; export_cmd ]
+    [ list_cmd; compile_cmd; check_cmd; simulate_cmd; optimize_cmd;
+      detect_cmd; coverage_cmd; design_cmd; report_cmd; export_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -10,6 +10,54 @@ type t = {
 let compile t = Asipfb_frontend.Lower.compile t.source ~entry:"main"
 let run t = Asipfb_sim.Interp.run (compile t) ~inputs:(t.inputs ())
 
+let run_with_faults t ~faults =
+  Asipfb_sim.Interp.run (compile t) ~inputs:(t.inputs ()) ~faults
+
+(* Expected-output self-check: the clean run is deterministic (LCG inputs),
+   so its output regions are the golden reference. Memoized per benchmark;
+   the first self-check pays for one extra clean run. *)
+let golden : (string, (string * Asipfb_sim.Value.t array) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let expected_outputs t =
+  match Hashtbl.find_opt golden t.name with
+  | Some v -> v
+  | None ->
+      let o = run t in
+      let v =
+        List.map
+          (fun region -> (region, Asipfb_sim.Memory.dump o.memory region))
+          t.output_regions
+      in
+      Hashtbl.replace golden t.name v;
+      v
+
+let self_check t (outcome : Asipfb_sim.Interp.outcome) : (unit, string) result =
+  let mismatch =
+    List.find_map
+      (fun (region, want) ->
+        let got = Asipfb_sim.Memory.dump outcome.memory region in
+        if Array.length want <> Array.length got then
+          Some (Printf.sprintf "%s: length %d <> %d" region
+                  (Array.length got) (Array.length want))
+        else
+          let bad = ref None in
+          Array.iteri
+            (fun i w ->
+              if !bad = None && not (Asipfb_sim.Value.close w got.(i)) then
+                bad :=
+                  Some
+                    (Printf.sprintf "%s[%d]: got %s, expected %s" region i
+                       (Asipfb_sim.Value.to_string got.(i))
+                       (Asipfb_sim.Value.to_string w)))
+            want;
+          !bad)
+      (expected_outputs t)
+  in
+  match mismatch with
+  | None -> Ok ()
+  | Some msg -> Result.error ("output self-check failed: " ^ msg)
+
 let source_lines t =
   String.split_on_char '\n' t.source
   |> List.filter (fun line -> String.trim line <> "")

@@ -23,5 +23,18 @@ val compile : t -> Asipfb_ir.Prog.t
 val run : t -> Asipfb_sim.Interp.outcome
 (** Compile, seed inputs, and execute. *)
 
+val run_with_faults : t -> faults:Asipfb_sim.Fault.t -> Asipfb_sim.Interp.outcome
+(** {!run} under a fault injector (see {!Asipfb_sim.Fault}). *)
+
+val expected_outputs : t -> (string * Asipfb_sim.Value.t array) list
+(** Golden output-region contents from a clean run.  Deterministic
+    (LCG-generated inputs), memoized per benchmark name. *)
+
+val self_check : t -> Asipfb_sim.Interp.outcome -> (unit, string) result
+(** Compare [outcome]'s output regions against {!expected_outputs} with
+    {!Asipfb_sim.Value.close}.  [Error] names the first mismatching cell —
+    the hook that turns silently corrupted (fault-injected) runs into
+    diagnostics instead of wrong profiles. *)
+
 val source_lines : t -> int
 (** Non-blank source line count (Table 1's "Lines C-code" analogue). *)

@@ -1,29 +1,46 @@
 type pick = { pick_classes : string list; pick_freq : float }
-type result = { picks : pick list; coverage : float }
 
-type config = { lengths : int list; stop_below : float; max_picks : int }
+type result = {
+  picks : pick list;
+  coverage : float;
+  completeness : Detect.completeness;
+      (* [Budget_truncated] if any underlying detection run fell back to
+         the greedy scan, so coverage tables can flag degraded numbers. *)
+}
 
-let default_config = { lengths = [ 2; 3; 4 ]; stop_below = 3.0; max_picks = 6 }
+type config = {
+  lengths : int list;
+  stop_below : float;
+  max_picks : int;
+  budget : int option;  (* per-detection node budget (see Detect.config) *)
+}
 
-let best_sequence config sched ~profile ~banned =
+let default_config =
+  { lengths = [ 2; 3; 4 ]; stop_below = 3.0; max_picks = 6; budget = None }
+
+let best_sequence config sched ~profile ~banned ~truncated =
   let candidates =
     List.concat_map
       (fun length ->
         let dconfig =
           { (Detect.default_config ~length) with
             min_freq = config.stop_below;
-            banned }
+            banned;
+            budget = config.budget }
         in
-        Detect.run dconfig sched ~profile)
+        let report = Detect.run_report dconfig sched ~profile in
+        if report.completeness = Detect.Budget_truncated then truncated := true;
+        report.detections)
       config.lengths
   in
   Asipfb_util.Listx.max_by (fun (d : Detect.detected) -> d.freq) candidates
 
 let analyze config sched ~profile : result =
+  let truncated = ref false in
   let rec go picks banned remaining =
     if remaining = 0 then List.rev picks
     else
-      match best_sequence config sched ~profile ~banned with
+      match best_sequence config sched ~profile ~banned ~truncated with
       | None -> List.rev picks
       | Some d ->
           let newly_banned =
@@ -38,4 +55,6 @@ let analyze config sched ~profile : result =
   {
     picks;
     coverage = Asipfb_util.Listx.sum_by (fun p -> p.pick_freq) picks;
+    completeness =
+      (if !truncated then Detect.Budget_truncated else Detect.Exact);
   }

@@ -14,17 +14,24 @@ type pick = {
 type result = {
   picks : pick list;  (** In choice order. *)
   coverage : float;  (** Sum of pick frequencies, percent. *)
+  completeness : Detect.completeness;
+      (** [Budget_truncated] if any underlying detection run degraded to
+          the greedy scan, so coverage tables can flag the numbers. *)
 }
 
 type config = {
   lengths : int list;  (** Sequence lengths to consider (paper: 2–5). *)
   stop_below : float;  (** Stop when the best remaining frequency is lower. *)
   max_picks : int;
+  budget : int option;
+      (** Node budget applied to each underlying detection run (see
+          {!Detect.config}); [None] = exact. *)
 }
 
 val default_config : config
-(** lengths 2–4, stop_below 3.0, max_picks 6 — matching Table 3's shape
-    (up to six sequences per benchmark, none below ~3%). *)
+(** lengths 2–4, stop_below 3.0, max_picks 6, budget [None] — matching
+    Table 3's shape (up to six sequences per benchmark, none below
+    ~3%). *)
 
 val analyze :
   config -> Asipfb_sched.Schedule.t -> profile:Asipfb_sim.Profile.t -> result

@@ -10,10 +10,28 @@ type config = {
   min_freq : float;
   copies : int;
   banned : int list;
+  budget : int option;
+      (* max branch-and-bound nodes to visit across the whole run;
+         [None] = unbounded (exact). On exhaustion the search degrades
+         to the greedy adjacency scan and tags its output. *)
 }
 
 let default_config ~length =
-  { length; min_freq = 0.5; copies = length; banned = [] }
+  { length; min_freq = 0.5; copies = length; banned = []; budget = None }
+
+(* Whether a result set covers the full search space or was cut short by
+   a node budget and replaced by the greedy fallback. *)
+type completeness = Exact | Budget_truncated
+
+let completeness_to_string = function
+  | Exact -> "exact"
+  | Budget_truncated -> "budget-truncated"
+
+exception Budget_exhausted
+
+let spend = function
+  | None -> ()
+  | Some cell -> if !cell <= 0 then raise Budget_exhausted else decr cell
 
 type occurrence = { opids : (int * int) list; count : int }
 
@@ -42,10 +60,12 @@ let record accum classes members =
     | None -> Hashtbl.replace accum.table classes (ref [ members ])
   end
 
-(* --- level 0: literal adjacency in compiler-given order ---------------- *)
+(* --- greedy level: literal adjacency in compiler-given order ----------- *)
 
-let scan_adjacent cfg_block config ~profile accum =
-  let ops = Array.of_list cfg_block in
+(* Linear scan for chains of literally adjacent, flow-dependent ops. This
+   is the whole story at O0, and the graceful-degradation fallback when an
+   optimizing level's branch-and-bound search blows its node budget. *)
+let scan_ops ops config ~profile accum =
   let n = Array.length ops in
   let banned i = List.mem (Instr.opid ops.(i)) config.banned in
   let feeds a b =
@@ -87,7 +107,7 @@ let scan_adjacent cfg_block config ~profile accum =
 
 (* --- optimizing levels: branch-and-bound over the dependence graph ----- *)
 
-let search_scope ddg ~copies config ~profile ~total accum =
+let search_scope ddg ~copies ~budget config ~profile ~total accum =
   let ops = Ddg.ops ddg in
   let opid i = Instr.opid ops.(i) in
   let usable i =
@@ -105,6 +125,7 @@ let search_scope ddg ~copies config ~profile ~total accum =
   (* path is reversed: most recent member first; q indexes from the path
      start for the consecutive-cycle check. *)
   let rec extend path len joint_count =
+    spend budget;
     if len = config.length then begin
       let members =
         List.rev_map (fun (i, c) -> (opid i, c)) path
@@ -163,17 +184,18 @@ let search_scope ddg ~copies config ~profile ~total accum =
 
 (* --- driver ------------------------------------------------------------ *)
 
-let run config (sched : Schedule.t) ~profile : detected list =
-  if config.length < 2 then invalid_arg "Detect.run: length must be >= 2";
-  let total = Profile.total profile in
-  let accum = new_accum () in
+(* Visit every search scope of [sched]: each (kernel, non-kernel block)
+   pair at optimizing levels, each block at O0. [on_ddg] receives the
+   scope's dependence graph and copy count; O0 blocks go straight to the
+   greedy adjacency scan. *)
+let iter_scopes config ~profile accum (sched : Schedule.t) ~on_ddg =
   List.iter
     (fun (_name, (fs : Schedule.func_sched)) ->
       match sched.level with
       | Opt_level.O0 ->
           Array.iter
             (fun (b : Asipfb_cfg.Cfg.block) ->
-              scan_adjacent b.instrs config ~profile accum)
+              scan_ops (Array.of_list b.instrs) config ~profile accum)
             fs.cfg.blocks
       | Opt_level.O1 | Opt_level.O2 ->
           let kernel_blocks =
@@ -183,16 +205,16 @@ let run config (sched : Schedule.t) ~profile : detected list =
           in
           List.iter
             (fun (k : Schedule.kernel) ->
-              search_scope k.kernel_ddg ~copies:config.copies config ~profile
-                ~total accum)
+              on_ddg k.kernel_ddg ~copies:config.copies)
             fs.kernels;
           Array.iter
             (fun (b : Asipfb_cfg.Cfg.block) ->
               if not (List.mem b.index kernel_blocks) then
-                search_scope fs.compacted.(b.index).ddg ~copies:1 config
-                  ~profile ~total accum)
+                on_ddg fs.compacted.(b.index).ddg ~copies:1)
             fs.cfg.blocks)
-    sched.funcs;
+    sched.funcs
+
+let finalize config ~profile ~total accum =
   let joint_count members =
     List.fold_left
       (fun acc (opid, _) -> min acc (Profile.count profile ~opid))
@@ -227,3 +249,40 @@ let run config (sched : Schedule.t) ~profile : detected list =
   results
   |> List.filter (fun d -> d.freq >= config.min_freq)
   |> List.sort (fun a b -> Float.compare b.freq a.freq)
+
+type report = { detections : detected list; completeness : completeness }
+
+let check_config config =
+  if config.length < 2 then invalid_arg "Detect.run: length must be >= 2"
+
+(* Greedy-only result: linear adjacency scan over every scope. *)
+let run_greedy config (sched : Schedule.t) ~profile : detected list =
+  check_config config;
+  let total = Profile.total profile in
+  let accum = new_accum () in
+  iter_scopes config ~profile accum sched ~on_ddg:(fun ddg ~copies:_ ->
+      scan_ops (Ddg.ops ddg) config ~profile accum);
+  finalize config ~profile ~total accum
+
+let run_report config (sched : Schedule.t) ~profile : report =
+  check_config config;
+  let total = Profile.total profile in
+  let budget = Option.map ref config.budget in
+  let accum = new_accum () in
+  let exact () =
+    iter_scopes config ~profile accum sched ~on_ddg:(fun ddg ~copies ->
+        search_scope ddg ~copies ~budget config ~profile ~total accum)
+  in
+  match exact () with
+  | () ->
+      { detections = finalize config ~profile ~total accum;
+        completeness = Exact }
+  | exception Budget_exhausted ->
+      (* Degrade gracefully: discard the partial branch-and-bound state and
+         fall back to the linear greedy scan, tagging the result so tables
+         never pass truncated data off as exact. *)
+      { detections = run_greedy config sched ~profile;
+        completeness = Budget_truncated }
+
+let run config (sched : Schedule.t) ~profile : detected list =
+  (run_report config sched ~profile).detections

@@ -28,10 +28,23 @@ type config = {
           back edge up to [copies - 1] times.  Default length. *)
   banned : int list;
       (** Opids excluded from membership (used by coverage masking). *)
+  budget : int option;
+      (** Maximum branch-and-bound nodes to visit across a whole run;
+          [None] (the default) means unbounded, exact search.  On
+          exhaustion {!run_report} falls back to the greedy adjacency
+          scan and tags its result [Budget_truncated]. *)
 }
 
 val default_config : length:int -> config
-(** [min_freq = 0.5], [copies = length], [banned = \[\]]. *)
+(** [min_freq = 0.5], [copies = length], [banned = \[\]],
+    [budget = None]. *)
+
+type completeness =
+  | Exact  (** The full search space was explored. *)
+  | Budget_truncated
+      (** The node budget ran out; the result is the greedy fallback. *)
+
+val completeness_to_string : completeness -> string
 
 type occurrence = {
   opids : (int * int) list;
@@ -49,7 +62,27 @@ val run :
   config -> Asipfb_sched.Schedule.t -> profile:Asipfb_sim.Profile.t ->
   detected list
 (** Detected sequences sorted by decreasing frequency, one entry per
-    distinct class list, restricted to [freq >= config.min_freq]. *)
+    distinct class list, restricted to [freq >= config.min_freq].
+    Equals [(run_report config sched ~profile).detections]. *)
+
+type report = {
+  detections : detected list;
+  completeness : completeness;
+      (** Whether [detections] is exact or the greedy fallback after
+          budget exhaustion — so tables never silently lie. *)
+}
+
+val run_report :
+  config -> Asipfb_sched.Schedule.t -> profile:Asipfb_sim.Profile.t -> report
+(** Budget-aware {!run}.  With [config.budget = None] the result is
+    always [Exact]; level 0's linear scan never consumes budget. *)
+
+val run_greedy :
+  config -> Asipfb_sched.Schedule.t -> profile:Asipfb_sim.Profile.t ->
+  detected list
+(** The greedy result alone: a linear scan for literally adjacent,
+    flow-dependent runs in each scope's op order.  This is exactly what a
+    [Budget_truncated] {!run_report} returns. *)
 
 val display_name : detected -> string
 (** "multiply-add" style display name. *)

@@ -3,6 +3,8 @@ module Opt_level = Asipfb_sched.Opt_level
 module Schedule = Asipfb_sched.Schedule
 module Detect = Asipfb_chain.Detect
 module Coverage = Asipfb_chain.Coverage
+module Diag = Asipfb_diag.Diag
+module Fault = Asipfb_sim.Fault
 
 type analysis = {
   benchmark : Benchmark.t;
@@ -27,16 +29,115 @@ let sched t level =
   | Some s -> s
   | None -> invalid_arg "Pipeline.sched: level not analyzed"
 
-let detect t ~level ~length ?min_freq () =
+let detect_config ~length ?min_freq ?budget () =
   let config = Detect.default_config ~length in
   let config =
     match min_freq with
     | Some m -> { config with Detect.min_freq = m }
     | None -> config
   in
-  Detect.run config (sched t level) ~profile:t.profile
+  match budget with
+  | Some _ -> { config with Detect.budget }
+  | None -> config
+
+let detect t ~level ~length ?min_freq ?budget () =
+  Detect.run
+    (detect_config ~length ?min_freq ?budget ())
+    (sched t level) ~profile:t.profile
+
+(* Budget-aware variant: the report also says whether the branch-and-bound
+   search completed or degraded to the greedy scan. *)
+let detect_report t ~level ~length ?min_freq ?budget () =
+  Detect.run_report
+    (detect_config ~length ?min_freq ?budget ())
+    (sched t level) ~profile:t.profile
 
 let coverage t ~level ?(config = Coverage.default_config) () =
   Coverage.analyze config (sched t level) ~profile:t.profile
 
 let suite () = List.map analyze Asipfb_bench_suite.Registry.all
+
+(* --- structured-diagnostic / resilient entry points -------------------- *)
+
+(* Normalise any exception a pipeline stage can raise into a structured
+   diagnostic, preserving source positions where the subsystem has them. *)
+let diag_of_exn_opt exn =
+  match Asipfb_frontend.Frontend_diag.to_diag exn with
+  | Some d -> Some d
+  | None -> (
+      match Asipfb_sim.Sim_diag.to_diag exn with
+      | Some d -> Some d
+      | None -> (
+          match exn with
+          | Asipfb_asip.Tsim.Runtime_error msg ->
+              Some
+                (Diag.make ~stage:Diag.Simulation
+                   ~context:[ ("phase", "tsim") ]
+                   ("runtime error: " ^ msg))
+          | Failure msg -> Some (Diag.make ~stage:Diag.Driver msg)
+          | Diag.Diag_error d -> Some d
+          | _ -> None))
+
+let diag_of_exn exn =
+  match diag_of_exn_opt exn with
+  | Some d -> d
+  | None -> Diag.of_unknown_exn exn
+
+(* Per-benchmark fault stream: one PRNG per benchmark, derived from the
+   suite seed and the benchmark name so results are order-independent and
+   reproducible from a single seed. *)
+let benchmark_faults (config : Fault.config) (benchmark : Benchmark.t) =
+  Fault.create { config with seed = config.seed lxor Hashtbl.hash benchmark.name }
+
+let analyze_result ?faults (benchmark : Benchmark.t) :
+    (analysis, Diag.t) result =
+  let with_bench d = Diag.with_context d [ ("benchmark", benchmark.name) ] in
+  match
+    let prog = Benchmark.compile benchmark in
+    let injector = Option.map (fun c -> benchmark_faults c benchmark) faults in
+    let outcome =
+      Asipfb_sim.Interp.run prog ~inputs:(benchmark.inputs ()) ?faults:injector
+    in
+    (* The self-check turns silent corruption into a diagnostic before the
+       poisoned profile can reach the analyzer. *)
+    (match injector with
+    | Some inj when Fault.enabled inj.config -> (
+        match Benchmark.self_check benchmark outcome with
+        | Ok () -> ()
+        | Error msg ->
+            raise
+              (Diag.Diag_error
+                 (Diag.make ~stage:Diag.Simulation ~context:(Fault.summary inj)
+                    msg)))
+    | _ -> ());
+    let scheds =
+      List.map
+        (fun level -> (level, Schedule.optimize ~level prog))
+        Opt_level.all
+    in
+    { benchmark; prog; profile = outcome.profile; outcome; scheds }
+  with
+  | analysis -> Ok analysis
+  | exception exn -> Error (with_bench (diag_of_exn exn))
+
+type failure = { failed_benchmark : string; diag : Diag.t }
+
+type suite_report = {
+  analyses : analysis list;
+  failures : failure list;
+}
+
+(* Per-benchmark isolation: one broken kernel yields one diagnostic while
+   the rest of the suite completes. *)
+let suite_resilient ?faults ?(benchmarks = Asipfb_bench_suite.Registry.all) ()
+    : suite_report =
+  let analyses, failures =
+    List.fold_left
+      (fun (oks, errs) (b : Benchmark.t) ->
+        match analyze_result ?faults b with
+        | Ok a -> (a :: oks, errs)
+        | Error diag ->
+            (oks, { failed_benchmark = b.name; diag } :: errs))
+      ([], []) benchmarks
+  in
+  { analyses = List.rev analyses; failures = List.rev failures }

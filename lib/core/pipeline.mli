@@ -24,9 +24,22 @@ val detect :
   level:Asipfb_sched.Opt_level.t ->
   length:int ->
   ?min_freq:float ->
+  ?budget:int ->
   unit ->
   Asipfb_chain.Detect.detected list
 (** Step 4 for one level and sequence length. *)
+
+val detect_report :
+  analysis ->
+  level:Asipfb_sched.Opt_level.t ->
+  length:int ->
+  ?min_freq:float ->
+  ?budget:int ->
+  unit ->
+  Asipfb_chain.Detect.report
+(** Budget-aware {!detect}: also reports whether the branch-and-bound
+    search completed ([Exact]) or degraded to the greedy scan
+    ([Budget_truncated]). *)
 
 val coverage :
   analysis ->
@@ -40,3 +53,47 @@ val suite : unit -> analysis list
 (** [analyze] over the whole Table 1 suite, in table order.  Each call
     recomputes (the pipeline is deterministic, so results are identical
     across calls). *)
+
+(** {1 Structured diagnostics and resilience}
+
+    [Result]-based entry points that isolate per-benchmark failures: one
+    broken kernel yields a structured diagnostic while the rest of the
+    suite completes. *)
+
+val diag_of_exn_opt : exn -> Asipfb_diag.Diag.t option
+(** Convert any exception a pipeline stage can raise (frontend, simulator,
+    timing simulator, [Failure], {!Asipfb_diag.Diag.Diag_error}) into a
+    structured diagnostic; [None] for unrecognised exceptions. *)
+
+val diag_of_exn : exn -> Asipfb_diag.Diag.t
+(** Total version of {!diag_of_exn_opt}: unrecognised exceptions become
+    stage-[Driver] diagnostics via {!Asipfb_diag.Diag.of_unknown_exn}. *)
+
+val analyze_result :
+  ?faults:Asipfb_sim.Fault.config ->
+  Asipfb_bench_suite.Benchmark.t ->
+  (analysis, Asipfb_diag.Diag.t) result
+(** {!analyze} with failures as diagnostics (tagged with the benchmark
+    name).  With [faults], the simulation runs under a seeded fault
+    injector and the benchmark's expected-output self-check turns silent
+    corruption into an [Error] with injection counts in its context. *)
+
+type failure = {
+  failed_benchmark : string;
+  diag : Asipfb_diag.Diag.t;
+}
+
+type suite_report = {
+  analyses : analysis list;  (** Benchmarks that completed, suite order. *)
+  failures : failure list;  (** Isolated per-benchmark failures. *)
+}
+
+val suite_resilient :
+  ?faults:Asipfb_sim.Fault.config ->
+  ?benchmarks:Asipfb_bench_suite.Benchmark.t list ->
+  unit ->
+  suite_report
+(** Resilient {!suite} over [benchmarks] (default: the whole Table 1
+    suite).  Per-benchmark fault streams are derived from
+    [faults.seed] and the benchmark name, so a fixed seed reproduces the
+    same failures regardless of suite order or subset. *)

@@ -1,0 +1,35 @@
+(* Conversion shim: frontend exceptions -> structured diagnostics.
+
+   The lexer, parser and semantic analyzer raise positioned exceptions
+   internally; API consumers that want [Result]s go through this module
+   so positions survive into the diagnostic. *)
+
+module Diag = Asipfb_diag.Diag
+
+let diag_pos (p : Token.pos) : Diag.pos = { line = p.line; col = p.col }
+
+let to_diag : exn -> Diag.t option = function
+  | Lexer.Error (msg, pos) ->
+      Some
+        (Diag.make ~stage:Diag.Frontend ~pos:(diag_pos pos)
+           ~context:[ ("phase", "lex") ]
+           ("lexical error: " ^ msg))
+  | Parser.Error (msg, pos) ->
+      Some
+        (Diag.make ~stage:Diag.Frontend ~pos:(diag_pos pos)
+           ~context:[ ("phase", "parse") ]
+           ("syntax error: " ^ msg))
+  | Sema.Error (msg, pos) ->
+      Some
+        (Diag.make ~stage:Diag.Frontend ~pos:(diag_pos pos)
+           ~context:[ ("phase", "sema") ]
+           ("semantic error: " ^ msg))
+  | _ -> None
+
+(* Result-based compilation entry point: mini-C source -> TAC program, or
+   a positioned frontend diagnostic. Unrelated exceptions still escape. *)
+let compile_result src ~entry : (Asipfb_ir.Prog.t, Diag.t) result =
+  match Lower.compile src ~entry with
+  | prog -> Ok prog
+  | exception exn -> (
+      match to_diag exn with Some d -> Error d | None -> raise exn)

@@ -1,0 +1,11 @@
+(** Conversion shim from positioned frontend exceptions to structured
+    diagnostics, and a [Result]-based compile entry point. *)
+
+val to_diag : exn -> Asipfb_diag.Diag.t option
+(** [Some] for {!Lexer.Error}, {!Parser.Error} and {!Sema.Error}
+    (stage [Frontend], position preserved); [None] otherwise. *)
+
+val compile_result :
+  string -> entry:string -> (Asipfb_ir.Prog.t, Asipfb_diag.Diag.t) result
+(** {!Lower.compile} with frontend failures as diagnostics instead of
+    exceptions.  Non-frontend exceptions still escape. *)

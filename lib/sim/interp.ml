@@ -88,6 +88,7 @@ type state = {
   profile : Profile.t;
   resolved : (string, resolved) Hashtbl.t;
   on_exec : string -> Instr.t -> unit;
+  faults : Fault.t option;
   mutable fuel : int;
   mutable executed : int;
 }
@@ -99,7 +100,10 @@ let get_resolved st name =
 
 let rec run_func st (r : resolved) (args : Value.t list) : Value.t option =
   let regs : (int, Value.t) Hashtbl.t = Hashtbl.create 32 in
-  let set_reg reg v = Hashtbl.replace regs (Reg.id reg) v in
+  let set_reg reg v =
+    let v = match st.faults with Some f -> Fault.on_reg_write f v | None -> v in
+    Hashtbl.replace regs (Reg.id reg) v
+  in
   let get_reg reg =
     match Hashtbl.find_opt regs (Reg.id reg) with
     | Some v -> v
@@ -157,6 +161,11 @@ let rec run_func st (r : resolved) (args : Value.t list) : Value.t option =
             let idx = Value.as_int (operand index) in
             match Memory.load st.memory region idx with
             | v ->
+                let v =
+                  match st.faults with
+                  | Some f -> Fault.on_mem_load f v
+                  | None -> v
+                in
                 set_reg d v;
                 step (pc + 1)
             | exception Memory.Bounds (name, at) ->
@@ -187,15 +196,17 @@ let rec run_func st (r : resolved) (args : Value.t list) : Value.t option =
   in
   step 0
 
-let run ?(fuel = 50_000_000) ?(inputs = []) ?(on_exec = fun _ _ -> ()) (p : Prog.t) : outcome =
+let run ?(fuel = 50_000_000) ?(inputs = []) ?(on_exec = fun _ _ -> ()) ?faults
+    (p : Prog.t) : outcome =
   let memory = Memory.create p in
   List.iter (fun (region, data) -> Memory.seed memory region data) inputs;
   let resolved = Hashtbl.create 8 in
   List.iter
     (fun (f : Func.t) -> Hashtbl.replace resolved f.name (resolve f))
     p.funcs;
+  let fuel = match faults with Some f -> Fault.clamp_fuel f fuel | None -> fuel in
   let st =
-    { memory; profile = Profile.create (); resolved; on_exec; fuel;
+    { memory; profile = Profile.create (); resolved; on_exec; faults; fuel;
       executed = 0 }
   in
   let entry = get_resolved st p.entry in

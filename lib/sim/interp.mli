@@ -21,12 +21,16 @@ val run :
   ?fuel:int ->
   ?inputs:(string * Value.t array) list ->
   ?on_exec:(string -> Asipfb_ir.Instr.t -> unit) ->
+  ?faults:Fault.t ->
   Asipfb_ir.Prog.t ->
   outcome
 (** [run p ~inputs] seeds the named regions and interprets from
     [p.entry].  [fuel] bounds total executed instructions (default
     50 million).  [on_exec] is invoked with the current function name and
     instruction before each execution — the hook {!Trace} builds on.
+    [faults], when given, injects register/memory corruption and clamps
+    fuel per its configuration (see {!Fault}); corruption is silent by
+    design and must be caught by output self-checks.
     @raise Runtime_error as above. *)
 
 val eval_binop : Asipfb_ir.Types.binop -> Value.t -> Value.t -> Value.t

@@ -1,0 +1,15 @@
+(* Conversion shim: simulator exceptions -> structured diagnostics. *)
+
+module Diag = Asipfb_diag.Diag
+
+let to_diag : exn -> Diag.t option = function
+  | Interp.Runtime_error msg ->
+      Some
+        (Diag.make ~stage:Diag.Simulation ~context:[ ("phase", "interp") ]
+           ("runtime error: " ^ msg))
+  | Memory.Bounds (region, idx) ->
+      Some
+        (Diag.make ~stage:Diag.Simulation
+           ~context:[ ("region", region); ("index", string_of_int idx) ]
+           (Printf.sprintf "memory access out of bounds: %s[%d]" region idx))
+  | _ -> None

@@ -1,0 +1,5 @@
+(** Conversion shim from simulator exceptions to structured diagnostics. *)
+
+val to_diag : exn -> Asipfb_diag.Diag.t option
+(** [Some] for {!Interp.Runtime_error} and {!Memory.Bounds} (stage
+    [Simulation], with region/index context); [None] otherwise. *)

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Fail if a bare `failwith` is introduced under lib/ outside the structured
+# diagnostics policy. New library code must raise typed exceptions (and
+# convert them to Diag.t at API boundaries) or return Results carrying
+# Diag.t; `failwith` gives callers nothing to isolate or render.
+#
+# lib/diag/ itself (conversion shims) and the baseline files listed in
+# scripts/failwith_allowlist.txt are exempt. To grandfather a file in, add
+# it to the allowlist with a justification comment.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+allowlist=scripts/failwith_allowlist.txt
+
+offenders=$(grep -rn "failwith" lib --include="*.ml" --include="*.mli" \
+  | grep -v "^lib/diag/" \
+  | { while IFS=: read -r file rest; do
+        if ! grep -q "^$file$" "$allowlist"; then
+          printf '%s:%s\n' "$file" "$rest"
+        fi
+      done; } || true)
+
+if [ -n "$offenders" ]; then
+  echo "lint_failwith: bare failwith under lib/ outside the allowlist:" >&2
+  echo "$offenders" >&2
+  echo "Raise a typed exception and add a Diag conversion shim instead" >&2
+  echo "(or, with justification, add the file to $allowlist)." >&2
+  exit 1
+fi
+
+echo "lint_failwith: ok"

@@ -1,0 +1,80 @@
+CLI error paths: every user error exits 1 with a clean one-line
+"asipfb:" message (no backtraces, no cmdliner usage dumps).
+
+Unknown benchmark:
+
+  $ asipfb compile nosuchbench
+  asipfb: unknown benchmark "nosuchbench" (try: fir, iir, pse, intfft, compress, flatten, smooth, edge, sewha, dft, bspline, feowf)
+  [1]
+
+Invalid optimization level (validated in the command body, not by
+cmdliner, so the exit code is 1 rather than 124):
+
+  $ asipfb optimize fir -O 9
+  asipfb: invalid optimization level "9" (expected 0, 1, or 2)
+  [1]
+
+Malformed source is a positioned frontend diagnostic:
+
+  $ cat > bad.c <<'EOF'
+  > int main( {
+  > EOF
+  $ asipfb check bad.c
+  asipfb: error[frontend] bad.c:1:11: syntax error: expected a type (found '{') (phase=parse)
+  [1]
+
+Semantic errors carry positions too:
+
+  $ cat > undef.c <<'EOF'
+  > void main() { x = 1; }
+  > EOF
+  $ asipfb check undef.c
+  asipfb: error[frontend] undef.c:1:15: semantic error: undeclared variable 'x' (phase=sema)
+  [1]
+
+A missing file is still a one-line message:
+
+  $ asipfb check does-not-exist.c
+  asipfb: does-not-exist.c: No such file or directory
+  [1]
+
+A valid file checks clean:
+
+  $ cat > ok.c <<'EOF'
+  > int out[1];
+  > void main() { out[0] = 2 + 2; }
+  > EOF
+  $ asipfb check ok.c
+  ok.c: ok (1 function(s), 1 region(s))
+
+Seeded fault injection turns a corrupted run into a structured
+diagnostic instead of a wrong profile (here the corrupted index
+register traps in the interpreter; silent corruptions are caught by
+the expected-output self-check instead):
+
+  $ asipfb simulate fir --fault-seed 42 --fault-reg-rate 0.01
+  asipfb: error[simulation] runtime error: load out of bounds: input[1048579] (phase=interp)
+  [1]
+
+Invalid fault rates and detection lengths are user errors, not
+internal errors (exit 1, one line, no backtrace):
+
+  $ asipfb simulate fir --fault-seed 1 --fault-reg-rate 2.0
+  asipfb: Fault.create: reg_corrupt_rate outside [0,1]
+  [1]
+
+  $ asipfb detect fir -l 1
+  asipfb: Detect.run: length must be >= 2
+  [1]
+
+Fault flags without a seed are rejected rather than silently ignored:
+
+  $ asipfb simulate fir --fault-reg-rate 0.01
+  asipfb: fault injection flags require --fault-seed
+  [1]
+
+An unwritable --diag-json path is likewise a one-line error:
+
+  $ asipfb report --keep-going --diag-json /nonexistent-dir/d.json > /dev/null
+  asipfb: /nonexistent-dir/d.json: No such file or directory
+  [1]

@@ -154,6 +154,53 @@ let test_uninitialized_register () =
   | exception Interp.Runtime_error _ -> ()
   | _ -> Alcotest.fail "expected uninitialized-read error"
 
+(* Edge cases with the exact diagnostic asserted, not just "raises": the
+   CLI and the resilient pipeline both surface these strings verbatim. *)
+let expect_exact_error expected f =
+  match f () with
+  | exception Interp.Runtime_error msg ->
+      Alcotest.(check string) "exact diagnostic" expected msg
+  | _ -> Alcotest.fail ("expected runtime error: " ^ expected)
+
+let run_src src = Interp.run (Lower.compile src ~entry:"main")
+
+let test_fuel_exhaustion_diag () =
+  expect_exact_error "out of fuel (infinite loop?)" (fun () ->
+      Interp.run
+        (Lower.compile "void main() { int i = 0; while (1) { i = i + 1; } }"
+           ~entry:"main")
+        ~fuel:1000)
+
+let test_division_by_zero_diag () =
+  expect_exact_error "integer division by zero" (fun () ->
+      run_src "int out[1]; void main() { int z = 0; out[0] = 1 / z; }");
+  expect_exact_error "integer remainder by zero" (fun () ->
+      run_src "int out[1]; void main() { int z = 0; out[0] = 1 % z; }");
+  expect_exact_error "float division by zero" (fun () ->
+      run_src
+        "float out[1]; void main() { float z = 0.0; out[0] = 1.0 / z; }")
+
+let test_shift_range_diag () =
+  expect_exact_error "shift amount 70 out of range" (fun () ->
+      run_src "int out[1]; void main() { int s = 70; out[0] = 1 << s; }");
+  expect_exact_error "shift amount -1 out of range" (fun () ->
+      run_src "int out[1]; void main() { int s = 0 - 1; out[0] = 4 >> s; }")
+
+let test_memory_bounds_diag () =
+  (* Raw Memory.Bounds carries the region and index... *)
+  let prog = Lower.compile "int a[4]; void main() { }" ~entry:"main" in
+  let m = Memory.create prog in
+  (match Memory.load m "a" 7 with
+  | exception Memory.Bounds ("a", 7) -> ()
+  | exception Memory.Bounds (r, i) ->
+      Alcotest.fail (Printf.sprintf "wrong bounds payload: %s[%d]" r i)
+  | _ -> Alcotest.fail "expected Bounds");
+  (* ...and the interpreter renders it with direction and location. *)
+  expect_exact_error "load out of bounds: a[9]" (fun () ->
+      run_src "int a[4]; int out[1]; void main() { int i = 9; out[0] = a[i]; }");
+  expect_exact_error "store out of bounds: a[4]" (fun () ->
+      run_src "int a[4]; void main() { int i = 4; a[i] = 1; }")
+
 let suite =
   [
     ( "sim",
@@ -169,5 +216,13 @@ let suite =
         Alcotest.test_case "nested calls" `Quick test_call_stack_depth;
         Alcotest.test_case "uninitialized read" `Quick
           test_uninitialized_register;
+        Alcotest.test_case "fuel exhaustion diagnostic" `Quick
+          test_fuel_exhaustion_diag;
+        Alcotest.test_case "division by zero diagnostic" `Quick
+          test_division_by_zero_diag;
+        Alcotest.test_case "shift range diagnostic" `Quick
+          test_shift_range_diag;
+        Alcotest.test_case "memory bounds diagnostic" `Quick
+          test_memory_bounds_diag;
       ] );
   ]
