@@ -16,10 +16,20 @@
      resched  - extension X4: schedule-level vs counting chain speedup
      ablation_pipelining - A1: loop-carried search on/off
      ablation_cleanup    - A2: scalar cleanup passes on/off
-     pipeline - full compile+profile+optimize of the suite *)
+     pipeline     - full compile+profile+optimize of the suite (1 domain)
+     pipeline_par - the same suite on the parallel engine's domain pool
+
+   Flags:
+     --no-timing          skip the Bechamel timing pass
+     --engine-json FILE   also measure sequential vs parallel vs warm-cache
+                          suite wall time and write the JSON baseline
+     --engine-only        only the engine baseline (implies a default
+                          BENCH_engine.json unless --engine-json is given) *)
 
 open Bechamel
 open Toolkit
+module Engine = Asipfb_engine.Engine
+module Metrics = Asipfb_engine.Metrics
 
 let artifacts suite =
   [
@@ -60,8 +70,20 @@ let time_artifacts suite =
         Test.make ~name (Staged.stage @@ fun () -> ignore (produce ())))
       (artifacts suite)
     @ [
+        (* Both suite runs recompute everything (no cache): [pipeline] is
+           the sequential reference, [pipeline_par] the engine's domain
+           pool — the pair whose ratio is the engine speedup. *)
         Test.make ~name:"pipeline"
-          (Staged.stage @@ fun () -> ignore (Asipfb.Pipeline.suite ()));
+          (Staged.stage @@ fun () ->
+           ignore
+             (Asipfb.Pipeline.run_suite ~engine:(Engine.sequential ())
+                ~on_error:`Raise ()));
+        Test.make ~name:"pipeline_par"
+          (Staged.stage @@ fun () ->
+           ignore
+             (Asipfb.Pipeline.run_suite
+                ~engine:(Engine.create ~cache:false ())
+                ~on_error:`Raise ()));
       ]
   in
   let grouped = Test.make_grouped ~name:"paper" ~fmt:"%s/%s" tests in
@@ -90,8 +112,86 @@ let time_artifacts suite =
       | Some [] | None -> Printf.printf "%-22s (no estimate)\n" name)
     rows
 
+(* --- engine baseline: the start of the perf trajectory ------------------ *)
+
+let wall f =
+  let start = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. start, v)
+
+let run_with engine =
+  ignore (Asipfb.Pipeline.run_suite ~engine ~on_error:`Raise ())
+
+(* Sequential vs parallel vs cold/warm-cache wall time for one full suite
+   analysis, written as a JSON baseline so successive PRs can track the
+   hot path.  The warm-run cache counters are the observable proof that a
+   warm run skipped every analyze task (12 base + 36 sched). *)
+let engine_baseline ~path =
+  let jobs = Asipfb_engine.Pool.default_jobs () in
+  Metrics.reset Metrics.global;
+  let seq_s, () = wall (fun () -> run_with (Engine.sequential ())) in
+  let par_s, () =
+    wall (fun () -> run_with (Engine.create ~jobs ~cache:false ()))
+  in
+  let cached = Engine.create ~jobs ~cache:true () in
+  let cold_s, () = wall (fun () -> run_with cached) in
+  Engine.reset_stats cached;
+  let warm_s, () = wall (fun () -> run_with cached) in
+  let warm = Engine.stats cached in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": 1,\n\
+      \  \"jobs\": %d,\n\
+      \  \"sequential_s\": %.6f,\n\
+      \  \"parallel_s\": %.6f,\n\
+      \  \"parallel_speedup\": %.3f,\n\
+      \  \"cache_cold_s\": %.6f,\n\
+      \  \"cache_warm_s\": %.6f,\n\
+      \  \"warm_base_hits\": %d,\n\
+      \  \"warm_sched_hits\": %d,\n\
+      \  \"warm_misses\": %d,\n\
+      \  \"stages\": %s\n\
+       }\n"
+      jobs seq_s par_s (seq_s /. Float.max 1e-9 par_s) cold_s warm_s
+      warm.base.hits warm.sched.hits
+      (warm.base.misses + warm.sched.misses)
+      (Metrics.to_json Metrics.global)
+  in
+  Out_channel.with_open_text path (fun oc -> output_string oc json);
+  Printf.printf
+    "==== engine baseline (%s) ====\n\
+     jobs %d: sequential %.3fs, parallel %.3fs (%.2fx), cache cold %.3fs, \
+     warm %.3fs (%d+%d hits, %d misses)\n"
+    path jobs seq_s par_s
+    (seq_s /. Float.max 1e-9 par_s)
+    cold_s warm_s warm.base.hits warm.sched.hits
+    (warm.base.misses + warm.sched.misses)
+
+let flag_value name =
+  let n = Array.length Sys.argv in
+  let rec go i =
+    if i >= n then None
+    else if Sys.argv.(i) = name && i + 1 < n then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
 let () =
   let timing = not (Array.mem "--no-timing" Sys.argv) in
-  let suite = Asipfb.Pipeline.suite () in
-  print_artifacts suite;
-  if timing then time_artifacts suite
+  let engine_only = Array.mem "--engine-only" Sys.argv in
+  let engine_json =
+    match flag_value "--engine-json" with
+    | Some path -> Some path
+    | None -> if engine_only then Some "BENCH_engine.json" else None
+  in
+  if not engine_only then begin
+    let suite =
+      (Asipfb.Pipeline.run_suite ~engine:(Engine.create ()) ~on_error:`Raise
+         ())
+        .analyses
+    in
+    print_artifacts suite;
+    if timing then time_artifacts suite
+  end;
+  Option.iter (fun path -> engine_baseline ~path) engine_json

@@ -47,10 +47,7 @@ let budget_arg =
 let find_benchmark name =
   match Asipfb_bench_suite.Registry.find_opt name with
   | Some b -> Ok b
-  | None ->
-      Error
-        (Printf.sprintf "unknown benchmark %S (try: %s)" name
-           (String.concat ", " Asipfb_bench_suite.Registry.names))
+  | None -> Error (Asipfb_bench_suite.Registry.unknown_message name)
 
 let ( let* ) = Result.bind
 
@@ -187,7 +184,8 @@ let cmd_detect name level length min_freq budget =
         (fun b ->
           let a = Asipfb.Pipeline.analyze b in
           let r =
-            Asipfb.Pipeline.detect_report a ~level ~length ~min_freq ?budget ()
+            Asipfb.Pipeline.detect_report a
+              (Asipfb.Pipeline.Query.make ~length ~min_freq ?budget level)
           in
           let ds = r.Asipfb_chain.Detect.detections in
           (match r.completeness with
@@ -219,10 +217,10 @@ let cmd_coverage name level budget =
       Result.map
         (fun b ->
           let a = Asipfb.Pipeline.analyze b in
-          let config =
-            { Asipfb_chain.Coverage.default_config with budget }
+          let r =
+            Asipfb.Pipeline.coverage a
+              (Asipfb.Pipeline.Query.make ?budget level)
           in
-          let r = Asipfb.Pipeline.coverage a ~level ~config () in
           List.iter
             (fun (p : Asipfb_chain.Coverage.pick) ->
               Printf.printf "%-30s %6.2f%%\n"
@@ -285,12 +283,57 @@ let write_diag_json path diags =
       output_char oc '\n';
       close_out oc
 
+(* Engine selection for the suite-wide commands: [--jobs N] sizes the
+   domain pool (0 = the runtime's recommended count), [--cache-dir]
+   persists analysis payloads across invocations, [--no-cache] disables
+   memoization entirely.  Output is byte-identical for any setting. *)
+let make_engine ~jobs ~cache_dir ~no_cache =
+  let jobs = if jobs = 0 then None else Some jobs in
+  Asipfb_engine.Engine.create ?jobs ?cache_dir ~cache:(not no_cache) ()
+
+let jobs_arg =
+  let doc =
+    "Number of analysis worker domains (0 = the runtime's recommended \
+     count).  Results are byte-identical for any value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist analysis results in $(docv), keyed by benchmark source \
+     content, so repeated invocations skip recomputation."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the analysis memo cache (recompute everything)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let timings_arg =
+  let doc =
+    "After the run, print per-stage wall-clock metrics and cache counters \
+     to stderr."
+  in
+  Arg.(value & flag & info [ "timings" ] ~doc)
+
+let print_timings engine =
+  let stats = Asipfb_engine.Engine.stats engine in
+  let cache_line label (s : Asipfb_engine.Cache.stats) =
+    Printf.eprintf "%-12s %d hit(s), %d disk hit(s), %d miss(es)\n" label
+      s.hits s.disk_hits s.misses
+  in
+  prerr_endline "-- engine stage timings (cumulative task seconds) --";
+  prerr_string (Asipfb_engine.Metrics.render Asipfb_engine.Metrics.global);
+  cache_line "base cache" stats.base;
+  cache_line "sched cache" stats.sched
+
 (* Full-suite analysis for report/export.  With [--keep-going] a broken
    benchmark is isolated: its diagnostic goes to stderr (and the JSON
    report), and the remaining benchmarks still produce artifacts. *)
-let run_suite ~keep_going ~diag_json =
+let run_suite ~engine ~keep_going ~diag_json =
   if keep_going then begin
-    let r = Asipfb.Pipeline.suite_resilient () in
+    let r = Asipfb.Pipeline.run_suite ~engine ~on_error:`Isolate () in
     List.iter
       (fun (f : Asipfb.Pipeline.failure) ->
         prerr_endline
@@ -302,10 +345,10 @@ let run_suite ~keep_going ~diag_json =
     r.analyses
   end
   else
-    match Asipfb.Pipeline.suite () with
-    | suite ->
+    match Asipfb.Pipeline.run_suite ~engine ~on_error:`Raise () with
+    | r ->
         write_diag_json diag_json [];
-        suite
+        r.analyses
     | exception exn ->
         write_diag_json diag_json [ Asipfb.Pipeline.diag_of_exn exn ];
         raise exn
@@ -324,9 +367,13 @@ let diag_json_arg =
   Arg.(value & opt (some string) None
        & info [ "diag-json" ] ~docv:"FILE" ~doc)
 
-let cmd_report artifact keep_going diag_json =
+let cmd_report artifact keep_going diag_json jobs cache_dir no_cache timings =
   wrap (fun () ->
-      let suite = run_suite ~keep_going ~diag_json in
+      let engine = make_engine ~jobs ~cache_dir ~no_cache in
+      let suite = run_suite ~engine ~keep_going ~diag_json in
+      let finish r = if timings then print_timings engine; r in
+      finish
+      @@
       let produce = function
         | "table1" -> Ok (Asipfb.Experiments.table1 ())
         | "figure3" -> Ok (Asipfb.Experiments.figure_combined suite ~length:2)
@@ -453,11 +500,13 @@ let design_cmd =
        ~doc:"Select a chained-instruction set under an area budget.")
     Term.(const cmd_design $ benchmark_arg $ area_arg $ dot)
 
-let cmd_export dir keep_going diag_json =
+let cmd_export dir keep_going diag_json jobs cache_dir no_cache timings =
   wrap (fun () ->
-      let suite = run_suite ~keep_going ~diag_json in
+      let engine = make_engine ~jobs ~cache_dir ~no_cache in
+      let suite = run_suite ~engine ~keep_going ~diag_json in
       let written = Asipfb.Experiments.export_csv suite ~dir in
       List.iter print_endline written;
+      if timings then print_timings engine;
       Ok ())
 
 let export_cmd =
@@ -468,7 +517,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export the raw experiment data as CSV files.")
-    Term.(const cmd_export $ dir $ keep_going_arg $ diag_json_arg)
+    Term.(const cmd_export $ dir $ keep_going_arg $ diag_json_arg $ jobs_arg
+          $ cache_dir_arg $ no_cache_arg $ timings_arg)
 
 let report_cmd =
   let artifact =
@@ -478,7 +528,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's tables and figures over the whole suite.")
-    Term.(const cmd_report $ artifact $ keep_going_arg $ diag_json_arg)
+    Term.(const cmd_report $ artifact $ keep_going_arg $ diag_json_arg
+          $ jobs_arg $ cache_dir_arg $ no_cache_arg $ timings_arg)
 
 let main =
   let doc = "compiler feedback for ASIP design (DATE 1995 reproduction)" in

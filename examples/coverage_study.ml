@@ -14,7 +14,7 @@ let study name =
   Printf.printf "%s (%s)\n" name benchmark.description;
   List.iter
     (fun (level, tag) ->
-      let r = Asipfb.Pipeline.coverage analysis ~level () in
+      let r = Asipfb.Pipeline.coverage analysis (Asipfb.Pipeline.Query.make level) in
       Printf.printf "  %-22s coverage %6.2f%% with %d sequences\n" tag
         r.coverage (List.length r.picks);
       List.iter
@@ -36,8 +36,14 @@ let () =
     List.fold_left
       (fun (wins, total) name ->
         let a = Asipfb.Pipeline.analyze (Asipfb_bench_suite.Registry.find name) in
-        let c0 = (Asipfb.Pipeline.coverage a ~level:Opt_level.O0 ()).coverage in
-        let c1 = (Asipfb.Pipeline.coverage a ~level:Opt_level.O1 ()).coverage in
+        let c0 =
+          (Asipfb.Pipeline.coverage a (Asipfb.Pipeline.Query.make Opt_level.O0))
+            .coverage
+        in
+        let c1 =
+          (Asipfb.Pipeline.coverage a (Asipfb.Pipeline.Query.make Opt_level.O1))
+            .coverage
+        in
         ((if c1 > c0 then wins + 1 else wins), total + 1))
       (0, 0) Asipfb_bench_suite.Registry.names
   in

@@ -5,10 +5,30 @@ let all =
     Sewha.benchmark; Dft.benchmark; Bspline.benchmark; Feowf.benchmark;
   ]
 
-let find_opt name =
-  List.find_opt (fun (b : Benchmark.t) -> b.name = name) all
+let names = List.map (fun (b : Benchmark.t) -> b.name) all
+
+(* O(1) lookup, built eagerly at module init (no [lazy]: forcing from
+   several domains at once is unsafe, and the engine runs lookups inside
+   parallel tasks). *)
+let by_name : (string, Benchmark.t) Hashtbl.t =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (b : Benchmark.t) -> Hashtbl.replace table b.name b) all;
+  table
+
+let find_opt name = Hashtbl.find_opt by_name name
+
+exception Unknown_benchmark of string
+
+let unknown_message name =
+  Printf.sprintf "unknown benchmark %S (valid: %s)" name
+    (String.concat ", " names)
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_benchmark msg -> Some ("Registry.Unknown_benchmark: " ^ msg)
+    | _ -> None)
 
 let find name =
-  match find_opt name with Some b -> b | None -> raise Not_found
-
-let names = List.map (fun (b : Benchmark.t) -> b.name) all
+  match find_opt name with
+  | Some b -> b
+  | None -> raise (Unknown_benchmark (unknown_message name))

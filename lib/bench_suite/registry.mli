@@ -4,8 +4,18 @@ val all : Benchmark.t list
 (** The twelve benchmarks in the paper's table order: fir, iir, pse,
     intfft, compress, flatten, smooth, edge, sewha, dft, bspline, feowf. *)
 
+exception Unknown_benchmark of string
+(** Carries a ready-to-print message naming the unknown benchmark and
+    listing every valid name (see {!unknown_message}). *)
+
 val find : string -> Benchmark.t
-(** @raise Not_found for an unknown name. *)
+(** O(1) lookup over a precomputed table.
+    @raise Unknown_benchmark for an unknown name. *)
 
 val find_opt : string -> Benchmark.t option
+
+val unknown_message : string -> string
+(** ["unknown benchmark %S (valid: fir, iir, ...)"] — shared by
+    {!find} and the CLI so every surface reports the same hint. *)
+
 val names : string list

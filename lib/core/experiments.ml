@@ -31,7 +31,7 @@ let combined suite ~level ~length =
       (fun (a : Pipeline.analysis) ->
         ( a.benchmark.name,
           Combine.merge_families
-            (Pipeline.detect a ~level ~length ~min_freq:0.5 ()) ))
+            (Pipeline.detect a (Pipeline.Query.make ~length ~min_freq:0.5 level)) ))
       suite
   in
   Combine.equal_weight per_bench
@@ -108,7 +108,8 @@ let table2 suite =
 let per_benchmark suite ~level ~length ~min_freq =
   List.map
     (fun (a : Pipeline.analysis) ->
-      (a.benchmark.name, Pipeline.detect a ~level ~length ~min_freq ()))
+      ( a.benchmark.name,
+        Pipeline.detect a (Pipeline.Query.make ~length ~min_freq level) ))
     suite
 
 let figure_per_benchmark suite ~length =
@@ -144,8 +145,8 @@ let table3_rows suite =
       with
       | None -> None
       | Some a ->
-          let with_opt = Pipeline.coverage a ~level:Opt_level.O1 () in
-          let without = Pipeline.coverage a ~level:Opt_level.O0 () in
+          let with_opt = Pipeline.coverage a (Pipeline.Query.make Opt_level.O1) in
+          let without = Pipeline.coverage a (Pipeline.Query.make Opt_level.O0) in
           Some (name, [ (true, with_opt); (false, without) ]))
     table3_benchmarks
 
@@ -344,7 +345,7 @@ let ablation_cleanup suite =
       (fun (a : Pipeline.analysis) ->
         ( a.benchmark.name,
           Combine.merge_families
-            (Pipeline.detect a ~level:Opt_level.O1 ~length:2 ()) ))
+            (Pipeline.detect a (Pipeline.Query.make ~length:2 Opt_level.O1)) ))
       suite
     |> Combine.equal_weight
   in
@@ -549,7 +550,7 @@ let extra_report _suite =
       let a = Pipeline.analyze b in
       let ds =
         Asipfb_util.Listx.take 4
-          (Pipeline.detect a ~level:Opt_level.O1 ~length:2 ())
+          (Pipeline.detect a (Pipeline.Query.make ~length:2 Opt_level.O1))
       in
       let sched = Pipeline.sched a Opt_level.O1 in
       let choices =
@@ -601,7 +602,7 @@ let validation_unroll suite =
       (fun (a : Pipeline.analysis) ->
         ( a.benchmark.name,
           Combine.merge_families
-            (Pipeline.detect a ~level:Opt_level.O1 ~length:2 ()) ))
+            (Pipeline.detect a (Pipeline.Query.make ~length:2 Opt_level.O1)) ))
       suite
     |> Combine.equal_weight
   in

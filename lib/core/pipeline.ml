@@ -5,8 +5,10 @@ module Detect = Asipfb_chain.Detect
 module Coverage = Asipfb_chain.Coverage
 module Diag = Asipfb_diag.Diag
 module Fault = Asipfb_sim.Fault
+module Engine = Asipfb_engine.Engine
+module Metrics = Asipfb_engine.Metrics
 
-type analysis = {
+type analysis = Engine.analysis = {
   benchmark : Benchmark.t;
   prog : Asipfb_ir.Prog.t;
   profile : Asipfb_sim.Profile.t;
@@ -15,49 +17,67 @@ type analysis = {
 }
 
 let analyze (benchmark : Benchmark.t) : analysis =
-  let prog = Benchmark.compile benchmark in
-  let outcome = Asipfb_sim.Interp.run prog ~inputs:(benchmark.inputs ()) in
-  let scheds =
-    List.map
-      (fun level -> (level, Schedule.optimize ~level prog))
-      Opt_level.all
-  in
-  { benchmark; prog; profile = outcome.profile; outcome; scheds }
+  Engine.analyze (Engine.sequential ()) benchmark
 
 let sched t level =
   match List.assoc_opt level t.scheds with
   | Some s -> s
   | None -> invalid_arg "Pipeline.sched: level not analyzed"
 
-let detect_config ~length ?min_freq ?budget () =
-  let config = Detect.default_config ~length in
+(* --- the query API ------------------------------------------------------ *)
+
+module Query = struct
+  type t = {
+    level : Opt_level.t;
+    length : int;
+    min_freq : float option;
+    budget : int option;
+  }
+
+  let make ?(length = 2) ?min_freq ?budget level =
+    { level; length; min_freq; budget }
+end
+
+let detect_config (q : Query.t) =
+  let config = Detect.default_config ~length:q.length in
   let config =
-    match min_freq with
+    match q.min_freq with
     | Some m -> { config with Detect.min_freq = m }
     | None -> config
   in
-  match budget with
-  | Some _ -> { config with Detect.budget }
+  match q.budget with
+  | Some _ -> { config with Detect.budget = q.budget }
   | None -> config
 
-let detect t ~level ~length ?min_freq ?budget () =
-  Detect.run
-    (detect_config ~length ?min_freq ?budget ())
-    (sched t level) ~profile:t.profile
+(* Budget-aware detection: the report also says whether the
+   branch-and-bound search completed or degraded to the greedy scan. *)
+let detect_report t (q : Query.t) =
+  Metrics.timed Metrics.global "detect" (fun () ->
+      Detect.run_report (detect_config q) (sched t q.level) ~profile:t.profile)
 
-(* Budget-aware variant: the report also says whether the branch-and-bound
-   search completed or degraded to the greedy scan. *)
-let detect_report t ~level ~length ?min_freq ?budget () =
-  Detect.run_report
-    (detect_config ~length ?min_freq ?budget ())
-    (sched t level) ~profile:t.profile
+let detect t q = (detect_report t q).Detect.detections
 
-let coverage t ~level ?(config = Coverage.default_config) () =
-  Coverage.analyze config (sched t level) ~profile:t.profile
+let coverage ?(config = Coverage.default_config) t (q : Query.t) =
+  let config =
+    match q.budget with
+    | Some _ -> { config with Coverage.budget = q.budget }
+    | None -> config
+  in
+  Metrics.timed Metrics.global "coverage" (fun () ->
+      Coverage.analyze config (sched t q.level) ~profile:t.profile)
 
-let suite () = List.map analyze Asipfb_bench_suite.Registry.all
+(* --- deprecated pre-Query entry points (one PR cycle) ------------------- *)
 
-(* --- structured-diagnostic / resilient entry points -------------------- *)
+let detect_legacy t ~level ~length ?min_freq ?budget () =
+  detect t (Query.make ~length ?min_freq ?budget level)
+
+let detect_report_legacy t ~level ~length ?min_freq ?budget () =
+  detect_report t (Query.make ~length ?min_freq ?budget level)
+
+let coverage_legacy t ~level ?(config = Coverage.default_config) () =
+  coverage ~config t (Query.make level)
+
+(* --- structured-diagnostic conversion ----------------------------------- *)
 
 (* Normalise any exception a pipeline stage can raise into a structured
    diagnostic, preserving source positions where the subsystem has them. *)
@@ -74,6 +94,8 @@ let diag_of_exn_opt exn =
                 (Diag.make ~stage:Diag.Simulation
                    ~context:[ ("phase", "tsim") ]
                    ("runtime error: " ^ msg))
+          | Asipfb_bench_suite.Registry.Unknown_benchmark msg ->
+              Some (Diag.make ~stage:Diag.Driver msg)
           | Failure msg -> Some (Diag.make ~stage:Diag.Driver msg)
           | Diag.Diag_error d -> Some d
           | _ -> None))
@@ -83,42 +105,17 @@ let diag_of_exn exn =
   | Some d -> d
   | None -> Diag.of_unknown_exn exn
 
-(* Per-benchmark fault stream: one PRNG per benchmark, derived from the
-   suite seed and the benchmark name so results are order-independent and
-   reproducible from a single seed. *)
-let benchmark_faults (config : Fault.config) (benchmark : Benchmark.t) =
-  Fault.create { config with seed = config.seed lxor Hashtbl.hash benchmark.name }
-
 let analyze_result ?faults (benchmark : Benchmark.t) :
     (analysis, Diag.t) result =
-  let with_bench d = Diag.with_context d [ ("benchmark", benchmark.name) ] in
-  match
-    let prog = Benchmark.compile benchmark in
-    let injector = Option.map (fun c -> benchmark_faults c benchmark) faults in
-    let outcome =
-      Asipfb_sim.Interp.run prog ~inputs:(benchmark.inputs ()) ?faults:injector
-    in
-    (* The self-check turns silent corruption into a diagnostic before the
-       poisoned profile can reach the analyzer. *)
-    (match injector with
-    | Some inj when Fault.enabled inj.config -> (
-        match Benchmark.self_check benchmark outcome with
-        | Ok () -> ()
-        | Error msg ->
-            raise
-              (Diag.Diag_error
-                 (Diag.make ~stage:Diag.Simulation ~context:(Fault.summary inj)
-                    msg)))
-    | _ -> ());
-    let scheds =
-      List.map
-        (fun level -> (level, Schedule.optimize ~level prog))
-        Opt_level.all
-    in
-    { benchmark; prog; profile = outcome.profile; outcome; scheds }
-  with
-  | analysis -> Ok analysis
-  | exception exn -> Error (with_bench (diag_of_exn exn))
+  match Engine.analyze_all (Engine.sequential ()) ?faults [ benchmark ] with
+  | [ (_, Ok a) ] -> Ok a
+  | [ (_, Error exn) ] ->
+      Error
+        (Diag.with_context (diag_of_exn exn)
+           [ ("benchmark", benchmark.name) ])
+  | _ -> assert false
+
+(* --- the single suite entry point --------------------------------------- *)
 
 type failure = { failed_benchmark : string; diag : Diag.t }
 
@@ -127,17 +124,41 @@ type suite_report = {
   failures : failure list;
 }
 
-(* Per-benchmark isolation: one broken kernel yields one diagnostic while
-   the rest of the suite completes. *)
-let suite_resilient ?faults ?(benchmarks = Asipfb_bench_suite.Registry.all) ()
-    : suite_report =
-  let analyses, failures =
-    List.fold_left
-      (fun (oks, errs) (b : Benchmark.t) ->
-        match analyze_result ?faults b with
-        | Ok a -> (a :: oks, errs)
-        | Error diag ->
-            (oks, { failed_benchmark = b.name; diag } :: errs))
-      ([], []) benchmarks
+let run_suite ?engine ?faults
+    ?(benchmarks = Asipfb_bench_suite.Registry.all)
+    ~(on_error : [ `Raise | `Isolate ]) () : suite_report =
+  let engine =
+    match engine with Some e -> e | None -> Engine.sequential ()
   in
-  { analyses = List.rev analyses; failures = List.rev failures }
+  let results = Engine.analyze_all engine ?faults benchmarks in
+  match on_error with
+  | `Raise ->
+      (* Every benchmark already ran; fail on the first broken one, in
+         suite order — deterministic regardless of domain interleaving. *)
+      let analyses =
+        List.map
+          (fun (_, r) -> match r with Ok a -> a | Error exn -> raise exn)
+          results
+      in
+      { analyses; failures = [] }
+  | `Isolate ->
+      let analyses, failures =
+        List.fold_left
+          (fun (oks, errs) ((b : Benchmark.t), r) ->
+            match r with
+            | Ok a -> (a :: oks, errs)
+            | Error exn ->
+                let diag =
+                  Diag.with_context (diag_of_exn exn)
+                    [ ("benchmark", b.name) ]
+                in
+                (oks, { failed_benchmark = b.name; diag } :: errs))
+          ([], []) results
+      in
+      { analyses = List.rev analyses; failures = List.rev failures }
+
+(* --- deprecated pre-engine suite entry points --------------------------- *)
+
+let suite () = (run_suite ~on_error:`Raise ()).analyses
+let suite_resilient ?faults ?benchmarks () =
+  run_suite ?faults ?benchmarks ~on_error:`Isolate ()

@@ -1,9 +1,15 @@
 (** The complete analysis pipeline of the paper's Figure 2, packaged:
     compile a benchmark (step 1), profile it on its sample data (step 2),
     optimize at the three levels (step 3), and expose sequence detection
-    and coverage over the results (step 4). *)
+    and coverage over the results (step 4).
 
-type analysis = {
+    Since the engine PR, analysis runs through
+    {!Asipfb_engine.Engine} — a domain pool with a content-keyed memo
+    cache — and step-4 entry points consume a {!Query.t} record instead
+    of duplicated optional-argument signatures.  The pre-engine
+    entry points remain as deprecated aliases for one PR cycle. *)
+
+type analysis = Asipfb_engine.Engine.analysis = {
   benchmark : Asipfb_bench_suite.Benchmark.t;
   prog : Asipfb_ir.Prog.t;  (** Unoptimized 3-address code. *)
   profile : Asipfb_sim.Profile.t;  (** From the unoptimized run. *)
@@ -13,13 +19,54 @@ type analysis = {
 }
 
 val analyze : Asipfb_bench_suite.Benchmark.t -> analysis
-(** Run steps 1–3.  @raise Asipfb_sim.Interp.Runtime_error or front-end
-    exceptions on a broken benchmark (suite bugs). *)
+(** Run steps 1–3 (sequentially, uncached — the reference path; use
+    {!run_suite} with an engine for parallel or cached analysis).
+    @raise Asipfb_sim.Interp.Runtime_error or front-end exceptions on a
+    broken benchmark (suite bugs). *)
 
 val sched : analysis -> Asipfb_sched.Opt_level.t -> Asipfb_sched.Schedule.t
 (** The optimized graph for one level. *)
 
-val detect :
+(** {1 Step-4 queries}
+
+    One record describes what to ask of an analysis; every step-4 entry
+    point consumes it. *)
+
+module Query : sig
+  type t = {
+    level : Asipfb_sched.Opt_level.t;
+    length : int;  (** Sequence length to detect (2–5 in the paper). *)
+    min_freq : float option;
+        (** Report threshold in percent; [None] = detector default. *)
+    budget : int option;
+        (** Branch-and-bound node budget; [None] = exact search. *)
+  }
+
+  val make :
+    ?length:int -> ?min_freq:float -> ?budget:int ->
+    Asipfb_sched.Opt_level.t -> t
+  (** [length] defaults to 2. *)
+end
+
+val detect_report : analysis -> Query.t -> Asipfb_chain.Detect.report
+(** Step 4 for one query: detected sequences plus whether the
+    branch-and-bound search completed ([Exact]) or degraded to the
+    greedy scan ([Budget_truncated]).  Wall-clock is charged to
+    {!Asipfb_engine.Metrics.global} under ["detect"]. *)
+
+val detect : analysis -> Query.t -> Asipfb_chain.Detect.detected list
+(** [(detect_report a q).detections]. *)
+
+val coverage :
+  ?config:Asipfb_chain.Coverage.config ->
+  analysis -> Query.t -> Asipfb_chain.Coverage.result
+(** Section 7's iterative coverage for [q.level]; [q.budget] overrides
+    [config.budget] when set ([q.length] and [q.min_freq] are not used —
+    coverage explores [config.lengths]). *)
+
+(** {1 Deprecated pre-Query entry points} *)
+
+val detect_legacy :
   analysis ->
   level:Asipfb_sched.Opt_level.t ->
   length:int ->
@@ -27,9 +74,9 @@ val detect :
   ?budget:int ->
   unit ->
   Asipfb_chain.Detect.detected list
-(** Step 4 for one level and sequence length. *)
+[@@ocaml.deprecated "Use Pipeline.detect with a Pipeline.Query.t."]
 
-val detect_report :
+val detect_report_legacy :
   analysis ->
   level:Asipfb_sched.Opt_level.t ->
   length:int ->
@@ -37,33 +84,23 @@ val detect_report :
   ?budget:int ->
   unit ->
   Asipfb_chain.Detect.report
-(** Budget-aware {!detect}: also reports whether the branch-and-bound
-    search completed ([Exact]) or degraded to the greedy scan
-    ([Budget_truncated]). *)
+[@@ocaml.deprecated "Use Pipeline.detect_report with a Pipeline.Query.t."]
 
-val coverage :
+val coverage_legacy :
   analysis ->
   level:Asipfb_sched.Opt_level.t ->
   ?config:Asipfb_chain.Coverage.config ->
   unit ->
   Asipfb_chain.Coverage.result
-(** Section 7's iterative coverage for one level. *)
+[@@ocaml.deprecated "Use Pipeline.coverage with a Pipeline.Query.t."]
 
-val suite : unit -> analysis list
-(** [analyze] over the whole Table 1 suite, in table order.  Each call
-    recomputes (the pipeline is deterministic, so results are identical
-    across calls). *)
-
-(** {1 Structured diagnostics and resilience}
-
-    [Result]-based entry points that isolate per-benchmark failures: one
-    broken kernel yields a structured diagnostic while the rest of the
-    suite completes. *)
+(** {1 Structured diagnostics} *)
 
 val diag_of_exn_opt : exn -> Asipfb_diag.Diag.t option
 (** Convert any exception a pipeline stage can raise (frontend, simulator,
-    timing simulator, [Failure], {!Asipfb_diag.Diag.Diag_error}) into a
-    structured diagnostic; [None] for unrecognised exceptions. *)
+    timing simulator, registry lookup, [Failure],
+    {!Asipfb_diag.Diag.Diag_error}) into a structured diagnostic; [None]
+    for unrecognised exceptions. *)
 
 val diag_of_exn : exn -> Asipfb_diag.Diag.t
 (** Total version of {!diag_of_exn_opt}: unrecognised exceptions become
@@ -78,6 +115,8 @@ val analyze_result :
     injector and the benchmark's expected-output self-check turns silent
     corruption into an [Error] with injection counts in its context. *)
 
+(** {1 The suite entry point} *)
+
 type failure = {
   failed_benchmark : string;
   diag : Asipfb_diag.Diag.t;
@@ -88,12 +127,32 @@ type suite_report = {
   failures : failure list;  (** Isolated per-benchmark failures. *)
 }
 
+val run_suite :
+  ?engine:Asipfb_engine.Engine.t ->
+  ?faults:Asipfb_sim.Fault.config ->
+  ?benchmarks:Asipfb_bench_suite.Benchmark.t list ->
+  on_error:[ `Raise | `Isolate ] ->
+  unit ->
+  suite_report
+(** The one suite entry point: analyze [benchmarks] (default: the whole
+    Table 1 suite) on [engine] (default: {!Asipfb_engine.Engine.sequential},
+    i.e. one domain, no cache).  [`Raise] propagates the first failing
+    benchmark's exception, in suite order, after every benchmark ran;
+    [`Isolate] converts each failure into a {!failure} record while the
+    rest of the suite completes.  Output is byte-identical for any
+    [engine]: results are assembled in suite order and every task is
+    deterministic.  Per-benchmark fault streams are derived from
+    [faults.seed] and the benchmark name, so a fixed seed reproduces the
+    same failures regardless of suite order, subset, or parallelism. *)
+
+(** {1 Deprecated pre-engine suite entry points} *)
+
+val suite : unit -> analysis list
+[@@ocaml.deprecated "Use Pipeline.run_suite ~on_error:`Raise."]
+
 val suite_resilient :
   ?faults:Asipfb_sim.Fault.config ->
   ?benchmarks:Asipfb_bench_suite.Benchmark.t list ->
   unit ->
   suite_report
-(** Resilient {!suite} over [benchmarks] (default: the whole Table 1
-    suite).  Per-benchmark fault streams are derived from
-    [faults.seed] and the benchmark name, so a fixed seed reproduces the
-    same failures regardless of suite order or subset. *)
+[@@ocaml.deprecated "Use Pipeline.run_suite ~on_error:`Isolate."]

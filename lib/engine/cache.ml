@@ -1,0 +1,103 @@
+type stats = { hits : int; disk_hits : int; misses : int; stores : int }
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  dir : string option;
+  enabled : bool;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let create ?dir ?(enabled = true) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    dir;
+    enabled;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    stores = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let path t ~key dir = ignore t; Filename.concat dir (key ^ ".cache")
+
+(* Any load failure — missing file, truncation, a Marshal payload from a
+   different compiler — is a plain miss; the entry is recomputed and
+   rewritten. *)
+let load_disk t ~key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let file = path t ~key dir in
+      match
+        In_channel.with_open_bin file (fun ic -> Marshal.from_channel ic)
+      with
+      | v -> Some v
+      | exception _ -> None)
+
+(* Atomic publish: write a temp file, then rename, so a concurrent or
+   interrupted writer can never leave a half-written entry behind. *)
+let store_disk t ~key v =
+  match t.dir with
+  | None -> false
+  | Some dir -> (
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let tmp =
+          Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp"
+        in
+        Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc v []);
+        Sys.rename tmp (path t ~key dir);
+        true
+      with _ -> false)
+
+let find_or_compute t ~key f =
+  if not t.enabled then f ()
+  else
+    let cached =
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some v ->
+              t.hits <- t.hits + 1;
+              Some v
+          | None -> None)
+    in
+    match cached with
+    | Some v -> v
+    | None -> (
+        match load_disk t ~key with
+        | Some v ->
+            with_lock t (fun () ->
+                t.disk_hits <- t.disk_hits + 1;
+                Hashtbl.replace t.table key v);
+            v
+        | None ->
+            let v = f () in
+            let stored = store_disk t ~key v in
+            with_lock t (fun () ->
+                t.misses <- t.misses + 1;
+                if stored then t.stores <- t.stores + 1;
+                Hashtbl.replace t.table key v);
+            v)
+
+let stats t =
+  with_lock t (fun () ->
+      { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
+        stores = t.stores })
+
+let reset_stats t =
+  with_lock t (fun () ->
+      t.hits <- 0;
+      t.disk_hits <- 0;
+      t.misses <- 0;
+      t.stores <- 0)
+
+let clear t = with_lock t (fun () -> Hashtbl.reset t.table)

@@ -1,0 +1,38 @@
+(** Content-keyed memo cache for analysis results.
+
+    Keys are caller-computed digests of everything the cached value
+    depends on (benchmark source, optimization level, config revision —
+    see {!Engine}), so a stale hit is impossible by construction: any
+    input edit changes the key.  Values are held in a mutex-protected
+    in-memory table; with a directory attached, they are also persisted
+    via [Marshal] so later processes (repeated CLI invocations) reuse
+    them.  A disk entry that fails to load — truncated file, different
+    compiler version — is treated as a miss and rewritten.
+
+    One cache holds one value type; the engine keeps a separate cache per
+    payload kind. *)
+
+type 'a t
+
+type stats = {
+  hits : int;  (** Served from the in-memory table. *)
+  disk_hits : int;  (** Loaded from the cache directory. *)
+  misses : int;  (** Computed fresh. *)
+  stores : int;  (** Written to disk. *)
+}
+
+val create : ?dir:string -> ?enabled:bool -> unit -> 'a t
+(** [enabled] defaults to [true]; a disabled cache computes every lookup
+    and records nothing.  [dir] is created on first store. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** Memory, then disk, then compute-and-store.  [key] must be filename-
+    safe (the engine uses [Digest.to_hex]).  Concurrent callers with the
+    same fresh key may both compute; the value is deterministic, so
+    either result is correct and one wins the table. *)
+
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit
+
+val clear : 'a t -> unit
+(** Drop the in-memory table (disk entries are kept). *)

@@ -1,0 +1,155 @@
+module Benchmark = Asipfb_bench_suite.Benchmark
+module Opt_level = Asipfb_sched.Opt_level
+module Schedule = Asipfb_sched.Schedule
+module Diag = Asipfb_diag.Diag
+module Fault = Asipfb_sim.Fault
+
+type analysis = {
+  benchmark : Benchmark.t;
+  prog : Asipfb_ir.Prog.t;
+  profile : Asipfb_sim.Profile.t;
+  outcome : Asipfb_sim.Interp.outcome;
+  scheds : (Opt_level.t * Schedule.t) list;
+}
+
+(* The cached unit of the base phase.  The benchmark itself is excluded
+   (its input generator is a closure, which Marshal rejects); it is
+   reattached from the caller's handle when the analysis is assembled. *)
+type base = { prog : Asipfb_ir.Prog.t; outcome : Asipfb_sim.Interp.outcome }
+
+type t = {
+  jobs : int;
+  base_cache : base Cache.t;
+  sched_cache : Schedule.t Cache.t;
+}
+
+type stats = { base : Cache.stats; sched : Cache.stats }
+
+(* Bump on any change to the analysis semantics or payload layout: the
+   revision is part of every key, so old disk entries simply stop
+   matching. *)
+let schema_revision = "asipfb-engine-1"
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let source_key (b : Benchmark.t) =
+  key [ schema_revision; "base"; b.name; b.source ]
+
+let sched_key (b : Benchmark.t) level =
+  key [ schema_revision; "sched"; b.name; b.source; Opt_level.to_string level ]
+
+let create ?jobs ?cache_dir ?(cache = true) () =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  {
+    jobs;
+    base_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
+    sched_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
+  }
+
+let sequential () = create ~jobs:1 ~cache:false ()
+let jobs t = t.jobs
+
+let stats t =
+  { base = Cache.stats t.base_cache; sched = Cache.stats t.sched_cache }
+
+let reset_stats t =
+  Cache.reset_stats t.base_cache;
+  Cache.reset_stats t.sched_cache
+
+let derive_faults (config : Fault.config) (b : Benchmark.t) =
+  Fault.create { config with seed = config.seed lxor Hashtbl.hash b.name }
+
+let compute_base ?faults (b : Benchmark.t) =
+  let prog =
+    Metrics.timed Metrics.global "frontend" (fun () -> Benchmark.compile b)
+  in
+  let injector = Option.map (fun c -> derive_faults c b) faults in
+  let outcome =
+    Metrics.timed Metrics.global "sim" (fun () ->
+        Asipfb_sim.Interp.run prog ~inputs:(b.inputs ()) ?faults:injector)
+  in
+  (* The self-check turns silent corruption into a diagnostic before the
+     poisoned profile can reach the analyzer. *)
+  (match injector with
+  | Some inj when Fault.enabled inj.config -> (
+      match Benchmark.self_check b outcome with
+      | Ok () -> ()
+      | Error msg ->
+          raise
+            (Diag.Diag_error
+               (Diag.make ~stage:Diag.Simulation ~context:(Fault.summary inj)
+                  msg)))
+  | _ -> ());
+  { prog; outcome }
+
+(* Fault-injected outcomes depend on the injection config, which is not
+   part of the content key — never cache them. *)
+let base t ?faults b =
+  match faults with
+  | Some _ -> compute_base ?faults b
+  | None ->
+      Cache.find_or_compute t.base_cache ~key:(source_key b) (fun () ->
+          compute_base b)
+
+let sched_for t (b : Benchmark.t) prog level =
+  Cache.find_or_compute t.sched_cache ~key:(sched_key b level) (fun () ->
+      Metrics.timed Metrics.global "sched" (fun () ->
+          Schedule.optimize ~level prog))
+
+let analyze_all t ?faults benchmarks =
+  let bs = Array.of_list benchmarks in
+  (* Phase 1: one base task per benchmark, failures isolated. *)
+  let bases =
+    Pool.run ~jobs:t.jobs
+      (Array.map
+         (fun b () -> try Ok (base t ?faults b) with exn -> Error exn)
+         bs)
+  in
+  (* Phase 2: one sched task per (benchmark, level); a benchmark whose
+     base failed contributes no-op tasks. *)
+  let levels = Array.of_list Opt_level.all in
+  let nl = Array.length levels in
+  let sched_results =
+    Pool.run ~jobs:t.jobs
+      (Array.init
+         (Array.length bs * nl)
+         (fun idx () ->
+           let bi = idx / nl and li = idx mod nl in
+           match bases.(bi) with
+           | Error _ -> Error Exit (* placeholder; base error is reported *)
+           | Ok base -> (
+               try Ok (sched_for t bs.(bi) base.prog levels.(li))
+               with exn -> Error exn)))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun bi b ->
+         match bases.(bi) with
+         | Error exn -> (b, Error exn)
+         | Ok { prog; outcome } -> (
+             let rec collect li acc =
+               if li = nl then Ok (List.rev acc)
+               else
+                 match sched_results.((bi * nl) + li) with
+                 | Ok s -> collect (li + 1) ((levels.(li), s) :: acc)
+                 | Error exn -> Error exn
+             in
+             match collect 0 [] with
+             | Ok scheds ->
+                 ( b,
+                   Ok
+                     {
+                       benchmark = b;
+                       prog;
+                       profile = outcome.profile;
+                       outcome;
+                       scheds;
+                     } )
+             | Error exn -> (b, Error exn)))
+       bs)
+
+let analyze t b =
+  match analyze_all t [ b ] with
+  | [ (_, Ok a) ] -> a
+  | [ (_, Error exn) ] -> raise exn
+  | _ -> assert false

@@ -1,0 +1,92 @@
+(** The parallel analysis engine: per-benchmark / per-opt-level pipeline
+    analysis as independent tasks on a {!Pool} of domains, backed by a
+    content-keyed {!Cache} so repeated artifacts and repeated CLI
+    invocations reuse results instead of recomputing.
+
+    {2 Task graph}
+
+    Analyzing a suite of [n] benchmarks is [n] {e base} tasks (frontend
+    compile + profiling simulation) followed by [n × 3] {e sched} tasks
+    (one [Schedule.optimize] per optimization level, depending only on
+    the base task's program).  Each phase is an independent task array on
+    the pool; results are assembled in suite order, so the output is
+    byte-identical to the sequential path regardless of how domains
+    interleave.
+
+    {2 Cache keys}
+
+    Every cache key is the hex digest of the engine schema revision, the
+    payload kind, the benchmark name, its full mini-C source, and (for
+    sched payloads) the optimization level.  A source edit, level change,
+    or engine revision therefore changes the key — stale hits are
+    impossible by construction, and invalidation needs no bookkeeping.
+    Fault-injected base runs are never cached (their outcome depends on
+    the injection config, which is not part of the key); sched payloads
+    depend only on the compiled program and stay cacheable.
+
+    Stage wall-clock is charged to {!Metrics.global} under ["frontend"],
+    ["sim"], and ["sched"]. *)
+
+type analysis = {
+  benchmark : Asipfb_bench_suite.Benchmark.t;
+  prog : Asipfb_ir.Prog.t;  (** Unoptimized 3-address code. *)
+  profile : Asipfb_sim.Profile.t;  (** From the unoptimized run. *)
+  outcome : Asipfb_sim.Interp.outcome;
+  scheds : (Asipfb_sched.Opt_level.t * Asipfb_sched.Schedule.t) list;
+      (** One optimized program graph per level, in {!Asipfb_sched.Opt_level.all} order. *)
+}
+
+type t
+
+val create : ?jobs:int -> ?cache_dir:string -> ?cache:bool -> unit -> t
+(** [jobs] defaults to {!Pool.default_jobs}[ ()]; [1] is the sequential
+    reference path.  [cache] (default [true]) enables the in-memory
+    memo; [cache_dir] additionally persists entries on disk for reuse
+    across processes.  [cache:false] disables both. *)
+
+val sequential : unit -> t
+(** [create ~jobs:1 ~cache:false ()] — recompute everything, in order:
+    the behavior of the pre-engine pipeline. *)
+
+val jobs : t -> int
+
+type stats = {
+  base : Cache.stats;  (** Compile+profile payloads (12 per suite run). *)
+  sched : Cache.stats;  (** Per-level schedules (36 per suite run). *)
+}
+
+val stats : t -> stats
+(** Hit/miss counters — the observable proof that a warm run skipped its
+    analyze tasks. *)
+
+val reset_stats : t -> unit
+
+val source_key : Asipfb_bench_suite.Benchmark.t -> string
+(** Content key of the benchmark's base payload. *)
+
+val sched_key :
+  Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
+(** Content key of one (benchmark, level) schedule payload. *)
+
+val derive_faults :
+  Asipfb_sim.Fault.config -> Asipfb_bench_suite.Benchmark.t ->
+  Asipfb_sim.Fault.t
+(** Per-benchmark fault stream: one PRNG per benchmark, derived from the
+    suite seed and the benchmark name, so results are order-independent
+    and reproducible from a single seed. *)
+
+val analyze : t -> Asipfb_bench_suite.Benchmark.t -> analysis
+(** Steps 1–3 for one benchmark (cached, parallel across levels).
+    @raise exn whatever the failing pipeline stage raised. *)
+
+val analyze_all :
+  t ->
+  ?faults:Asipfb_sim.Fault.config ->
+  Asipfb_bench_suite.Benchmark.t list ->
+  (Asipfb_bench_suite.Benchmark.t * (analysis, exn) result) list
+(** The full task graph over a benchmark list, input order preserved.
+    Failures are isolated per benchmark: a broken kernel yields [Error]
+    while every other benchmark still completes.  With [faults], each
+    simulation runs under {!derive_faults} and the benchmark's
+    expected-output self-check turns silent corruption into an [Error]
+    carrying a {!Asipfb_diag.Diag.Diag_error} with injection counters. *)

@@ -1,0 +1,57 @@
+type t = {
+  mutex : Mutex.t;
+  table : (string, int * float) Hashtbl.t;
+}
+
+type stage_stat = { stage : string; count : int; seconds : float }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 8 }
+let global = create ()
+
+let add t stage ~seconds =
+  Mutex.lock t.mutex;
+  let count, total =
+    Option.value (Hashtbl.find_opt t.table stage) ~default:(0, 0.0)
+  in
+  Hashtbl.replace t.table stage (count + 1, total +. seconds);
+  Mutex.unlock t.mutex
+
+let timed t stage f =
+  let start = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add t stage ~seconds:(Unix.gettimeofday () -. start)) f
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  let stats =
+    Hashtbl.fold
+      (fun stage (count, seconds) acc -> { stage; count; seconds } :: acc)
+      t.table []
+  in
+  Mutex.unlock t.mutex;
+  List.sort (fun a b -> String.compare a.stage b.stage) stats
+
+let reset t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Mutex.unlock t.mutex
+
+let render t =
+  let stats = snapshot t in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun { stage; count; seconds } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %6d sections %10.4f s\n" stage count seconds))
+    stats;
+  Buffer.contents buf
+
+let to_json t =
+  let stats = snapshot t in
+  let fields =
+    List.map
+      (fun { stage; count; seconds } ->
+        Printf.sprintf "%S: {\"count\": %d, \"seconds\": %.6f}" stage count
+          seconds)
+      stats
+  in
+  "{" ^ String.concat ", " fields ^ "}"

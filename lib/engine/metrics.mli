@@ -1,0 +1,45 @@
+(** Per-stage wall-clock metrics for the analysis engine.
+
+    A metrics instance accumulates, per named stage ("frontend", "sim",
+    "sched", "detect", …), how many timed sections ran and their total
+    wall-clock seconds.  Accumulation is mutex-protected, so tasks on
+    different domains record concurrently; under parallel execution the
+    per-stage totals are cumulative {e task} seconds, which exceed
+    elapsed time — elapsed wall clock is the caller's measurement.
+
+    Recording order is irrelevant to any engine output: metrics never
+    feed back into analysis results, so they cannot break byte-identical
+    determinism. *)
+
+type t
+
+type stage_stat = {
+  stage : string;
+  count : int;  (** Timed sections completed. *)
+  seconds : float;  (** Total wall-clock seconds across them. *)
+}
+
+val create : unit -> t
+
+val global : t
+(** Process-wide instance: the engine and the pipeline's detection entry
+    points record here, so the CLI and bench harness can report stage
+    costs without threading a handle through every artifact. *)
+
+val timed : t -> string -> (unit -> 'a) -> 'a
+(** [timed m stage f] runs [f], charging its wall-clock time to [stage]
+    (also on exception). *)
+
+val add : t -> string -> seconds:float -> unit
+(** Charge an externally measured duration. *)
+
+val snapshot : t -> stage_stat list
+(** Current totals, sorted by stage name. *)
+
+val reset : t -> unit
+
+val render : t -> string
+(** Aligned "stage  count  seconds" lines for terminal output. *)
+
+val to_json : t -> string
+(** [{"stage": {"count": n, "seconds": s}, ...}], stages sorted. *)

@@ -1,0 +1,41 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a slot =
+  | Ok_slot of 'a
+  | Exn_slot of exn * Printexc.raw_backtrace
+
+let run_seq tasks = Array.map (fun task -> task ()) tasks
+
+let run ~jobs tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then run_seq tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each worker claims the next unstarted index; a slot is written by
+       exactly one domain, and Domain.join publishes all writes before the
+       collection loop reads them. *)
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let slot =
+          try Ok_slot (tasks.(i) ())
+          with exn -> Exn_slot (exn, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some slot;
+        worker ()
+      end
+    in
+    let domains =
+      (* The calling domain is worker 0, so [jobs] counts it. *)
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok_slot v) -> v
+        | Some (Exn_slot (exn, bt)) -> Printexc.raise_with_backtrace exn bt
+        | None -> assert false (* every index below [n] was claimed *))
+      results
+  end

@@ -1,0 +1,24 @@
+(** Fixed-size domain pool: run an array of independent tasks on up to
+    [jobs] OCaml 5 domains and return their results in task order.
+
+    The pool is the determinism foundation of the analysis engine: tasks
+    may finish in any order, but results land in a slot array indexed by
+    task, so the caller observes exactly the sequential result vector.
+    With [jobs <= 1] (or a single task) no domain is spawned and the
+    tasks run in the calling domain — the byte-identical sequential
+    reference path. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    useful parallelism (1 on a single-core host). *)
+
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] executes every task exactly once and returns the
+    results in task order.  Work is distributed by an atomic next-task
+    counter, so any idle domain picks up the next unstarted task.
+
+    If one or more tasks raise, every task still runs to completion (a
+    failure must not abort unrelated benchmarks); then the exception of
+    the {e lowest-indexed} failing task is re-raised with its backtrace —
+    deterministic regardless of domain interleaving.  Callers that need
+    per-task isolation wrap their task bodies in [result]. *)

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Bench smoke: run each suite-level bench artifact once (no Bechamel
+# timing pass) and produce the engine baseline JSON that CI uploads.
+# Usage: sh scripts/bench_smoke.sh [OUT_JSON]   (default BENCH_engine.json)
+set -eu
+
+out=${1:-BENCH_engine.json}
+
+dune build bench/main.exe
+
+# One untimed pass over every artifact exercises the full pipeline
+# (including the pipeline/pipeline_par suite runs' construction).
+dune exec bench/main.exe -- --no-timing > /dev/null
+
+# Sequential vs parallel vs cold/warm-cache suite wall time.
+dune exec bench/main.exe -- --engine-only --engine-json "$out"
+
+echo "bench smoke: wrote $out"

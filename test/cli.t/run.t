@@ -4,7 +4,7 @@ CLI error paths: every user error exits 1 with a clean one-line
 Unknown benchmark:
 
   $ asipfb compile nosuchbench
-  asipfb: unknown benchmark "nosuchbench" (try: fir, iir, pse, intfft, compress, flatten, smooth, edge, sewha, dft, bspline, feowf)
+  asipfb: unknown benchmark "nosuchbench" (valid: fir, iir, pse, intfft, compress, flatten, smooth, edge, sewha, dft, bspline, feowf)
   [1]
 
 Invalid optimization level (validated in the command body, not by

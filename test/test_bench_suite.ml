@@ -16,8 +16,16 @@ let test_registry_complete () =
     (Registry.find_opt "fir" <> None);
   Alcotest.(check bool) "unknown is None" true
     (Registry.find_opt "quake" = None);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
   match Registry.find "nothere" with
-  | exception Not_found -> ()
+  | exception Registry.Unknown_benchmark msg ->
+      Alcotest.(check bool) "error names the benchmark" true
+        (contains msg "\"nothere\"");
+      Alcotest.(check bool) "error lists valid names" true (contains msg "fir")
   | _ -> Alcotest.fail "find must raise"
 
 let test_all_compile_and_validate () =

@@ -259,8 +259,8 @@ let test_coverage_opt_beats_none_on_suite () =
       (fun name ->
         let b = Asipfb_bench_suite.Registry.find name in
         let a = Asipfb.Pipeline.analyze b in
-        let c0 = (Asipfb.Pipeline.coverage a ~level:Opt_level.O0 ()).coverage in
-        let c1 = (Asipfb.Pipeline.coverage a ~level:Opt_level.O1 ()).coverage in
+        let c0 = (Asipfb.Pipeline.coverage a (Asipfb.Pipeline.Query.make Opt_level.O0)).coverage in
+        let c1 = (Asipfb.Pipeline.coverage a (Asipfb.Pipeline.Query.make Opt_level.O1)).coverage in
         c1 >= c0 -. 5.0)
       [ "sewha"; "feowf"; "bspline"; "iir" ]
   in

@@ -65,7 +65,9 @@ let test_matmul_correct () =
 let test_acs_chain_signature () =
   (* The Viterbi kernel must expose its namesake chain. *)
   let a = Asipfb.Pipeline.analyze Extra.acs in
-  let ds = Asipfb.Pipeline.detect a ~level:Opt_level.O1 ~length:2 () in
+  let ds =
+    Asipfb.Pipeline.detect a (Asipfb.Pipeline.Query.make ~length:2 Opt_level.O1)
+  in
   Alcotest.(check bool) "add-compare detected" true
     (List.exists
        (fun (d : Asipfb_chain.Detect.detected) ->
@@ -74,7 +76,9 @@ let test_acs_chain_signature () =
 
 let test_matmul_mac_signature () =
   let a = Asipfb.Pipeline.analyze Extra.matmul in
-  let ds = Asipfb.Pipeline.detect a ~level:Opt_level.O0 ~length:2 () in
+  let ds =
+    Asipfb.Pipeline.detect a (Asipfb.Pipeline.Query.make ~length:2 Opt_level.O0)
+  in
   match
     List.find_opt
       (fun (d : Asipfb_chain.Detect.detected) ->

@@ -16,7 +16,8 @@ let contains haystack needle =
 
 (* One shared suite analysis for all tests in this module (deterministic,
    so sharing is safe); computed lazily to keep unrelated test runs fast. *)
-let suite_analyses = lazy (Asipfb.Pipeline.suite ())
+let suite_analyses =
+  lazy (Asipfb.Pipeline.run_suite ~on_error:`Raise ()).analyses
 
 let test_analyze_shape () =
   let a = Asipfb.Pipeline.analyze (Asipfb_bench_suite.Registry.find "sewha") in
@@ -31,7 +32,9 @@ let test_analyze_shape () =
 
 let test_detect_via_pipeline () =
   let a = Asipfb.Pipeline.analyze (Asipfb_bench_suite.Registry.find "feowf") in
-  let ds = Asipfb.Pipeline.detect a ~level:Opt_level.O1 ~length:2 () in
+  let ds =
+    Asipfb.Pipeline.detect a (Asipfb.Pipeline.Query.make ~length:2 Opt_level.O1)
+  in
   Alcotest.(check bool) "feowf has fmultiply-fadd" true
     (List.exists
        (fun (d : Detect.detected) ->

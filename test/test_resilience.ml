@@ -49,7 +49,9 @@ let test_suite_isolation () =
   (* One broken kernel yields one diagnostic; the rest of the suite
      completes. *)
   let r =
-    Pipeline.suite_resilient ~benchmarks:[ fir (); broken; sewha () ] ()
+    Pipeline.run_suite
+      ~benchmarks:[ fir (); broken; sewha () ]
+      ~on_error:`Isolate ()
   in
   Alcotest.(check (list string)) "surviving analyses in order"
     [ "fir"; "sewha" ]
@@ -76,8 +78,9 @@ let test_fault_injection_contained () =
      self-check or traps in the interpreter — both become structured
      simulation diagnostics; nothing silently produces a wrong profile. *)
   let r =
-    Pipeline.suite_resilient ~faults:heavy_faults
-      ~benchmarks:[ fir (); sewha () ] ()
+    Pipeline.run_suite ~faults:heavy_faults
+      ~benchmarks:[ fir (); sewha () ]
+      ~on_error:`Isolate ()
   in
   Alcotest.(check (list string)) "exactly the injected failures"
     [ "fir"; "sewha" ]
@@ -92,8 +95,9 @@ let test_fault_injection_contained () =
 let test_fault_injection_deterministic () =
   let run () =
     let r =
-      Pipeline.suite_resilient ~faults:heavy_faults
-        ~benchmarks:[ fir (); sewha () ] ()
+      Pipeline.run_suite ~faults:heavy_faults
+        ~benchmarks:[ fir (); sewha () ]
+        ~on_error:`Isolate ()
     in
     List.map
       (fun (f : Pipeline.failure) ->
@@ -105,7 +109,8 @@ let test_fault_injection_deterministic () =
 
 let test_fault_injection_disabled () =
   let r =
-    Pipeline.suite_resilient ~faults:Fault.none ~benchmarks:[ fir () ] ()
+    Pipeline.run_suite ~faults:Fault.none ~benchmarks:[ fir () ]
+      ~on_error:`Isolate ()
   in
   Alcotest.(check int) "no failures without faults" 0
     (List.length r.failures);
@@ -135,11 +140,14 @@ let shape ds =
 
 let test_budget_truncation_equals_greedy () =
   let a = Pipeline.analyze (fir ()) in
-  let exact = Pipeline.detect_report a ~level:Opt_level.O1 ~length:2 () in
+  let exact =
+    Pipeline.detect_report a (Pipeline.Query.make ~length:2 Opt_level.O1)
+  in
   Alcotest.(check bool) "unbounded search is exact" true
     (exact.completeness = Detect.Exact);
   let truncated =
-    Pipeline.detect_report a ~level:Opt_level.O1 ~length:2 ~budget:0 ()
+    Pipeline.detect_report a
+      (Pipeline.Query.make ~length:2 ~budget:0 Opt_level.O1)
   in
   Alcotest.(check bool) "exhausted budget is tagged" true
     (truncated.completeness = Detect.Budget_truncated);
@@ -158,10 +166,12 @@ let test_budget_truncation_equals_greedy () =
 let test_large_budget_is_exact () =
   let a = Pipeline.analyze (fir ()) in
   let bounded =
-    Pipeline.detect_report a ~level:Opt_level.O1 ~length:2
-      ~budget:10_000_000 ()
+    Pipeline.detect_report a
+      (Pipeline.Query.make ~length:2 ~budget:10_000_000 Opt_level.O1)
   in
-  let unbounded = Pipeline.detect_report a ~level:Opt_level.O1 ~length:2 () in
+  let unbounded =
+    Pipeline.detect_report a (Pipeline.Query.make ~length:2 Opt_level.O1)
+  in
   Alcotest.(check bool) "large budget completes exactly" true
     (bounded.completeness = Detect.Exact);
   Alcotest.(check bool) "same detections" true
@@ -170,17 +180,22 @@ let test_large_budget_is_exact () =
 let test_o0_never_truncates () =
   (* Level 0 is a linear scan; even a zero budget cannot exhaust it. *)
   let a = Pipeline.analyze (fir ()) in
-  let r = Pipeline.detect_report a ~level:Opt_level.O0 ~length:2 ~budget:0 () in
+  let r =
+    Pipeline.detect_report a
+      (Pipeline.Query.make ~length:2 ~budget:0 Opt_level.O0)
+  in
   Alcotest.(check bool) "O0 is always exact" true
     (r.completeness = Detect.Exact)
 
 let test_coverage_budget_tagging () =
   let a = Pipeline.analyze (fir ()) in
-  let exact = Pipeline.coverage a ~level:Opt_level.O1 () in
+  let exact = Pipeline.coverage a (Pipeline.Query.make Opt_level.O1) in
   Alcotest.(check bool) "default coverage is exact" true
     (exact.completeness = Detect.Exact);
   let config = { Coverage.default_config with budget = Some 0 } in
-  let truncated = Pipeline.coverage a ~level:Opt_level.O1 ~config () in
+  let truncated =
+    Pipeline.coverage ~config a (Pipeline.Query.make Opt_level.O1)
+  in
   Alcotest.(check bool) "budgeted coverage is tagged" true
     (truncated.completeness = Detect.Budget_truncated)
 

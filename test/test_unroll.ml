@@ -90,7 +90,7 @@ let test_detection_unroll_invariant () =
       let a = Asipfb.Pipeline.analyze bench in
       let kernel_based =
         Combine.merge_families
-          (Asipfb.Pipeline.detect a ~level:Opt_level.O1 ~length:2 ())
+          (Asipfb.Pipeline.detect a (Asipfb.Pipeline.Query.make ~length:2 Opt_level.O1))
       in
       let unrolled_prog = Unroll.loop_once a.prog in
       let outcome = Interp.run unrolled_prog ~inputs:(bench.inputs ()) in
