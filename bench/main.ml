@@ -119,13 +119,16 @@ let wall f =
   let v = f () in
   (Unix.gettimeofday () -. start, v)
 
-let run_with engine =
-  ignore (Asipfb.Pipeline.run_suite ~engine ~on_error:`Raise ())
+let run_with ?verify engine =
+  ignore (Asipfb.Pipeline.run_suite ~engine ?verify ~on_error:`Raise ())
 
 (* Sequential vs parallel vs cold/warm-cache wall time for one full suite
    analysis, written as a JSON baseline so successive PRs can track the
    hot path.  The warm-run cache counters are the observable proof that a
-   warm run skipped every analyze task (12 base + 36 sched). *)
+   warm run skipped every analyze task (12 base + 36 sched).  A final
+   verify-enabled pass on the warm cache isolates the cost of the static
+   verifier (12 IR-check + 36 legality tasks) — everything else is a
+   cache hit, so [verify_s] is dominated by the verify stage itself. *)
 let engine_baseline ~path =
   let jobs = Asipfb_engine.Pool.default_jobs () in
   Metrics.reset Metrics.global;
@@ -138,6 +141,7 @@ let engine_baseline ~path =
   Engine.reset_stats cached;
   let warm_s, () = wall (fun () -> run_with cached) in
   let warm = Engine.stats cached in
+  let verify_s, () = wall (fun () -> run_with ~verify:`Full cached) in
   let json =
     Printf.sprintf
       "{\n\
@@ -148,13 +152,14 @@ let engine_baseline ~path =
       \  \"parallel_speedup\": %.3f,\n\
       \  \"cache_cold_s\": %.6f,\n\
       \  \"cache_warm_s\": %.6f,\n\
+      \  \"verify_s\": %.6f,\n\
       \  \"warm_base_hits\": %d,\n\
       \  \"warm_sched_hits\": %d,\n\
       \  \"warm_misses\": %d,\n\
       \  \"stages\": %s\n\
        }\n"
       jobs seq_s par_s (seq_s /. Float.max 1e-9 par_s) cold_s warm_s
-      warm.base.hits warm.sched.hits
+      verify_s warm.base.hits warm.sched.hits
       (warm.base.misses + warm.sched.misses)
       (Metrics.to_json Metrics.global)
   in
@@ -162,11 +167,12 @@ let engine_baseline ~path =
   Printf.printf
     "==== engine baseline (%s) ====\n\
      jobs %d: sequential %.3fs, parallel %.3fs (%.2fx), cache cold %.3fs, \
-     warm %.3fs (%d+%d hits, %d misses)\n"
+     warm %.3fs (%d+%d hits, %d misses), verify %.3fs\n"
     path jobs seq_s par_s
     (seq_s /. Float.max 1e-9 par_s)
     cold_s warm_s warm.base.hits warm.sched.hits
     (warm.base.misses + warm.sched.misses)
+    verify_s
 
 let flag_value name =
   let n = Array.length Sys.argv in

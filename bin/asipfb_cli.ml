@@ -326,29 +326,61 @@ let print_timings engine =
   prerr_endline "-- engine stage timings (cumulative task seconds) --";
   prerr_string (Asipfb_engine.Metrics.render Asipfb_engine.Metrics.global);
   cache_line "base cache" stats.base;
-  cache_line "sched cache" stats.sched
+  cache_line "sched cache" stats.sched;
+  cache_line "verify cache" stats.verify
+
+(* Parsed as a raw string, like --level, for a clean one-line error. *)
+let verify_arg =
+  let doc =
+    "Run the static verifier during analysis: $(b,off), $(b,ir) (mini-C \
+     lint + IR dataflow checks), or $(b,full) (adds the per-level \
+     schedule-legality proof).  Findings go to stderr and to the \
+     $(b,--diag-json) report."
+  in
+  Arg.(value & opt string "off" & info [ "verify" ] ~docv:"MODE" ~doc)
+
+let find_verify_mode s : (Asipfb_engine.Engine.verify_mode, string) result =
+  match s with
+  | "off" -> Ok `Off
+  | "ir" -> Ok `Ir
+  | "full" -> Ok `Full
+  | s ->
+      Error
+        (Printf.sprintf "invalid verify mode %S (expected off, ir, or full)"
+           s)
 
 (* Full-suite analysis for report/export.  With [--keep-going] a broken
    benchmark is isolated: its diagnostic goes to stderr (and the JSON
-   report), and the remaining benchmarks still produce artifacts. *)
-let run_suite ~engine ~keep_going ~diag_json =
+   report), and the remaining benchmarks still produce artifacts.  Verify
+   findings (when [--verify] is on) are warnings, not failures: they go
+   to stderr and into the JSON report alongside any failure diagnostics. *)
+let run_suite ?(verify = `Off) ~engine ~keep_going ~diag_json () =
+  let finish (r : Asipfb.Pipeline.suite_report) failure_diags =
+    let verify_diags =
+      List.concat_map
+        (fun (a : Asipfb.Pipeline.analysis) -> a.verify)
+        r.analyses
+    in
+    List.iter
+      (fun d -> prerr_endline ("asipfb: " ^ Asipfb_diag.Diag.to_string d))
+      verify_diags;
+    write_diag_json diag_json (failure_diags @ verify_diags);
+    r.analyses
+  in
   if keep_going then begin
-    let r = Asipfb.Pipeline.run_suite ~engine ~on_error:`Isolate () in
+    let r = Asipfb.Pipeline.run_suite ~engine ~verify ~on_error:`Isolate () in
     List.iter
       (fun (f : Asipfb.Pipeline.failure) ->
         prerr_endline
           (Printf.sprintf "asipfb: skipped %s: %s" f.failed_benchmark
              (Asipfb_diag.Diag.to_string f.diag)))
       r.failures;
-    write_diag_json diag_json
-      (List.map (fun (f : Asipfb.Pipeline.failure) -> f.diag) r.failures);
-    r.analyses
+    finish r
+      (List.map (fun (f : Asipfb.Pipeline.failure) -> f.diag) r.failures)
   end
   else
-    match Asipfb.Pipeline.run_suite ~engine ~on_error:`Raise () with
-    | r ->
-        write_diag_json diag_json [];
-        r.analyses
+    match Asipfb.Pipeline.run_suite ~engine ~verify ~on_error:`Raise () with
+    | r -> finish r []
     | exception exn ->
         write_diag_json diag_json [ Asipfb.Pipeline.diag_of_exn exn ];
         raise exn
@@ -367,10 +399,12 @@ let diag_json_arg =
   Arg.(value & opt (some string) None
        & info [ "diag-json" ] ~docv:"FILE" ~doc)
 
-let cmd_report artifact keep_going diag_json jobs cache_dir no_cache timings =
+let cmd_report artifact keep_going diag_json verify jobs cache_dir no_cache
+    timings =
   wrap (fun () ->
+      let* verify = find_verify_mode verify in
       let engine = make_engine ~jobs ~cache_dir ~no_cache in
-      let suite = run_suite ~engine ~keep_going ~diag_json in
+      let suite = run_suite ~verify ~engine ~keep_going ~diag_json () in
       let finish r = if timings then print_timings engine; r in
       finish
       @@
@@ -419,6 +453,66 @@ let cmd_report artifact keep_going diag_json jobs cache_dir no_cache timings =
               | Error _ -> ())
             artifact_names;
           Ok ())
+
+(* Static analysis as its own subcommand: run all three checkers of
+   lib/verify (mini-C lint, IR dataflow checks, schedule-legality proof
+   at every opt level) over one benchmark or the whole suite. *)
+let cmd_lint name json strict jobs cache_dir no_cache timings =
+  wrap (fun () ->
+      let* benchmarks =
+        match name with
+        | None -> Ok Asipfb_bench_suite.Registry.all
+        | Some n -> Result.map (fun b -> [ b ]) (find_benchmark n)
+      in
+      let engine = make_engine ~jobs ~cache_dir ~no_cache in
+      let r =
+        Asipfb.Pipeline.run_suite ~engine ~verify:`Full ~benchmarks
+          ~on_error:`Raise ()
+      in
+      let findings =
+        List.concat_map
+          (fun (a : Asipfb.Pipeline.analysis) -> a.verify)
+          r.analyses
+      in
+      if json then print_endline (Asipfb_diag.Diag.report_to_json findings)
+      else begin
+        List.iter
+          (fun d -> print_endline (Asipfb_diag.Diag.to_string d))
+          findings;
+        Printf.printf "%d finding(s) across %d benchmark(s) (%d schedule(s) \
+                       verified)\n"
+          (List.length findings)
+          (List.length r.analyses)
+          (List.length r.analyses * List.length Asipfb_sched.Opt_level.all)
+      end;
+      if timings then print_timings engine;
+      if strict && findings <> [] then
+        Error
+          (Printf.sprintf "lint: %d finding(s) in strict mode"
+             (List.length findings))
+      else Ok ())
+
+let lint_cmd =
+  let benchmark =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Benchmark to lint (default: the whole suite).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the findings as a JSON diagnostic report.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit non-zero if there is any finding.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static verifier: mini-C lint, IR dataflow checks, and \
+          the schedule-legality proof at every optimization level.")
+    Term.(const cmd_lint $ benchmark $ json $ strict $ jobs_arg
+          $ cache_dir_arg $ no_cache_arg $ timings_arg)
 
 (* --- command wiring ------------------------------------------------------ *)
 
@@ -500,10 +594,12 @@ let design_cmd =
        ~doc:"Select a chained-instruction set under an area budget.")
     Term.(const cmd_design $ benchmark_arg $ area_arg $ dot)
 
-let cmd_export dir keep_going diag_json jobs cache_dir no_cache timings =
+let cmd_export dir keep_going diag_json verify jobs cache_dir no_cache
+    timings =
   wrap (fun () ->
+      let* verify = find_verify_mode verify in
       let engine = make_engine ~jobs ~cache_dir ~no_cache in
-      let suite = run_suite ~engine ~keep_going ~diag_json in
+      let suite = run_suite ~verify ~engine ~keep_going ~diag_json () in
       let written = Asipfb.Experiments.export_csv suite ~dir in
       List.iter print_endline written;
       if timings then print_timings engine;
@@ -517,8 +613,9 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export the raw experiment data as CSV files.")
-    Term.(const cmd_export $ dir $ keep_going_arg $ diag_json_arg $ jobs_arg
-          $ cache_dir_arg $ no_cache_arg $ timings_arg)
+    Term.(const cmd_export $ dir $ keep_going_arg $ diag_json_arg
+          $ verify_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+          $ timings_arg)
 
 let report_cmd =
   let artifact =
@@ -529,12 +626,13 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Regenerate the paper's tables and figures over the whole suite.")
     Term.(const cmd_report $ artifact $ keep_going_arg $ diag_json_arg
-          $ jobs_arg $ cache_dir_arg $ no_cache_arg $ timings_arg)
+          $ verify_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+          $ timings_arg)
 
 let main =
   let doc = "compiler feedback for ASIP design (DATE 1995 reproduction)" in
   Cmd.group (Cmd.info "asipfb" ~version:"1.0.0" ~doc)
-    [ list_cmd; compile_cmd; check_cmd; simulate_cmd; optimize_cmd;
+    [ list_cmd; compile_cmd; check_cmd; lint_cmd; simulate_cmd; optimize_cmd;
       detect_cmd; coverage_cmd; design_cmd; report_cmd; export_cmd ]
 
 let () = exit (Cmd.eval' main)

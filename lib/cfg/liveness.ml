@@ -19,32 +19,21 @@ let transfer (instrs : Instr.t list) out =
       List.fold_left (fun s r -> Reg.Set.add r s) live (Instr.uses i))
     instrs out
 
+(* Backward/may instance of the generic solver: facts are live register
+   sets, merged by union (empty at exit blocks). *)
+module Solver = Dataflow.Make (struct
+  type fact = Reg.Set.t
+
+  let direction = `Backward
+  let init = Reg.Set.empty
+  let merge _ = List.fold_left Reg.Set.union Reg.Set.empty
+  let transfer (b : Cfg.block) out = transfer b.instrs out
+  let equal = Reg.Set.equal
+end)
+
 let compute (cfg : Cfg.t) : t =
-  let n = Array.length cfg.blocks in
-  let live_in = Array.make n Reg.Set.empty in
-  let live_out = Array.make n Reg.Set.empty in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for idx = n - 1 downto 0 do
-      let b = cfg.blocks.(idx) in
-      let out =
-        List.fold_left
-          (fun acc s -> Reg.Set.union acc live_in.(s))
-          Reg.Set.empty b.succs
-      in
-      let inn = transfer b.instrs out in
-      if
-        (not (Reg.Set.equal out live_out.(idx)))
-        || not (Reg.Set.equal inn live_in.(idx))
-      then begin
-        live_out.(idx) <- out;
-        live_in.(idx) <- inn;
-        changed := true
-      end
-    done
-  done;
-  { cfg; live_in; live_out }
+  let { Solver.input; output } = Solver.solve cfg in
+  { cfg; live_in = input; live_out = output }
 
 let live_in t b = t.live_in.(b)
 let live_out t b = t.live_out.(b)

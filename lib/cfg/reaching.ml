@@ -29,7 +29,6 @@ let block_transfer def_reg instrs reaching =
   List.fold_left (fun acc i -> transfer def_reg i acc) reaching instrs
 
 let compute (cfg : Cfg.t) : t =
-  let n = Array.length cfg.blocks in
   let def_reg = Hashtbl.create 64 in
   Array.iter
     (fun (b : Cfg.block) ->
@@ -40,30 +39,19 @@ let compute (cfg : Cfg.t) : t =
           | None -> ())
         b.instrs)
     cfg.blocks;
-  let reach_in = Array.make n Int_set.empty in
-  let reach_out = Array.make n Int_set.empty in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun (b : Cfg.block) ->
-        let inn =
-          List.fold_left
-            (fun acc p -> Int_set.union acc reach_out.(p))
-            Int_set.empty b.preds
-        in
-        let out = block_transfer def_reg b.instrs inn in
-        if
-          (not (Int_set.equal inn reach_in.(b.index)))
-          || not (Int_set.equal out reach_out.(b.index))
-        then begin
-          reach_in.(b.index) <- inn;
-          reach_out.(b.index) <- out;
-          changed := true
-        end)
-      cfg.blocks
-  done;
-  { cfg; reach_in; reach_out; def_reg }
+  (* Forward/may instance of the generic solver: facts are sets of
+     reaching def opids, merged by union (empty above the entry). *)
+  let module Solver = Dataflow.Make (struct
+    type fact = Int_set.t
+
+    let direction = `Forward
+    let init = Int_set.empty
+    let merge _ = List.fold_left Int_set.union Int_set.empty
+    let transfer (b : Cfg.block) inn = block_transfer def_reg b.instrs inn
+    let equal = Int_set.equal
+  end) in
+  let { Solver.input; output } = Solver.solve cfg in
+  { cfg; reach_in = input; reach_out = output; def_reg }
 
 let reach_in t b = Int_set.elements t.reach_in.(b)
 let reach_out t b = Int_set.elements t.reach_out.(b)
@@ -101,10 +89,26 @@ let du_chains t =
             (Asipfb_util.Listx.dedup Reg.equal (Instr.uses i)))
         b.instrs)
     t.cfg.blocks;
+  (* Hashtbl.fold order is unspecified; sort the assoc list by def opid
+     (and each use list positionally) so every rendering of the chains —
+     notably --json reports — is byte-stable across -j settings. *)
   Hashtbl.fold
     (fun def uses acc -> (def, List.sort compare uses) :: acc)
     uses_of_def []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let du_chains_opids t =
+  List.map
+    (fun (def, uses) ->
+      let use_opids =
+        List.map
+          (fun (block, pos) ->
+            Instr.opid (List.nth t.cfg.blocks.(block).instrs pos))
+          uses
+        |> List.sort_uniq Int.compare
+      in
+      (def, use_opids))
+    (du_chains t)
 
 let single_def_uses t =
   (* A def qualifies when, at each of its uses, it is the only reaching

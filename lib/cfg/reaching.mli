@@ -25,7 +25,14 @@ val defs_reaching_use :
 val du_chains : t -> (int * (int * int) list) list
 (** For every defining instruction: [(def opid, uses)] where each use is
     [(block, pos)] of an instruction reading the defined register with
-    that definition reaching it.  Sorted by def opid. *)
+    that definition reaching it.  Deterministic: sorted by def opid, each
+    use list sorted by [(block, pos)] — identical output for any domain
+    count or suite order. *)
+
+val du_chains_opids : t -> (int * int list) list
+(** {!du_chains} with uses as instruction opids: [(def opid, use opids)],
+    sorted by def opid with each use list deduplicated and ascending.
+    The stable form consumed by the verifier and JSON renderers. *)
 
 val single_def_uses : t -> int list
 (** Opids of definitions that are the unique reaching definition at every

@@ -14,6 +14,7 @@ type analysis = Engine.analysis = {
   profile : Asipfb_sim.Profile.t;
   outcome : Asipfb_sim.Interp.outcome;
   scheds : (Opt_level.t * Schedule.t) list;
+  verify : Diag.t list;
 }
 
 let analyze (benchmark : Benchmark.t) : analysis =
@@ -105,9 +106,11 @@ let diag_of_exn exn =
   | Some d -> d
   | None -> Diag.of_unknown_exn exn
 
-let analyze_result ?faults (benchmark : Benchmark.t) :
+let analyze_result ?verify ?faults (benchmark : Benchmark.t) :
     (analysis, Diag.t) result =
-  match Engine.analyze_all (Engine.sequential ()) ?faults [ benchmark ] with
+  match
+    Engine.analyze_all (Engine.sequential ()) ?verify ?faults [ benchmark ]
+  with
   | [ (_, Ok a) ] -> Ok a
   | [ (_, Error exn) ] ->
       Error
@@ -124,13 +127,13 @@ type suite_report = {
   failures : failure list;
 }
 
-let run_suite ?engine ?faults
+let run_suite ?engine ?verify ?faults
     ?(benchmarks = Asipfb_bench_suite.Registry.all)
     ~(on_error : [ `Raise | `Isolate ]) () : suite_report =
   let engine =
     match engine with Some e -> e | None -> Engine.sequential ()
   in
-  let results = Engine.analyze_all engine ?faults benchmarks in
+  let results = Engine.analyze_all engine ?verify ?faults benchmarks in
   match on_error with
   | `Raise ->
       (* Every benchmark already ran; fail on the first broken one, in

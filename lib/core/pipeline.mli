@@ -16,6 +16,9 @@ type analysis = Asipfb_engine.Engine.analysis = {
   outcome : Asipfb_sim.Interp.outcome;
   scheds : (Asipfb_sched.Opt_level.t * Asipfb_sched.Schedule.t) list;
       (** One optimized program graph per level. *)
+  verify : Asipfb_diag.Diag.t list;
+      (** Verify-checkpoint findings ({!Asipfb_verify}); [[]] unless the
+          analysis ran with [?verify] set to [`Ir] or [`Full]. *)
 }
 
 val analyze : Asipfb_bench_suite.Benchmark.t -> analysis
@@ -107,13 +110,16 @@ val diag_of_exn : exn -> Asipfb_diag.Diag.t
     stage-[Driver] diagnostics via {!Asipfb_diag.Diag.of_unknown_exn}. *)
 
 val analyze_result :
+  ?verify:Asipfb_engine.Engine.verify_mode ->
   ?faults:Asipfb_sim.Fault.config ->
   Asipfb_bench_suite.Benchmark.t ->
   (analysis, Asipfb_diag.Diag.t) result
 (** {!analyze} with failures as diagnostics (tagged with the benchmark
     name).  With [faults], the simulation runs under a seeded fault
     injector and the benchmark's expected-output self-check turns silent
-    corruption into an [Error] with injection counts in its context. *)
+    corruption into an [Error] with injection counts in its context.
+    With [verify], the static checkers run as an extra phase and their
+    findings land in {!analysis.verify}. *)
 
 (** {1 The suite entry point} *)
 
@@ -129,6 +135,7 @@ type suite_report = {
 
 val run_suite :
   ?engine:Asipfb_engine.Engine.t ->
+  ?verify:Asipfb_engine.Engine.verify_mode ->
   ?faults:Asipfb_sim.Fault.config ->
   ?benchmarks:Asipfb_bench_suite.Benchmark.t list ->
   on_error:[ `Raise | `Isolate ] ->

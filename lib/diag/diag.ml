@@ -15,6 +15,7 @@ type stage =
   | Scheduling   (* percolation / pipelining / renaming transforms *)
   | Detection    (* branch-and-bound sequence analyzer *)
   | Coverage     (* iterative greedy coverage *)
+  | Verification (* static checkers: dataflow, schedule legality, lint *)
   | Selection    (* ASIP instruction selection / netlists *)
   | Reporting    (* tables, figures, CSV export *)
   | Driver       (* CLI / pipeline orchestration *)
@@ -43,6 +44,7 @@ let stage_to_string = function
   | Scheduling -> "scheduling"
   | Detection -> "detection"
   | Coverage -> "coverage"
+  | Verification -> "verification"
   | Selection -> "selection"
   | Reporting -> "reporting"
   | Driver -> "driver"

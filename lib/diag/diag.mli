@@ -16,6 +16,7 @@ type stage =
   | Scheduling
   | Detection
   | Coverage
+  | Verification
   | Selection
   | Reporting
   | Driver

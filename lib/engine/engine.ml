@@ -10,7 +10,10 @@ type analysis = {
   profile : Asipfb_sim.Profile.t;
   outcome : Asipfb_sim.Interp.outcome;
   scheds : (Opt_level.t * Schedule.t) list;
+  verify : Diag.t list;
 }
+
+type verify_mode = Asipfb_verify.Verify.mode
 
 (* The cached unit of the base phase.  The benchmark itself is excluded
    (its input generator is a closure, which Marshal rejects); it is
@@ -21,14 +24,19 @@ type t = {
   jobs : int;
   base_cache : base Cache.t;
   sched_cache : Schedule.t Cache.t;
+  verify_cache : Diag.t list Cache.t;
 }
 
-type stats = { base : Cache.stats; sched : Cache.stats }
+type stats = {
+  base : Cache.stats;
+  sched : Cache.stats;
+  verify : Cache.stats;
+}
 
 (* Bump on any change to the analysis semantics or payload layout: the
    revision is part of every key, so old disk entries simply stop
    matching. *)
-let schema_revision = "asipfb-engine-1"
+let schema_revision = "asipfb-engine-2"
 
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
@@ -38,23 +46,37 @@ let source_key (b : Benchmark.t) =
 let sched_key (b : Benchmark.t) level =
   key [ schema_revision; "sched"; b.name; b.source; Opt_level.to_string level ]
 
+let verify_ir_key (b : Benchmark.t) =
+  key [ schema_revision; "verify-ir"; b.name; b.source ]
+
+let verify_sched_key (b : Benchmark.t) level =
+  key
+    [ schema_revision; "verify-sched"; b.name; b.source;
+      Opt_level.to_string level ]
+
 let create ?jobs ?cache_dir ?(cache = true) () =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   {
     jobs;
     base_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
     sched_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
+    verify_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
   }
 
 let sequential () = create ~jobs:1 ~cache:false ()
 let jobs t = t.jobs
 
 let stats t =
-  { base = Cache.stats t.base_cache; sched = Cache.stats t.sched_cache }
+  {
+    base = Cache.stats t.base_cache;
+    sched = Cache.stats t.sched_cache;
+    verify = Cache.stats t.verify_cache;
+  }
 
 let reset_stats t =
   Cache.reset_stats t.base_cache;
-  Cache.reset_stats t.sched_cache
+  Cache.reset_stats t.sched_cache;
+  Cache.reset_stats t.verify_cache
 
 let derive_faults (config : Fault.config) (b : Benchmark.t) =
   Fault.create { config with seed = config.seed lxor Hashtbl.hash b.name }
@@ -96,7 +118,22 @@ let sched_for t (b : Benchmark.t) prog level =
       Metrics.timed Metrics.global "sched" (fun () ->
           Schedule.optimize ~level prog))
 
-let analyze_all t ?faults benchmarks =
+(* Verify tasks are cached like sched tasks: findings depend only on the
+   source (IR checks) or on (source, level) (legality), both covered by
+   the content key. *)
+let verify_ir_for t (b : Benchmark.t) prog =
+  Cache.find_or_compute t.verify_cache ~key:(verify_ir_key b) (fun () ->
+      Metrics.timed Metrics.global "verify" (fun () ->
+          Asipfb_verify.Verify.lint_source b.source
+          @ Asipfb_verify.Verify.check_ir prog))
+
+let verify_sched_for t (b : Benchmark.t) prog level sched =
+  Cache.find_or_compute t.verify_cache ~key:(verify_sched_key b level)
+    (fun () ->
+      Metrics.timed Metrics.global "verify" (fun () ->
+          Asipfb_verify.Verify.check_schedule ~original:prog sched))
+
+let analyze_all t ?(verify = `Off) ?faults benchmarks =
   let bs = Array.of_list benchmarks in
   (* Phase 1: one base task per benchmark, failures isolated. *)
   let bases =
@@ -121,6 +158,54 @@ let analyze_all t ?faults benchmarks =
                try Ok (sched_for t bs.(bi) base.prog levels.(li))
                with exn -> Error exn)))
   in
+  (* Phase 3 (optional): verify tasks — per benchmark for the IR checks,
+     plus per (benchmark, level) for the legality proof under [`Full].
+     Laid out as [nb] IR slots followed by [nb × nl] legality slots. *)
+  let nb = Array.length bs in
+  let verify_results =
+    match verify with
+    | `Off -> [||]
+    | (`Ir | `Full) as mode ->
+        let ir_task bi () =
+          match bases.(bi) with
+          | Error _ -> Error Exit
+          | Ok base -> (
+              try Ok (verify_ir_for t bs.(bi) base.prog)
+              with exn -> Error exn)
+        in
+        let sched_task idx () =
+          let bi = idx / nl and li = idx mod nl in
+          match (bases.(bi), sched_results.((bi * nl) + li)) with
+          | Ok base, Ok s -> (
+              try Ok (verify_sched_for t bs.(bi) base.prog levels.(li) s)
+              with exn -> Error exn)
+          | _ -> Error Exit
+        in
+        let tasks =
+          match mode with
+          | `Ir -> Array.init nb ir_task
+          | `Full ->
+              Array.append (Array.init nb ir_task)
+                (Array.init (nb * nl) (fun idx -> sched_task idx))
+        in
+        Pool.run ~jobs:t.jobs tasks
+  in
+  let verify_for bi =
+    if verify = `Off then Ok []
+    else
+      match verify_results.(bi) with
+      | Error exn -> Error exn
+      | Ok ir ->
+          let rec levels_from li acc =
+            if verify = `Ir || li = nl then Ok (List.rev acc)
+            else
+              match verify_results.(nb + (bi * nl) + li) with
+              | Ok ds -> levels_from (li + 1) (ds :: acc)
+              | Error exn -> Error exn
+          in
+          Result.map (fun per_level -> List.concat (ir :: per_level))
+            (levels_from 0 [])
+  in
   Array.to_list
     (Array.mapi
        (fun bi b ->
@@ -135,21 +220,25 @@ let analyze_all t ?faults benchmarks =
                  | Error exn -> Error exn
              in
              match collect 0 [] with
-             | Ok scheds ->
-                 ( b,
-                   Ok
-                     {
-                       benchmark = b;
-                       prog;
-                       profile = outcome.profile;
-                       outcome;
-                       scheds;
-                     } )
+             | Ok scheds -> (
+                 match verify_for bi with
+                 | Ok verify ->
+                     ( b,
+                       Ok
+                         {
+                           benchmark = b;
+                           prog;
+                           profile = outcome.profile;
+                           outcome;
+                           scheds;
+                           verify;
+                         } )
+                 | Error exn -> (b, Error exn))
              | Error exn -> (b, Error exn)))
        bs)
 
-let analyze t b =
-  match analyze_all t [ b ] with
+let analyze t ?(verify = `Off) b =
+  match analyze_all t ~verify [ b ] with
   | [ (_, Ok a) ] -> a
   | [ (_, Error exn) ] -> raise exn
   | _ -> assert false

@@ -25,7 +25,18 @@
     depend only on the compiled program and stay cacheable.
 
     Stage wall-clock is charged to {!Metrics.global} under ["frontend"],
-    ["sim"], and ["sched"]. *)
+    ["sim"], ["sched"], and ["verify"].
+
+    {2 Verify checkpoint}
+
+    With [~verify:`Ir], a third task phase runs the static checkers of
+    {!Asipfb_verify} over each benchmark: the mini-C lint on the source
+    and the IR dataflow/structural checks on the compiled program.
+    [`Full] adds one legality-proof task per (benchmark, level),
+    verifying the optimized graph preserves the original dependence
+    structure.  Findings land in {!analysis.verify} (IR findings first,
+    then per-level in {!Asipfb_sched.Opt_level.all} order) and are
+    cached under their own content keys. *)
 
 type analysis = {
   benchmark : Asipfb_bench_suite.Benchmark.t;
@@ -34,7 +45,11 @@ type analysis = {
   outcome : Asipfb_sim.Interp.outcome;
   scheds : (Asipfb_sched.Opt_level.t * Asipfb_sched.Schedule.t) list;
       (** One optimized program graph per level, in {!Asipfb_sched.Opt_level.all} order. *)
+  verify : Asipfb_diag.Diag.t list;
+      (** Verify-checkpoint findings; [[]] when analyzed with [`Off]. *)
 }
+
+type verify_mode = Asipfb_verify.Verify.mode
 
 type t
 
@@ -53,6 +68,8 @@ val jobs : t -> int
 type stats = {
   base : Cache.stats;  (** Compile+profile payloads (12 per suite run). *)
   sched : Cache.stats;  (** Per-level schedules (36 per suite run). *)
+  verify : Cache.stats;
+      (** Verify findings (12 IR + 36 legality per [`Full] suite run). *)
 }
 
 val stats : t -> stats
@@ -68,6 +85,13 @@ val sched_key :
   Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
 (** Content key of one (benchmark, level) schedule payload. *)
 
+val verify_ir_key : Asipfb_bench_suite.Benchmark.t -> string
+(** Content key of a benchmark's lint + IR-check findings. *)
+
+val verify_sched_key :
+  Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
+(** Content key of one (benchmark, level) legality-proof result. *)
+
 val derive_faults :
   Asipfb_sim.Fault.config -> Asipfb_bench_suite.Benchmark.t ->
   Asipfb_sim.Fault.t
@@ -75,12 +99,14 @@ val derive_faults :
     suite seed and the benchmark name, so results are order-independent
     and reproducible from a single seed. *)
 
-val analyze : t -> Asipfb_bench_suite.Benchmark.t -> analysis
+val analyze :
+  t -> ?verify:verify_mode -> Asipfb_bench_suite.Benchmark.t -> analysis
 (** Steps 1–3 for one benchmark (cached, parallel across levels).
     @raise exn whatever the failing pipeline stage raised. *)
 
 val analyze_all :
   t ->
+  ?verify:verify_mode ->
   ?faults:Asipfb_sim.Fault.config ->
   Asipfb_bench_suite.Benchmark.t list ->
   (Asipfb_bench_suite.Benchmark.t * (analysis, exn) result) list

@@ -227,12 +227,25 @@ let check p =
   entry_errs @ name_errs @ region_decl_errs
   @ List.concat_map (check_func p) p.funcs
 
+let diag_of_error e =
+  Asipfb_diag.Diag.make ~stage:Asipfb_diag.Diag.Verification
+    ~context:[ ("where", e.where); ("check", "ir-validate") ]
+    e.what
+
+let check_diags p = List.map diag_of_error (check p)
+
 let check_exn p =
   match check p with
   | [] -> ()
-  | errs ->
+  | first :: _ as errs ->
       let msg =
         String.concat "\n"
           (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
       in
-      failwith ("IR validation failed:\n" ^ msg)
+      raise
+        (Asipfb_diag.Diag.Diag_error
+           (Asipfb_diag.Diag.make ~stage:Asipfb_diag.Diag.Verification
+              ~context:
+                [ ("where", first.where); ("check", "ir-validate");
+                  ("errors", string_of_int (List.length errs)) ]
+              ("IR validation failed:\n" ^ msg)))

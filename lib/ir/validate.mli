@@ -25,5 +25,15 @@ val check : Prog.t -> error list
     parameters; function names are unique; region names are unique and
     sizes positive. *)
 
+val diag_of_error : error -> Asipfb_diag.Diag.t
+(** Render one error as a stage-[Verification] structured diagnostic
+    (context carries the function name under ["where"]). *)
+
+val check_diags : Prog.t -> Asipfb_diag.Diag.t list
+(** [check] as structured diagnostics — the report format shared with
+    the {!module:Asipfb_verify} checkers. *)
+
 val check_exn : Prog.t -> unit
-(** @raise Failure with a rendered error list if any check fails. *)
+(** Thin wrapper over {!check}: @raise Asipfb_diag.Diag.Diag_error
+    carrying a stage-[Verification] diagnostic that renders the full
+    error list, if any check fails. *)

@@ -1,0 +1,151 @@
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+module Func = Asipfb_ir.Func
+module Cfg = Asipfb_cfg.Cfg
+module Dataflow = Asipfb_cfg.Dataflow
+module Liveness = Asipfb_cfg.Liveness
+module Diag = Asipfb_diag.Diag
+
+let warn ~func ~rule ?(context = []) message =
+  Diag.make ~severity:Diag.Warning ~stage:Diag.Verification
+    ~context:([ ("check", rule); ("function", func) ] @ context)
+    message
+
+(* --- maybe-uninitialized reads ------------------------------------------ *)
+
+(* Forward/must definite-assignment analysis: a register is definitely
+   assigned at a point iff every path from the entry defines it first.
+   Parameters hold at the entry; the merge is set intersection, seeded
+   from the register universe so unreachable blocks stay vacuous. *)
+let uninit_reads (f : Func.t) (cfg : Cfg.t) =
+  let universe =
+    Reg.Set.union (Func.defined_regs f)
+      (Reg.Set.union (Func.used_regs f) (Reg.Set.of_list f.params))
+  in
+  let params = Reg.Set.of_list f.params in
+  let module Solver = Dataflow.Make (struct
+    type fact = Reg.Set.t
+
+    let direction = `Forward
+    let init = universe
+
+    let merge (b : Cfg.block) facts =
+      let inflow =
+        match facts with
+        | [] -> universe
+        | first :: rest -> List.fold_left Reg.Set.inter first rest
+      in
+      (* The entry is also reached from outside, where only the
+         parameters are assigned — even when a back edge targets it. *)
+      if b.index = 0 then Reg.Set.inter params inflow else inflow
+
+    let transfer (b : Cfg.block) defined =
+      List.fold_left
+        (fun acc i ->
+          match Instr.def i with
+          | Some d -> Reg.Set.add d acc
+          | None -> acc)
+        defined b.instrs
+
+    let equal = Reg.Set.equal
+  end) in
+  let { Solver.input; _ } = Solver.solve cfg in
+  let findings = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      let defined = ref input.(b.index) in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun r ->
+              if not (Reg.Set.mem r !defined) then
+                findings :=
+                  warn ~func:f.name ~rule:"maybe-uninitialized"
+                    ~context:
+                      [ ("opid", string_of_int (Instr.opid i));
+                        ("register", Reg.to_string r) ]
+                    (Format.asprintf
+                       "register %a may be read uninitialized in [%a]" Reg.pp
+                       r Instr.pp i)
+                  :: !findings)
+            (Asipfb_util.Listx.dedup Reg.equal (Instr.uses i));
+          match Instr.def i with
+          | Some d -> defined := Reg.Set.add d !defined
+          | None -> ())
+        b.instrs)
+    cfg.blocks;
+  List.rev !findings
+
+(* --- dead stores --------------------------------------------------------- *)
+
+(* A def is dead when its register is live on no path immediately after
+   the instruction.  Only pure value producers are reported: a call's
+   unused result is not removable (the call still runs). *)
+let is_pure_def i =
+  match Instr.kind i with
+  | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _ | Instr.Load _ ->
+      true
+  | Instr.Store _ | Instr.Jump _ | Instr.Cond_jump _ | Instr.Call _
+  | Instr.Ret _ | Instr.Label_mark _ ->
+      false
+
+let dead_stores (f : Func.t) (cfg : Cfg.t) =
+  let live = Liveness.compute cfg in
+  let findings = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iteri
+        (fun pos i ->
+          match Instr.def i with
+          | Some d when is_pure_def i ->
+              let after =
+                Liveness.live_before live ~block:b.index ~pos:(pos + 1)
+              in
+              if not (Reg.Set.mem d after) then
+                findings :=
+                  warn ~func:f.name ~rule:"dead-store"
+                    ~context:
+                      [ ("opid", string_of_int (Instr.opid i));
+                        ("register", Reg.to_string d) ]
+                    (Format.asprintf "value of [%a] is never used" Instr.pp i)
+                  :: !findings
+          | Some _ | None -> ())
+        b.instrs)
+    cfg.blocks;
+  List.rev !findings
+
+(* --- unreachable blocks -------------------------------------------------- *)
+
+let unreachable_blocks (f : Func.t) (cfg : Cfg.t) =
+  let n = Array.length cfg.blocks in
+  let reached = Array.make n false in
+  let rec visit b =
+    if not reached.(b) then begin
+      reached.(b) <- true;
+      List.iter visit cfg.blocks.(b).succs
+    end
+  in
+  visit cfg.entry;
+  Array.to_list cfg.blocks
+  |> List.filter_map (fun (b : Cfg.block) ->
+         if reached.(b.index) || b.instrs = [] then None
+         else
+           Some
+             (warn ~func:f.name ~rule:"unreachable-block"
+                ~context:
+                  [ ("block", string_of_int b.index);
+                    ("instrs", string_of_int (List.length b.instrs)) ]
+                (match b.label with
+                | Some l ->
+                    Format.asprintf
+                      "block %d (%a) is unreachable from the entry" b.index
+                      Asipfb_ir.Label.pp l
+                | None ->
+                    Printf.sprintf "block %d is unreachable from the entry"
+                      b.index)))
+
+let check_func (f : Func.t) =
+  let cfg = Cfg.build f in
+  uninit_reads f cfg @ dead_stores f cfg @ unreachable_blocks f cfg
+
+let check (p : Asipfb_ir.Prog.t) = List.concat_map check_func p.funcs

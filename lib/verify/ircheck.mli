@@ -1,0 +1,27 @@
+(** Dataflow checker over the 3-address IR.
+
+    Three whole-function checks built on {!Asipfb_cfg.Dataflow}, each
+    reporting structured diagnostics instead of raising:
+
+    - {b maybe-uninitialized read}: a forward {e must} (definite
+      assignment) analysis — a register read at a point where some path
+      from the entry carries no definition of it;
+    - {b dead store}: a pure value-producing instruction whose result is
+      live on no path from the definition (backward liveness);
+    - {b unreachable block}: a non-empty CFG block that no path from the
+      entry reaches (typically a labeled block nothing jumps to —
+      {!Asipfb_ir.Validate} only catches straight-line fallthrough dead
+      code).
+
+    All diagnostics are stage [Verification], severity [Warning], with
+    the function name, check rule, opid and register in their context.
+    The untransformed output of the front end and every
+    [Schedule.optimize] level are expected to check clean — CI's
+    [lint --strict] enforces this across the suite. *)
+
+val check_func : Asipfb_ir.Func.t -> Asipfb_diag.Diag.t list
+(** Findings for one function, deterministically ordered (by check,
+    then block, then position). *)
+
+val check : Asipfb_ir.Prog.t -> Asipfb_diag.Diag.t list
+(** All functions, in program order. *)

@@ -1,0 +1,292 @@
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Cfg = Asipfb_cfg.Cfg
+module Dom = Asipfb_cfg.Dom
+module Reaching = Asipfb_cfg.Reaching
+module Ddg = Asipfb_sched.Ddg
+module Diag = Asipfb_diag.Diag
+
+module Int_set = Set.Make (Int)
+
+type violation = {
+  vfunc : string;
+  before : int;
+  after : int;
+  vkind : Ddg.kind;
+  reason : string;
+}
+
+type verdict = Legal | Violation of violation list
+
+let string_of_kind = function
+  | Ddg.Flow -> "flow"
+  | Ddg.Anti -> "anti"
+  | Ddg.Output -> "output"
+  | Ddg.Mem_order -> "mem-order"
+  | Ddg.Control -> "control"
+
+(* Opid -> (block index, position) over a CFG's real instructions. *)
+let site_index (cfg : Cfg.t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iteri
+        (fun pos i -> Hashtbl.replace tbl (Instr.opid i) (b.index, pos, i))
+        b.instrs)
+    cfg.blocks;
+  tbl
+
+let is_call i =
+  match Instr.kind i with
+  | Instr.Call _ -> true
+  | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Mov _ | Instr.Load _
+  | Instr.Store _ | Instr.Jump _ | Instr.Cond_jump _ | Instr.Ret _
+  | Instr.Label_mark _ ->
+      false
+
+(* Does the dependence of [kind] still exist between the transformed
+   instructions?  Register conflicts are recomputed on the (possibly
+   renamed) registers; a pair renamed apart no longer constrains order —
+   its semantics are covered by the value-flow check.  Memory conflicts
+   survive unconditionally (regions are never renamed). *)
+let conflict_survives kind (a : Instr.t) (b : Instr.t) =
+  let reg_flow () =
+    match Instr.def a with
+    | Some d -> List.exists (Reg.equal d) (Instr.uses b)
+    | None -> false
+  in
+  let mem_flow () =
+    match (Instr.writes_memory a, Instr.reads_memory b) with
+    | Some ra, Some rb -> ra = rb
+    | _ -> false
+  in
+  match kind with
+  | Ddg.Flow -> reg_flow () || mem_flow ()
+  | Ddg.Anti ->
+      (match Instr.def b with
+      | Some d -> List.exists (Reg.equal d) (Instr.uses a)
+      | None -> false)
+      || (match (Instr.reads_memory a, Instr.writes_memory b) with
+         | Some ra, Some rb -> ra = rb
+         | _ -> false)
+  | Ddg.Output ->
+      (match (Instr.def a, Instr.def b) with
+      | Some da, Some db -> Reg.equal da db
+      | _ -> false)
+      || (match (Instr.writes_memory a, Instr.writes_memory b) with
+         | Some ra, Some rb -> ra = rb
+         | _ -> false)
+  | Ddg.Mem_order ->
+      let touches i =
+        Instr.reads_memory i <> None
+        || Instr.writes_memory i <> None
+        || is_call i
+      in
+      (is_call a && touches b) || (is_call b && touches a)
+  | Ddg.Control -> Instr.is_control b
+
+(* --- value-flow resolution ----------------------------------------------- *)
+
+(* Resolve a reaching definition in the transformed code back to original
+   producers: an opid the original program owns stands for itself; a
+   compiler-inserted copy (restore mov) is looked through to the
+   definitions reaching its source operand.  Cycles among fresh copies
+   terminate via [visited]. *)
+let rec resolve_def ~orig_opids ~trans_sites ~trans_reach visited d =
+  if Int_set.mem d orig_opids then Int_set.singleton d
+  else if Int_set.mem d visited then Int_set.empty
+  else
+    let visited = Int_set.add d visited in
+    match Hashtbl.find_opt trans_sites d with
+    | Some (block, pos, i) -> (
+        match Instr.kind i with
+        | Instr.Mov (_, Instr.Reg src) ->
+            List.fold_left
+              (fun acc d' ->
+                Int_set.union acc
+                  (resolve_def ~orig_opids ~trans_sites ~trans_reach visited
+                     d'))
+              Int_set.empty
+              (Reaching.defs_reaching_use trans_reach ~block ~pos ~reg:src)
+        | _ -> Int_set.singleton d)
+    | None -> Int_set.singleton d
+
+(* --- the per-function prover --------------------------------------------- *)
+
+let check_func ~(original : Func.t) ~(transformed : Func.t) =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  let orig_cfg = Cfg.build original in
+  let trans_cfg = Cfg.build transformed in
+  let trans_dom = Dom.compute trans_cfg in
+  let trans_sites = site_index trans_cfg in
+  let orig_opids =
+    List.fold_left
+      (fun acc i -> Int_set.add (Instr.opid i) acc)
+      Int_set.empty
+      (List.filter (fun i -> not (Instr.is_label i)) original.body)
+  in
+  (* Execution-order witness in the transformed code: same block with a
+     lower position, or the source's block strictly dominating the
+     sink's — every hoist the scheduler performs targets a dominating
+     single predecessor, so legal outputs always carry one. *)
+  let executes_before (ba, pa) (bb, pb) =
+    if ba = bb then pa < pb else Dom.dominates trans_dom ba bb
+  in
+  (* Ordering obligations: the DDG of every original block. *)
+  Array.iter
+    (fun (b : Cfg.block) ->
+      let ops = Array.of_list b.instrs in
+      let ddg = Ddg.build ops in
+      List.iter
+        (fun (e : Ddg.edge) ->
+          let x = Instr.opid ops.(e.src) and y = Instr.opid ops.(e.dst) in
+          match (Hashtbl.find_opt trans_sites x, Hashtbl.find_opt trans_sites y)
+          with
+          | None, _ | _, None ->
+              push
+                {
+                  vfunc = original.name;
+                  before = x;
+                  after = y;
+                  vkind = e.kind;
+                  reason = "instruction disappeared from the schedule";
+                }
+          | Some (bx, px, ix), Some (by, py, iy) ->
+              if
+                conflict_survives e.kind ix iy
+                && not (executes_before (bx, px) (by, py))
+              then
+                push
+                  {
+                    vfunc = original.name;
+                    before = x;
+                    after = y;
+                    vkind = e.kind;
+                    reason =
+                      Printf.sprintf
+                        "%s dependence reordered: op %d no longer executes \
+                         before op %d"
+                        (string_of_kind e.kind) x y;
+                  })
+        (Ddg.edges ddg))
+    orig_cfg.blocks;
+  (* Value-flow obligations: reaching-definition sets per operand. *)
+  let orig_reach = Reaching.compute orig_cfg in
+  let trans_reach = Reaching.compute trans_cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iteri
+        (fun pos i ->
+          let u = Instr.opid i in
+          match Hashtbl.find_opt trans_sites u with
+          | None -> () (* already reported above *)
+          | Some (bu, pu, iu) ->
+              let orig_uses = Instr.uses i and trans_uses = Instr.uses iu in
+              if List.length orig_uses <> List.length trans_uses then
+                push
+                  {
+                    vfunc = original.name;
+                    before = u;
+                    after = u;
+                    vkind = Ddg.Flow;
+                    reason = "operand shape changed";
+                  }
+              else
+                List.iteri
+                  (fun k r ->
+                    let r' = List.nth trans_uses k in
+                    let expected =
+                      Int_set.of_list
+                        (Reaching.defs_reaching_use orig_reach ~block:b.index
+                           ~pos ~reg:r)
+                    in
+                    let got =
+                      List.fold_left
+                        (fun acc d ->
+                          Int_set.union acc
+                            (resolve_def ~orig_opids ~trans_sites ~trans_reach
+                               Int_set.empty d))
+                        Int_set.empty
+                        (Reaching.defs_reaching_use trans_reach ~block:bu
+                           ~pos:pu ~reg:r')
+                    in
+                    if not (Int_set.equal expected got) then begin
+                      Int_set.iter
+                        (fun d ->
+                          push
+                            {
+                              vfunc = original.name;
+                              before = d;
+                              after = u;
+                              vkind = Ddg.Flow;
+                              reason =
+                                Printf.sprintf
+                                  "definition %d no longer reaches the use \
+                                   of %s at op %d"
+                                  d (Reg.to_string r) u;
+                            })
+                        (Int_set.diff expected got);
+                      Int_set.iter
+                        (fun d ->
+                          push
+                            {
+                              vfunc = original.name;
+                              before = d;
+                              after = u;
+                              vkind = Ddg.Flow;
+                              reason =
+                                Printf.sprintf
+                                  "spurious definition %d reaches the use \
+                                   of %s at op %d"
+                                  d (Reg.to_string r') u;
+                            })
+                        (Int_set.diff got expected)
+                    end)
+                  orig_uses)
+        b.instrs)
+    orig_cfg.blocks;
+  List.rev !violations
+
+let sort_violations vs =
+  List.sort_uniq
+    (fun a b ->
+      match String.compare a.vfunc b.vfunc with
+      | 0 -> (
+          match Int.compare a.before b.before with
+          | 0 -> (
+              match Int.compare a.after b.after with
+              | 0 -> compare a.vkind b.vkind
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    vs
+
+let check ~(original : Prog.t) (sched : Asipfb_sched.Schedule.t) : verdict =
+  let vs =
+    List.concat_map
+      (fun (f : Func.t) ->
+        match Prog.find_func_opt sched.prog f.name with
+        | None ->
+            [ { vfunc = f.name; before = -1; after = -1; vkind = Ddg.Control;
+                reason = "function disappeared from the schedule" } ]
+        | Some transformed -> check_func ~original:f ~transformed)
+      original.funcs
+  in
+  match sort_violations vs with [] -> Legal | vs -> Violation vs
+
+let to_diags = function
+  | Legal -> []
+  | Violation vs ->
+      List.map
+        (fun v ->
+          Diag.make ~stage:Diag.Verification
+            ~context:
+              [ ("check", "schedule-legality"); ("function", v.vfunc);
+                ("before", string_of_int v.before);
+                ("after", string_of_int v.after);
+                ("dep", string_of_kind v.vkind) ]
+            v.reason)
+        vs

@@ -1,0 +1,60 @@
+(** Schedule legality prover.
+
+    Statically verifies that an optimized program graph
+    ({!Asipfb_sched.Schedule.t}) preserves the dependence structure of
+    the pre-transformation 3-address code, without running either.  Two
+    obligation families are discharged per function, matched across the
+    transformation by opid (the transforms preserve opids; only
+    compiler-inserted restore copies are new):
+
+    - {b ordering}: the {!Asipfb_sched.Ddg} is rebuilt over every block
+      of the {e original} function; each intra-block edge
+      (flow / anti / output on registers, same-region memory order with
+      conservative region-granularity aliasing, call ordering, ordering
+      against the block terminator) whose register/memory conflict still
+      exists between the two opids in the transformed code must come
+      with an execution-order witness — same transformed block with the
+      source at a lower position, or the source's block strictly
+      dominating the sink's.  A conflict renamed apart (register
+      renaming's purpose) is discharged by the value-flow check instead.
+    - {b value flow}: for every operand of every original instruction,
+      the set of original definitions reaching it
+      ({!Asipfb_cfg.Reaching}, including around loop back edges) must be
+      unchanged, where reaching definitions in the transformed code are
+      resolved through compiler-inserted copies back to original opids.
+
+    The prover is conservative and intra-block for ordering (the motions
+    performed by percolation/renaming only ever hoist into a dominating
+    single predecessor, so legal schedules always carry a witness); value
+    flow is whole-function.  A hand-corrupted schedule — two dependent
+    ops swapped — is reported as a named [(before, after, kind)]
+    violation. *)
+
+type violation = {
+  vfunc : string;  (** Function containing the broken pair. *)
+  before : int;  (** Opid that must execute first. *)
+  after : int;  (** Opid that must execute after [before]. *)
+  vkind : Asipfb_sched.Ddg.kind;  (** Dependence kind violated. *)
+  reason : string;  (** Human explanation of the failed obligation. *)
+}
+
+type verdict = Legal | Violation of violation list
+(** [Violation] carries at least one entry, deterministically sorted by
+    (function, before, after). *)
+
+val check_func :
+  original:Asipfb_ir.Func.t -> transformed:Asipfb_ir.Func.t ->
+  violation list
+
+val check :
+  original:Asipfb_ir.Prog.t -> Asipfb_sched.Schedule.t -> verdict
+(** Verdict for one opt-level output against the program it was
+    optimized from.  A function missing from the transformed program is
+    itself a violation. *)
+
+val to_diags : verdict -> Asipfb_diag.Diag.t list
+(** Violations as stage-[Verification] [Error] diagnostics carrying
+    the (before, after, kind) triple in their context; [[]] when
+    [Legal]. *)
+
+val string_of_kind : Asipfb_sched.Ddg.kind -> string

@@ -1,0 +1,196 @@
+open Asipfb_frontend.Tast
+module Diag = Asipfb_diag.Diag
+
+let warn ~func ~rule ?(context = []) message =
+  Diag.make ~severity:Diag.Warning ~stage:Diag.Verification
+    ~context:([ ("check", rule); ("function", func) ] @ context)
+    message
+
+module Str_set = Set.Make (String)
+
+(* --- read sets ----------------------------------------------------------- *)
+
+(* Names read by an expression.  [Tindex] reads only its index (regions
+   are globals, out of scope for the unused-local check). *)
+let rec expr_reads acc (e : texpr) =
+  match e.tdesc with
+  | Tint_lit _ | Tfloat_lit _ -> acc
+  | Tvar x -> Str_set.add x acc
+  | Tindex (_, i) -> expr_reads acc i
+  | Tunary (_, a) | Tcast (_, a) | Tintrinsic (_, a) -> expr_reads acc a
+  | Tbinary (_, a, b) -> expr_reads (expr_reads acc a) b
+  | Tcond (c, a, b) -> expr_reads (expr_reads (expr_reads acc c) a) b
+  | Tcall (_, args) -> List.fold_left expr_reads acc args
+
+let rec stmt_reads acc = function
+  | Tdecl (_, _, init) -> Option.fold ~none:acc ~some:(expr_reads acc) init
+  | Tassign_var (_, e) -> expr_reads acc e
+  | Tassign_arr (_, i, v) -> expr_reads (expr_reads acc i) v
+  | Tif (c, a, b) -> block_reads (block_reads (expr_reads acc c) a) b
+  | Tloop (c, body, step) ->
+      block_reads (block_reads (expr_reads acc c) body) step
+  | Treturn e -> Option.fold ~none:acc ~some:(expr_reads acc) e
+  | Tbreak | Tcontinue -> acc
+  | Tcall_stmt (_, args) -> List.fold_left expr_reads acc args
+  | Tblock b -> block_reads acc b
+
+and block_reads acc b = List.fold_left stmt_reads acc b
+
+(* --- per-rule walks ------------------------------------------------------- *)
+
+let unused ~func (f : tfunc) =
+  let reads = block_reads Str_set.empty f.tf_body in
+  let rec decls acc = function
+    | Tdecl (_, x, _) -> x :: acc
+    | Tif (_, a, b) -> List.fold_left decls (List.fold_left decls acc a) b
+    | Tloop (_, body, step) ->
+        List.fold_left decls (List.fold_left decls acc body) step
+    | Tblock b -> List.fold_left decls acc b
+    | Tassign_var _ | Tassign_arr _ | Treturn _ | Tbreak | Tcontinue
+    | Tcall_stmt _ ->
+        acc
+  in
+  let locals = List.rev (List.fold_left decls [] f.tf_body) in
+  let report rule what x =
+    warn ~func ~rule
+      ~context:[ ("variable", x) ]
+      (Printf.sprintf "%s %s is never read" what x)
+  in
+  List.filter_map
+    (fun (x, _) ->
+      if Str_set.mem x reads then None
+      else Some (report "unused-parameter" "parameter" x))
+    f.tf_params
+  @ List.filter_map
+      (fun x ->
+        if Str_set.mem x reads then None
+        else Some (report "unused-variable" "variable" x))
+      locals
+
+let const_oob ~func ~regions (f : tfunc) =
+  let size r =
+    List.find_map
+      (fun (t : tregion) -> if t.tr_name = r then Some t.tr_size else None)
+      regions
+  in
+  let findings = ref [] in
+  let access r (i : texpr) =
+    match (i.tdesc, size r) with
+    | Tint_lit k, Some n when k < 0 || k >= n ->
+        findings :=
+          warn ~func ~rule:"const-out-of-bounds"
+            ~context:
+              [ ("region", r); ("index", string_of_int k);
+                ("size", string_of_int n) ]
+            (Printf.sprintf
+               "constant index %d is outside [0, %d) of array %s" k n r)
+          :: !findings
+    | _ -> ()
+  in
+  let rec expr (e : texpr) =
+    match e.tdesc with
+    | Tint_lit _ | Tfloat_lit _ | Tvar _ -> ()
+    | Tindex (r, i) ->
+        access r i;
+        expr i
+    | Tunary (_, a) | Tcast (_, a) | Tintrinsic (_, a) -> expr a
+    | Tbinary (_, a, b) ->
+        expr a;
+        expr b
+    | Tcond (c, a, b) ->
+        expr c;
+        expr a;
+        expr b
+    | Tcall (_, args) -> List.iter expr args
+  in
+  let rec stmt = function
+    | Tdecl (_, _, init) -> Option.iter expr init
+    | Tassign_var (_, e) -> expr e
+    | Tassign_arr (r, i, v) ->
+        access r i;
+        expr i;
+        expr v
+    | Tif (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | Tloop (c, body, step) ->
+        expr c;
+        List.iter stmt body;
+        List.iter stmt step
+    | Treturn e -> Option.iter expr e
+    | Tbreak | Tcontinue -> ()
+    | Tcall_stmt (_, args) -> List.iter expr args
+    | Tblock b -> List.iter stmt b
+  in
+  List.iter stmt f.tf_body;
+  List.rev !findings
+
+(* Constant [if] conditions only: loop conditions are exempt because
+   [for (;;)] / [while (1)] desugar to a literal and are idiomatic. *)
+let const_cond ~func (f : tfunc) =
+  let findings = ref [] in
+  let rec stmt = function
+    | Tif (c, a, b) ->
+        (match c.tdesc with
+        | Tint_lit k ->
+            findings :=
+              warn ~func ~rule:"constant-condition"
+                ~context:[ ("value", string_of_int k) ]
+                (Printf.sprintf
+                   "if condition is the constant %d; the %s branch never \
+                    runs"
+                   k
+                   (if k = 0 then "then" else "else"))
+              :: !findings
+        | Tfloat_lit v ->
+            findings :=
+              warn ~func ~rule:"constant-condition"
+                ~context:[ ("value", string_of_float v) ]
+                "if condition is a float literal; one branch never runs"
+              :: !findings
+        | _ -> ());
+        List.iter stmt a;
+        List.iter stmt b
+    | Tloop (_, body, step) ->
+        List.iter stmt body;
+        List.iter stmt step
+    | Tblock b -> List.iter stmt b
+    | Tdecl _ | Tassign_var _ | Tassign_arr _ | Treturn _ | Tbreak
+    | Tcontinue | Tcall_stmt _ ->
+        ()
+  in
+  List.iter stmt f.tf_body;
+  List.rev !findings
+
+(* A block definitely returns when some statement on every path through
+   it returns; loops are conservatively assumed skippable. *)
+let rec block_returns b = List.exists stmt_returns b
+
+and stmt_returns = function
+  | Treturn _ -> true
+  | Tif (_, a, b) -> block_returns a && block_returns b
+  | Tblock b -> block_returns b
+  | Tdecl _ | Tassign_var _ | Tassign_arr _ | Tloop _ | Tbreak | Tcontinue
+  | Tcall_stmt _ ->
+      false
+
+let missing_return ~func (f : tfunc) =
+  match f.tf_ret with
+  | None -> []
+  | Some _ ->
+      if block_returns f.tf_body then []
+      else
+        [ warn ~func ~rule:"missing-return"
+            (Printf.sprintf
+               "non-void function %s can fall off the end without \
+                returning a value"
+               f.tf_name) ]
+
+let check_func ~regions (f : tfunc) =
+  let func = f.tf_name in
+  unused ~func f @ const_oob ~func ~regions f @ const_cond ~func f
+  @ missing_return ~func f
+
+let check (p : program) =
+  List.concat_map (check_func ~regions:p.tregions) p.tfuncs

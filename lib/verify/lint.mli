@@ -1,0 +1,34 @@
+(** Mini-C lint over the typed AST ({!Asipfb_frontend.Tast}).
+
+    Source-level checks that run after {!Asipfb_frontend.Sema} (so names
+    are resolved and types are known) but before lowering erases the
+    program structure:
+
+    - {b unused-variable} / {b unused-parameter}: a local or parameter
+      that is never read (writes alone don't count);
+    - {b const-out-of-bounds}: an array access [a[k]] with a constant
+      index [k] outside [0, size) of the region's declaration;
+    - {b constant-condition}: an [if] whose condition is a literal, so
+      one branch can never run.  The classic assignment-in-condition
+      lint is unrepresentable in this grammar (assignment is a
+      statement, not an expression), and a constant condition is its
+      nearest observable cousin — the most common outcome of writing
+      [=] where [==] was meant is a condition that folds to a constant.
+      Loop conditions are exempt: [for (;;)] and [while (1)] desugar to
+      a literal [1] condition and are idiomatic;
+    - {b missing-return}: a non-void function with a path that falls
+      off the end without a [return].  {!Asipfb_frontend.Lower}
+      silently materializes [return 0] on such paths, so this is the
+      only place the omission is surfaced.
+
+    All findings are stage [Verification], severity [Warning], carrying
+    the rule and function name in their context. *)
+
+val check_func :
+  regions:Asipfb_frontend.Tast.tregion list ->
+  Asipfb_frontend.Tast.tfunc ->
+  Asipfb_diag.Diag.t list
+
+val check : Asipfb_frontend.Tast.program -> Asipfb_diag.Diag.t list
+(** All functions in program order, each function's findings ordered
+    by rule. *)

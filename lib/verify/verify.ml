@@ -1,0 +1,20 @@
+module Frontend = Asipfb_frontend
+module Diag = Asipfb_diag.Diag
+
+type mode = [ `Off | `Ir | `Full ]
+
+let mode_to_string = function `Off -> "off" | `Ir -> "ir" | `Full -> "full"
+
+let lint_source source =
+  match Frontend.Sema.check (Frontend.Parser.parse source) with
+  | tast -> Lint.check tast
+  | exception exn -> (
+      match Frontend.Frontend_diag.to_diag exn with
+      | Some d -> [ d ]
+      | None -> raise exn)
+
+let check_ir prog = Asipfb_ir.Validate.check_diags prog @ Ircheck.check prog
+
+let check_schedule ~original (sched : Asipfb_sched.Schedule.t) =
+  Legality.to_diags (Legality.check ~original sched)
+  @ Ircheck.check sched.prog

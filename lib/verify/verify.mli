@@ -1,0 +1,33 @@
+(** Static-analysis umbrella: one entry point per checker family, plus
+    the [mode] knob the engine and CLI share.
+
+    Three checkers, all reporting {!Asipfb_diag.Diag.t}:
+    - {!Lint} — mini-C source lint over the typed AST;
+    - {!Ircheck} — dataflow checks over the 3-address IR
+      (with {!Asipfb_ir.Validate}'s structural checks folded in);
+    - {!Legality} — schedule legality proof per optimization level.
+
+    [`Ir] runs the first two on the unoptimized program; [`Full] adds
+    the legality proof (and the IR dataflow checks) for every schedule.
+    Lint/IR findings are warnings; legality violations are errors. *)
+
+type mode = [ `Off | `Ir | `Full ]
+
+val mode_to_string : mode -> string
+
+val lint_source : string -> Asipfb_diag.Diag.t list
+(** Parse and type-check a mini-C translation unit, then run the
+    {!Lint} rules over the typed AST.  A frontend failure is returned
+    as that single (error) diagnostic rather than raised. *)
+
+val check_ir : Asipfb_ir.Prog.t -> Asipfb_diag.Diag.t list
+(** {!Asipfb_ir.Validate.check_diags} followed by {!Ircheck.check}. *)
+
+val check_schedule :
+  original:Asipfb_ir.Prog.t ->
+  Asipfb_sched.Schedule.t ->
+  Asipfb_diag.Diag.t list
+(** Legality verdict of one opt-level output against its source program
+    ({!Legality.check}), plus the IR dataflow checks on the transformed
+    program — a transformation must not introduce uninitialized reads
+    or unreachable blocks either. *)

@@ -12,7 +12,8 @@ dune build bench/main.exe
 # (including the pipeline/pipeline_par suite runs' construction).
 dune exec bench/main.exe -- --no-timing > /dev/null
 
-# Sequential vs parallel vs cold/warm-cache suite wall time.
+# Sequential vs parallel vs cold/warm-cache suite wall time, plus the
+# verify-stage wall time (a `--verify full` pass on the warm cache).
 dune exec bench/main.exe -- --engine-only --engine-json "$out"
 
 echo "bench smoke: wrote $out"

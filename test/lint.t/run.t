@@ -1,0 +1,31 @@
+Static verifier CLI: mini-C lint, IR dataflow checks, and the
+schedule-legality proof at every optimization level.
+
+One clean benchmark has no findings:
+
+  $ asipfb lint fir
+  0 finding(s) across 1 benchmark(s) (3 schedule(s) verified)
+
+The whole suite verifies clean under --strict (exit 0):
+
+  $ asipfb lint --strict
+  0 finding(s) across 12 benchmark(s) (36 schedule(s) verified)
+
+--json emits the machine-readable diagnostic report (an empty JSON
+array when the run is clean) instead of the human summary:
+
+  $ asipfb lint fir --json
+  []
+
+An unknown benchmark is a one-line error, exit 1:
+
+  $ asipfb lint nosuchbench
+  asipfb: unknown benchmark "nosuchbench" (valid: fir, iir, pse, intfft, compress, flatten, smooth, edge, sewha, dft, bspline, feowf)
+  [1]
+
+The report/export drivers accept --verify; a bad mode is rejected in
+the command body (exit 1, no usage dump):
+
+  $ asipfb report table1 --verify nope
+  asipfb: invalid verify mode "nope" (expected off, ir, or full)
+  [1]

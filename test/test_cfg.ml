@@ -177,6 +177,76 @@ let test_live_before () =
   Alcotest.(check int) "nothing live at end" 0
     (Reg.Set.cardinal (Liveness.live_before live ~block:0 ~pos:n))
 
+(* Direct use of the generic fixpoint framework: a forward may analysis
+   ("some path defines the register") must pick up both branches of the
+   diamond at the join, while a forward must analysis ("every path
+   defines it") keeps only the common defs. *)
+let test_dataflow_framework () =
+  let module Dataflow = Asipfb_cfg.Dataflow in
+  (* Each arm defines its own scalar, so the arms' defs differ. *)
+  let cfg =
+    cfg_of
+      "int out[1]; void main() { int x = 1; if (x > 0) { int a = 2; out[0] \
+       = a; } else { int b = 3; out[0] = b; } out[0] = out[0] + x; }"
+  in
+  let transfer (b : Cfg.block) defined =
+    List.fold_left
+      (fun acc i ->
+        match Instr.def i with Some d -> Reg.Set.add d acc | None -> acc)
+      defined b.instrs
+  in
+  let module May = Dataflow.Make (struct
+    type fact = Reg.Set.t
+
+    let direction = `Forward
+    let init = Reg.Set.empty
+    let merge _ = List.fold_left Reg.Set.union Reg.Set.empty
+    let transfer = transfer
+    let equal = Reg.Set.equal
+  end) in
+  let universe =
+    Array.fold_left
+      (fun acc b -> transfer b acc)
+      Reg.Set.empty cfg.blocks
+  in
+  let module Must = Dataflow.Make (struct
+    type fact = Reg.Set.t
+
+    let direction = `Forward
+    let init = universe
+
+    let merge (b : Cfg.block) facts =
+      let inflow =
+        match facts with
+        | [] -> universe
+        | first :: rest -> List.fold_left Reg.Set.inter first rest
+      in
+      if b.index = 0 then Reg.Set.empty else inflow
+
+    let transfer = transfer
+    let equal = Reg.Set.equal
+  end) in
+  let may = May.solve cfg and must = Must.solve cfg in
+  let join =
+    Array.to_list cfg.blocks
+    |> List.find (fun (b : Cfg.block) -> List.length b.preds = 2)
+  in
+  Alcotest.(check bool)
+    "must at join within may at join" true
+    (Reg.Set.subset must.input.(join.index) may.input.(join.index));
+  (* Branch-local defs survive the may merge but not the must merge:
+     the two arms define different compiler temporaries. *)
+  Alcotest.(check bool)
+    "may at join strictly larger" true
+    (Reg.Set.cardinal may.input.(join.index)
+     > Reg.Set.cardinal must.input.(join.index));
+  (* Entry-block defs are on every path, so must keeps them. *)
+  Alcotest.(check bool)
+    "entry defs definite at join" true
+    (Reg.Set.subset
+       (transfer cfg.blocks.(0) Reg.Set.empty)
+       must.input.(join.index))
+
 let suite =
   [
     ( "cfg",
@@ -201,5 +271,10 @@ let suite =
       [
         Alcotest.test_case "loop liveness" `Quick test_liveness_loop;
         Alcotest.test_case "live_before" `Quick test_live_before;
+      ] );
+    ( "cfg.dataflow",
+      [
+        Alcotest.test_case "may/must framework" `Quick
+          test_dataflow_framework;
       ] );
   ]

@@ -189,9 +189,17 @@ let test_check_exn () =
   let good = make_prog [ simple_func b ~name:"main" [] ] in
   Validate.check_exn good;
   let bad = make_prog [] in
-  match Validate.check_exn bad with
-  | exception Failure _ -> ()
-  | () -> Alcotest.fail "expected failure on empty program"
+  (match Validate.check_exn bad with
+  | exception Asipfb_diag.Diag.Diag_error d ->
+      Alcotest.(check string)
+        "verification stage" "verification"
+        (Asipfb_diag.Diag.stage_to_string d.stage)
+  | () -> Alcotest.fail "expected Diag_error on empty program");
+  (* check_diags carries the same findings as check, as diagnostics. *)
+  Alcotest.(check int)
+    "check_diags arity"
+    (List.length (Validate.check bad))
+    (List.length (Validate.check_diags bad))
 
 let suite =
   [

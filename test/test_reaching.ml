@@ -164,6 +164,34 @@ let prop_reaching_terminates_and_sound =
             (List.mapi (fun pos i -> (pos, i)) b.instrs))
         cfg.blocks)
 
+(* Chains are part of the --json surface: they must come out sorted and
+   identical across recomputations. *)
+let test_du_chains_deterministic () =
+  let src =
+    "int out[4]; void main() { int x = 1; int y = 2; int k; for (k = 0; k \
+     < 4; k++) { x = x + y; out[k] = x; } out[0] = x + y; }"
+  in
+  let _, _, r1 = setup src in
+  let _, _, r2 = setup src in
+  let c1 = Reaching.du_chains r1 and c2 = Reaching.du_chains r2 in
+  Alcotest.(check bool) "identical across runs" true (c1 = c2);
+  Alcotest.(check bool)
+    "sorted by def opid" true
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) c1 = c1);
+  List.iter
+    (fun (_, uses) ->
+      Alcotest.(check bool)
+        "uses sorted by site" true
+        (List.sort compare uses = uses))
+    c1;
+  let o1 = Reaching.du_chains_opids r1 in
+  Alcotest.(check bool)
+    "opid chains sorted and deduped" true
+    (List.for_all
+       (fun (_, us) -> List.sort_uniq Int.compare us = us)
+       o1
+    && List.sort (fun (a, _) (b, _) -> Int.compare a b) o1 = o1)
+
 let suite =
   [
     ( "cfg.reaching",
@@ -173,6 +201,8 @@ let suite =
         Alcotest.test_case "loop back edge" `Quick test_loop_def_reaches_itself;
         Alcotest.test_case "defs reaching a use" `Quick test_defs_reaching_use;
         Alcotest.test_case "def-use chains" `Quick test_du_chains;
+        Alcotest.test_case "du chains deterministic" `Quick
+          test_du_chains_deterministic;
         Alcotest.test_case "single-def uses" `Quick test_single_def_uses;
         QCheck_alcotest.to_alcotest prop_reaching_terminates_and_sound;
       ] );
