@@ -122,6 +122,40 @@ let wall f =
 let run_with ?verify engine =
   ignore (Asipfb.Pipeline.run_suite ~engine ?verify ~on_error:`Raise ())
 
+(* --- simulator throughput: the unified-core speedup --------------------- *)
+
+(* Cold profiling throughput over the whole suite: every benchmark
+   compiled once up front, then executed start-to-finish with its seeded
+   inputs; instrs/s is total executed operations over wall time.
+   Measured both for the pre-compiled execution core (Interp) and for the
+   retained pre-refactor tree-walker (Ref_interp) — the ratio is the
+   unified-core refactor's speedup, asserted >= 2x by CI's bench smoke. *)
+let sim_throughput () =
+  let module Benchmark = Asipfb_bench_suite.Benchmark in
+  let bs =
+    List.map
+      (fun (b : Benchmark.t) -> (Benchmark.compile b, b.inputs ()))
+      Asipfb_bench_suite.Registry.all
+  in
+  let pass run =
+    List.fold_left
+      (fun acc (p, inputs) ->
+        let (o : Asipfb_sim.Interp.outcome) = run ~inputs p in
+        acc + o.instrs_executed)
+      0 bs
+  in
+  let measure run =
+    ignore (pass run);
+    (* warmup *)
+    let t, n = wall (fun () -> pass run) in
+    float_of_int n /. Float.max 1e-9 t
+  in
+  let core = measure (fun ~inputs p -> Asipfb_sim.Interp.run ~inputs p) in
+  let reference =
+    measure (fun ~inputs p -> Asipfb_sim.Ref_interp.run ~inputs p)
+  in
+  (core, reference, core /. Float.max 1e-9 reference)
+
 (* Sequential vs parallel vs cold/warm-cache wall time for one full suite
    analysis, written as a JSON baseline so successive PRs can track the
    hot path.  The warm-run cache counters are the observable proof that a
@@ -142,10 +176,11 @@ let engine_baseline ~path =
   let warm_s, () = wall (fun () -> run_with cached) in
   let warm = Engine.stats cached in
   let verify_s, () = wall (fun () -> run_with ~verify:`Full cached) in
+  let sim_ips, sim_ref_ips, sim_speedup = sim_throughput () in
   let json =
     Printf.sprintf
       "{\n\
-      \  \"schema\": 1,\n\
+      \  \"schema\": 2,\n\
       \  \"jobs\": %d,\n\
       \  \"sequential_s\": %.6f,\n\
       \  \"parallel_s\": %.6f,\n\
@@ -156,23 +191,29 @@ let engine_baseline ~path =
       \  \"warm_base_hits\": %d,\n\
       \  \"warm_sched_hits\": %d,\n\
       \  \"warm_misses\": %d,\n\
+      \  \"sim_instrs_per_s\": %.0f,\n\
+      \  \"sim_ref_instrs_per_s\": %.0f,\n\
+      \  \"sim_speedup\": %.3f,\n\
       \  \"stages\": %s\n\
        }\n"
       jobs seq_s par_s (seq_s /. Float.max 1e-9 par_s) cold_s warm_s
       verify_s warm.base.hits warm.sched.hits
       (warm.base.misses + warm.sched.misses)
+      sim_ips sim_ref_ips sim_speedup
       (Metrics.to_json Metrics.global)
   in
   Out_channel.with_open_text path (fun oc -> output_string oc json);
   Printf.printf
     "==== engine baseline (%s) ====\n\
      jobs %d: sequential %.3fs, parallel %.3fs (%.2fx), cache cold %.3fs, \
-     warm %.3fs (%d+%d hits, %d misses), verify %.3fs\n"
+     warm %.3fs (%d+%d hits, %d misses), verify %.3fs\n\
+     sim throughput: core %.2fM instrs/s vs reference %.2fM instrs/s \
+     (%.2fx)\n"
     path jobs seq_s par_s
     (seq_s /. Float.max 1e-9 par_s)
     cold_s warm_s warm.base.hits warm.sched.hits
     (warm.base.misses + warm.sched.misses)
-    verify_s
+    verify_s (sim_ips /. 1e6) (sim_ref_ips /. 1e6) sim_speedup
 
 let flag_value name =
   let n = Array.length Sys.argv in

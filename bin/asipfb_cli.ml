@@ -371,8 +371,14 @@ let run_suite ?(verify = `Off) ~engine ~keep_going ~diag_json () =
     let r = Asipfb.Pipeline.run_suite ~engine ~verify ~on_error:`Isolate () in
     List.iter
       (fun (f : Asipfb.Pipeline.failure) ->
+        let kind =
+          match Asipfb.Pipeline.classify_failure f with
+          | `Timeout -> "timeout"
+          | `Crash -> "crash"
+        in
         prerr_endline
-          (Printf.sprintf "asipfb: skipped %s: %s" f.failed_benchmark
+          (Printf.sprintf "asipfb: skipped %s (%s): %s" f.failed_benchmark
+             kind
              (Asipfb_diag.Diag.to_string f.diag)))
       r.failures;
     finish r

@@ -1,10 +1,8 @@
-module Types = Asipfb_ir.Types
-module Reg = Asipfb_ir.Reg
-module Label = Asipfb_ir.Label
-module Instr = Asipfb_ir.Instr
 module Value = Asipfb_sim.Value
 module Memory = Asipfb_sim.Memory
-module Interp = Asipfb_sim.Interp
+module Ops = Asipfb_exec.Ops
+module Code = Asipfb_exec.Code
+module Core = Asipfb_exec.Core
 
 exception Runtime_error of string
 
@@ -18,180 +16,46 @@ type outcome = {
 
 let err fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
 
-type resolved = {
-  tfunc : Target.tfunc;
-  body : Target.tinstr array;
-  label_pos : (int, int) Hashtbl.t;
-}
-
-let resolve (f : Target.tfunc) : resolved =
-  let body = Array.of_list f.t_body in
-  let label_pos = Hashtbl.create 8 in
-  Array.iteri
-    (fun idx ti ->
-      match ti with
-      | Target.Base i -> (
-          match Instr.kind i with
-          | Instr.Label_mark l -> Hashtbl.replace label_pos (Label.id l) idx
-          | _ -> ())
-      | Target.Chained _ -> ())
-    body;
-  { tfunc = f; body; label_pos }
-
-type state = {
-  memory : Memory.t;
-  resolved : (string, resolved) Hashtbl.t;
-  mutable fuel : int;
-  mutable cycles : int;
-  mutable chained : int;
-  mutable ops : int;
-}
-
-(* Outcome of one member operation within the sequential core. *)
-type flow = Next | Goto of Label.t | Return of Value.t option
-
-let rec run_func st (r : resolved) (args : Value.t list) : Value.t option =
-  let regs : (int, Value.t) Hashtbl.t = Hashtbl.create 32 in
-  let set_reg reg v = Hashtbl.replace regs (Reg.id reg) v in
-  let get_reg reg =
-    match Hashtbl.find_opt regs (Reg.id reg) with
-    | Some v -> v
-    | None -> err "read of uninitialized register %s" (Reg.to_string reg)
-  in
-  let operand = function
-    | Instr.Reg reg -> get_reg reg
-    | Instr.Imm_int n -> Value.Vint n
-    | Instr.Imm_float x -> Value.Vfloat x
-  in
-  (try List.iter2 (fun p a -> set_reg p a) r.tfunc.t_params args
-   with Invalid_argument _ -> err "arity mismatch calling %s" r.tfunc.t_name);
-  let exec_op (i : Instr.t) : flow =
-    st.ops <- st.ops + 1;
-    match Instr.kind i with
-    | Instr.Binop (op, d, a, b) -> (
-        match Interp.eval_binop op (operand a) (operand b) with
-        | v ->
-            set_reg d v;
-            Next
-        | exception Interp.Runtime_error msg -> err "%s" msg)
-    | Instr.Unop (op, d, a) -> (
-        match Interp.eval_unop op (operand a) with
-        | v ->
-            set_reg d v;
-            Next
-        | exception Interp.Runtime_error msg -> err "%s" msg)
-    | Instr.Cmp (ty, rel, d, a, b) ->
-        let holds =
-          match ty with
-          | Types.Int ->
-              Types.eval_relop_int rel
-                (Value.as_int (operand a))
-                (Value.as_int (operand b))
-          | Types.Float ->
-              Types.eval_relop_float rel
-                (Value.as_float (operand a))
-                (Value.as_float (operand b))
-        in
-        set_reg d (Value.Vint (if holds then 1 else 0));
-        Next
-    | Instr.Mov (d, a) ->
-        set_reg d (operand a);
-        Next
-    | Instr.Load (_, d, region, index) -> (
-        match Memory.load st.memory region (Value.as_int (operand index)) with
-        | v ->
-            set_reg d v;
-            Next
-        | exception Memory.Bounds (name, at) ->
-            err "load out of bounds: %s[%d]" name at)
-    | Instr.Store (_, region, index, value) -> (
-        match
-          Memory.store st.memory region
-            (Value.as_int (operand index))
-            (operand value)
-        with
-        | () -> Next
-        | exception Memory.Bounds (name, at) ->
-            err "store out of bounds: %s[%d]" name at)
-    | Instr.Jump l -> Goto l
-    | Instr.Cond_jump (a, l) ->
-        if Value.as_int (operand a) <> 0 then Goto l else Next
-    | Instr.Call (dst, name, call_args) -> (
-        let callee =
-          match Hashtbl.find_opt st.resolved name with
-          | Some c -> c
-          | None -> err "call to unknown function %s" name
-        in
-        let argv = List.map operand call_args in
-        let result = run_func st callee argv in
-        match (dst, result) with
-        | Some d, Some v ->
-            set_reg d v;
-            Next
-        | Some _, None -> err "void call result used (%s)" name
-        | None, _ -> Next)
-    | Instr.Ret v -> Return (Option.map operand v)
-    | Instr.Label_mark _ -> Next
-  in
-  let jump_to l =
-    match Hashtbl.find_opt r.label_pos (Label.id l) with
-    | Some idx -> idx + 1
-    | None -> err "jump to unknown label %s" (Label.to_string l)
-  in
-  let rec step pc : Value.t option =
-    if pc >= Array.length r.body then err "fell off the end of %s" r.tfunc.t_name
-    else
-      match r.body.(pc) with
-      | Target.Base i when Instr.is_label i -> step (pc + 1)
-      | ti -> (
-          if st.fuel <= 0 then err "out of fuel (infinite loop?)";
-          st.fuel <- st.fuel - 1;
-          st.cycles <- st.cycles + 1;
-          match ti with
-          | Target.Base i -> (
-              match exec_op i with
-              | Next -> step (pc + 1)
-              | Goto l -> step (jump_to l)
-              | Return v -> v)
-          | Target.Chained c ->
-              st.chained <- st.chained + 1;
-              (* Members run in order; chains never contain control flow. *)
-              let rec members = function
-                | [] -> step (pc + 1)
-                | m :: rest -> (
-                    match exec_op m with
-                    | Next -> members rest
-                    | Goto _ | Return _ ->
-                        err "control flow inside chained instruction")
-              in
-              members c.members)
-  in
-  step 0
+(* The only simulator logic Tsim owns is the translation of chained
+   dispatch into the core's slot model: a Base instruction is one slot, a
+   Chained instruction one Fused slot whose members execute in order
+   within the single cycle the slot costs.  Base-op semantics live
+   entirely in the shared execution core. *)
+let compile (tp : Target.tprog) : Code.t =
+  Code.compile
+    ~funcs:
+      (List.map
+         (fun (f : Target.tfunc) ->
+           {
+             Code.src_name = f.t_name;
+             src_params = f.t_params;
+             src_body =
+               List.map
+                 (function
+                   | Target.Base i -> Code.Ione i
+                   | Target.Chained c -> Code.Igroup c.members)
+                 f.t_body;
+           })
+         tp.t_funcs)
+    ~regions:tp.t_regions ~entry:tp.t_entry
 
 let run ?(fuel = 50_000_000) ?(inputs = []) (tp : Target.tprog) : outcome =
-  let base =
-    Asipfb_ir.Prog.make ~funcs:[] ~regions:tp.t_regions ~entry:tp.t_entry
-  in
-  let memory = Memory.create base in
-  List.iter (fun (region, data) -> Memory.seed memory region data) inputs;
-  let resolved = Hashtbl.create 8 in
-  List.iter
-    (fun (f : Target.tfunc) -> Hashtbl.replace resolved f.t_name (resolve f))
-    tp.t_funcs;
-  let st = { memory; resolved; fuel; cycles = 0; chained = 0; ops = 0 } in
-  let entry =
-    match Hashtbl.find_opt resolved tp.t_entry with
-    | Some r -> r
-    | None -> err "entry function %s missing" tp.t_entry
-  in
-  let return_value = run_func st entry [] in
-  {
-    return_value;
-    memory;
-    cycles = st.cycles;
-    chained_executed = st.chained;
-    ops_executed = st.ops;
-  }
+  if
+    not
+      (List.exists (fun (f : Target.tfunc) -> f.t_name = tp.t_entry) tp.t_funcs)
+  then err "entry function %s missing" tp.t_entry;
+  try
+    let out = Core.Plain.run ~fuel ~inputs ~hooks:() (compile tp) in
+    {
+      return_value = out.return_value;
+      memory = out.memory;
+      cycles = out.cycles;
+      chained_executed = out.fused;
+      ops_executed = out.ops;
+    }
+  with
+  | Ops.Trap msg -> raise (Runtime_error msg)
+  | Core.Out_of_fuel _ -> raise (Runtime_error "out of fuel (infinite loop?)")
 
 let measured_speedup (o : outcome) =
   if o.cycles = 0 then 1.0

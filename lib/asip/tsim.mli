@@ -1,10 +1,13 @@
 (** Simulator for the customized ASIP target.
 
-    Executes a {!Target.tprog} with the same value/memory model as the base
-    simulator; a chained instruction performs its member operations in
-    order but costs a single cycle.  This turns the selection stage's
-    *estimated* speedup into a *measured* one, with output equality against
-    the base program checked by the test suite. *)
+    Executes a {!Target.tprog} on the shared execution core
+    ([Asipfb_exec]): a [Base] instruction compiles to one slot, a
+    [Chained] instruction to one fused slot whose member operations run in
+    order within a single cycle.  Base-op semantics are therefore
+    literally the same code as {!Asipfb_sim.Interp}'s — this module only
+    owns chained dispatch and the cycle model — which turns the selection
+    stage's *estimated* speedup into a *measured* one, with output
+    equality against the base program checked by the test suite. *)
 
 exception Runtime_error of string
 

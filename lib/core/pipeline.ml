@@ -122,6 +122,15 @@ let analyze_result ?verify ?faults (benchmark : Benchmark.t) :
 
 type failure = { failed_benchmark : string; diag : Diag.t }
 
+(* A timeout (fuel exhaustion — likely an infinite loop, or a
+   fault-injection fuel cap) is a different kind of suite failure than a
+   crash: the diagnostic's kind=timeout tag, stamped by Sim_diag, is the
+   classification key. *)
+let classify_failure (f : failure) : [ `Timeout | `Crash ] =
+  match List.assoc_opt "kind" f.diag.context with
+  | Some "timeout" -> `Timeout
+  | _ -> `Crash
+
 type suite_report = {
   analyses : analysis list;
   failures : failure list;

@@ -128,6 +128,13 @@ type failure = {
   diag : Asipfb_diag.Diag.t;
 }
 
+val classify_failure : failure -> [ `Timeout | `Crash ]
+(** [`Timeout] when the diagnostic is tagged [kind=timeout] — fuel
+    exhaustion ({!Asipfb_sim.Interp.Fuel_exhausted}), i.e. a likely
+    infinite loop or a fault-injection fuel cap; [`Crash] for every other
+    failure.  Lets suite runners report hangs separately from genuine
+    errors. *)
+
 type suite_report = {
   analyses : analysis list;  (** Benchmarks that completed, suite order. *)
   failures : failure list;  (** Isolated per-benchmark failures. *)

@@ -40,8 +40,12 @@ let schema_revision = "asipfb-engine-2"
 
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
+(* Base payloads embed simulated outcomes, so the key also carries the
+   execution-core revision: a semantics change in the simulator must
+   invalidate cached profiles even when the source is unchanged. *)
 let source_key (b : Benchmark.t) =
-  key [ schema_revision; "base"; b.name; b.source ]
+  key
+    [ schema_revision; Asipfb_exec.Code.version; "base"; b.name; b.source ]
 
 let sched_key (b : Benchmark.t) level =
   key [ schema_revision; "sched"; b.name; b.source; Opt_level.to_string level ]

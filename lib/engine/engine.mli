@@ -79,7 +79,9 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 val source_key : Asipfb_bench_suite.Benchmark.t -> string
-(** Content key of the benchmark's base payload. *)
+(** Content key of the benchmark's base payload.  Includes the
+    execution-core revision ([Asipfb_exec.Code.version]) alongside the
+    engine schema, since the payload embeds simulated outcomes. *)
 
 val sched_key :
   Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string

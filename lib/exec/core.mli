@@ -1,0 +1,84 @@
+(** The unified execution core.
+
+    One interpreter over the pre-compiled {!Code.t} form backs both the
+    base profiler ({!Asipfb_sim.Interp}) and the ASIP timing simulator
+    ([Asipfb_asip.Tsim]): registers live in flat per-call frames, memory
+    accesses index a flat region table, profile counters are a dense int
+    array, and a [Fused] slot executes its members in one cycle — so base
+    and target cycle comparisons share one semantics by construction.
+
+    Instrumentation is a {e statically selected instantiation} of the
+    {!Make} functor: the common profiling path ({!Plain}) carries no
+    per-instruction trace closure call and no fault-injection branch;
+    tracing and fault hooks exist only in the {!Traced}, {!Faulted} and
+    {!Instrumented} instantiations. *)
+
+exception Out_of_fuel of { executed : int; fuel : int }
+(** The fuel budget ran out: [executed] ops were performed under a budget
+    of [fuel] cycles.  Distinct from {!Ops.Trap} so consumers can classify
+    timeouts separately from crashes. *)
+
+type outcome = {
+  return_value : Value.t option;
+  memory : Memory.t;  (** Final memory (shared with the region table). *)
+  counts : int array;  (** Dense profile counters; see
+                           {!Code.t.prof_opids} and {!profile_of_counts}. *)
+  cycles : int;  (** Executed slots — a fused slot costs one. *)
+  ops : int;  (** Executed operations, fused members included. *)
+  fused : int;  (** How many executed slots were fused groups. *)
+}
+
+val profile_of_counts : Code.t -> int array -> Profile.t
+(** Convert the dense counters back to a {!Profile.t} keyed by opid
+    (only executed opids appear, like the hashtable profile of old). *)
+
+module type HOOKS = sig
+  type t
+  (** Instrumentation state threaded through a run. *)
+
+  val traced : bool
+  (** When [false], the core invokes no [on_exec] at all. *)
+
+  val faulted : bool
+  (** When [false], the core invokes no value-corruption hooks at all. *)
+
+  val on_exec : t -> string -> Asipfb_ir.Instr.t -> unit
+  (** Called before each op with the function name and source
+      instruction (only when [traced]). *)
+
+  val on_reg_write : t -> Value.t -> Value.t
+  (** May corrupt a value about to be written (only when [faulted]). *)
+
+  val on_mem_load : t -> Value.t -> Value.t
+  (** May corrupt a loaded value (only when [faulted]). *)
+end
+
+module type S = sig
+  type hooks
+
+  val run :
+    ?fuel:int ->
+    ?inputs:(string * Value.t array) list ->
+    hooks:hooks ->
+    Code.t ->
+    outcome
+  (** Execute from the entry function.  [fuel] bounds executed cycles
+      (default 50 million); [inputs] seed named regions.
+      @raise Ops.Trap on any runtime trap.
+      @raise Out_of_fuel when the budget is exhausted. *)
+end
+
+module Make (H : HOOKS) : S with type hooks = H.t
+
+module Plain : S with type hooks = unit
+(** No instrumentation — the fast profiling path. *)
+
+module Traced : S with type hooks = string -> Asipfb_ir.Instr.t -> unit
+(** Trace hook per executed op ({!Asipfb_sim.Trace} builds on this). *)
+
+module Faulted : S with type hooks = Fault.t
+(** Seeded fault injection on register writes and memory loads. *)
+
+module Instrumented : S
+  with type hooks = (string -> Asipfb_ir.Instr.t -> unit) * Fault.t
+(** Both tracing and fault injection. *)

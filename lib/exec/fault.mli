@@ -1,0 +1,49 @@
+(** Fault-injection harness for the simulator.
+
+    Drives seeded, reproducible injection of register-value corruption,
+    memory-load corruption, and premature fuel exhaustion into
+    {!Interp.run}.  Corruptions are silent: the containment story relies
+    on per-benchmark expected-output self-checks
+    ({!Asipfb_bench_suite.Benchmark.self_check} upstream) turning a
+    corrupted run into a structured diagnostic instead of a wrong
+    profile. *)
+
+type config = {
+  seed : int;  (** PRNG seed; equal seeds give identical fault streams. *)
+  reg_corrupt_rate : float;  (** Probability per register write, [0,1]. *)
+  mem_fault_rate : float;  (** Probability per memory load, [0,1]. *)
+  fuel_cap : int option;  (** Clamp interpreter fuel when [Some]. *)
+}
+
+val none : config
+(** All rates zero, no fuel cap: injection disabled. *)
+
+val enabled : config -> bool
+(** Whether the configuration can inject anything at all. *)
+
+type t = {
+  config : config;
+  prng : Asipfb_util.Prng.t;
+  mutable reg_corruptions : int;  (** Register writes corrupted so far. *)
+  mutable mem_corruptions : int;  (** Memory loads corrupted so far. *)
+}
+
+val create : config -> t
+(** @raise Invalid_argument if a rate is outside [0,1]. *)
+
+val injected_total : t -> int
+(** Total corruption events injected so far. *)
+
+val on_reg_write : t -> Value.t -> Value.t
+(** Interpreter hook: possibly corrupt a value being written to a
+    register. *)
+
+val on_mem_load : t -> Value.t -> Value.t
+(** Interpreter hook: possibly corrupt a value loaded from memory. *)
+
+val clamp_fuel : t -> int -> int
+(** Apply [fuel_cap] to the interpreter's fuel. *)
+
+val summary : t -> (string * string) list
+(** Diagnostic context describing the injection state (seed and
+    per-class corruption counts). *)

@@ -1,0 +1,54 @@
+module Types = Asipfb_ir.Types
+module Prog = Asipfb_ir.Prog
+
+exception Bounds of string * int
+
+type t = (string, Types.ty * Value.t array) Hashtbl.t
+
+let of_regions (regions : Prog.region list) : t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Prog.region) ->
+      Hashtbl.replace table r.region_name
+        (r.elt_ty, Array.make r.size (Value.zero r.elt_ty)))
+    regions;
+  table
+
+let create (p : Prog.t) : t = of_regions p.regions
+
+let find t region =
+  match Hashtbl.find_opt t region with
+  | Some cell -> cell
+  | None -> invalid_arg ("Memory: unknown region " ^ region)
+
+let seed t region data =
+  let ty, cells = find t region in
+  if Array.length data > Array.length cells then
+    invalid_arg ("Memory.seed: data too long for " ^ region);
+  Array.iteri
+    (fun i v ->
+      if Value.ty v <> ty then
+        invalid_arg ("Memory.seed: type mismatch in " ^ region);
+      cells.(i) <- v)
+    data
+
+let load t region idx =
+  let _, cells = find t region in
+  if idx < 0 || idx >= Array.length cells then raise (Bounds (region, idx));
+  cells.(idx)
+
+let store t region idx v =
+  let ty, cells = find t region in
+  if idx < 0 || idx >= Array.length cells then raise (Bounds (region, idx));
+  if Value.ty v <> ty then
+    invalid_arg ("Memory.store: type mismatch in " ^ region);
+  cells.(idx) <- v
+
+let dump t region =
+  let _, cells = find t region in
+  Array.copy cells
+
+let cells t region = find t region
+
+let regions t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t [])

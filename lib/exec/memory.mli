@@ -1,0 +1,43 @@
+(** Region-based memory.
+
+    One flat cell vector per declared region; cells are zero-initialized
+    and the benchmark harness seeds input regions before running. *)
+
+type t
+
+exception Bounds of string * int
+(** Region name and offending index. *)
+
+val create : Asipfb_ir.Prog.t -> t
+(** Zero-initialized memory for every region of the program. *)
+
+val of_regions : Asipfb_ir.Prog.region list -> t
+(** Zero-initialized memory for an explicit region list — what the
+    execution core uses when no [Prog.t] is at hand (e.g. for a target
+    program). *)
+
+val seed : t -> string -> Value.t array -> unit
+(** [seed m region data] writes [data] into the region from index 0.
+    @raise Invalid_argument if the region is unknown, the data is longer
+    than the region, or an element's type differs from the region's. *)
+
+val load : t -> string -> int -> Value.t
+(** @raise Bounds on an out-of-range index.
+    @raise Invalid_argument on an unknown region. *)
+
+val store : t -> string -> int -> Value.t -> unit
+(** @raise Bounds on an out-of-range index.
+    @raise Invalid_argument on an unknown region or a type mismatch. *)
+
+val dump : t -> string -> Value.t array
+(** Copy of the region's contents. *)
+
+val cells : t -> string -> Asipfb_ir.Types.ty * Value.t array
+(** The region's element type and its {e live} cell array (not a copy).
+    Execution-core internal: the core indexes the returned array directly
+    so its flat region table and this map share one set of cells.
+    @raise Invalid_argument on an unknown region. *)
+
+val regions : t -> string list
+(** Region names, sorted ascending — deterministic regardless of hash
+    table insertion order. *)

@@ -1,0 +1,51 @@
+module Types = Asipfb_ir.Types
+
+exception Trap of string
+
+let err fmt = Format.kasprintf (fun msg -> raise (Trap msg)) fmt
+
+let eval_binop op a b =
+  match op with
+  | Types.Add -> Value.Vint (Value.as_int a + Value.as_int b)
+  | Types.Sub -> Value.Vint (Value.as_int a - Value.as_int b)
+  | Types.Mul -> Value.Vint (Value.as_int a * Value.as_int b)
+  | Types.Div ->
+      let d = Value.as_int b in
+      if d = 0 then err "integer division by zero"
+      else Value.Vint (Value.as_int a / d)
+  | Types.Rem ->
+      let d = Value.as_int b in
+      if d = 0 then err "integer remainder by zero"
+      else Value.Vint (Value.as_int a mod d)
+  | Types.And -> Value.Vint (Value.as_int a land Value.as_int b)
+  | Types.Or -> Value.Vint (Value.as_int a lor Value.as_int b)
+  | Types.Xor -> Value.Vint (Value.as_int a lxor Value.as_int b)
+  | Types.Shl ->
+      let s = Value.as_int b in
+      if s < 0 || s > 62 then err "shift amount %d out of range" s
+      else Value.Vint (Value.as_int a lsl s)
+  | Types.Shr ->
+      let s = Value.as_int b in
+      if s < 0 || s > 62 then err "shift amount %d out of range" s
+      else Value.Vint (Value.as_int a asr s)
+  | Types.Fadd -> Value.Vfloat (Value.as_float a +. Value.as_float b)
+  | Types.Fsub -> Value.Vfloat (Value.as_float a -. Value.as_float b)
+  | Types.Fmul -> Value.Vfloat (Value.as_float a *. Value.as_float b)
+  | Types.Fdiv ->
+      let d = Value.as_float b in
+      if d = 0.0 then err "float division by zero"
+      else Value.Vfloat (Value.as_float a /. d)
+
+let eval_unop op a =
+  match op with
+  | Types.Neg -> Value.Vint (-Value.as_int a)
+  | Types.Not -> Value.Vint (lnot (Value.as_int a))
+  | Types.Fneg -> Value.Vfloat (-.Value.as_float a)
+  | Types.Int_to_float -> Value.Vfloat (float_of_int (Value.as_int a))
+  | Types.Float_to_int -> Value.Vint (int_of_float (Value.as_float a))
+  | Types.Sin -> Value.Vfloat (sin (Value.as_float a))
+  | Types.Cos -> Value.Vfloat (cos (Value.as_float a))
+  | Types.Sqrt ->
+      let x = Value.as_float a in
+      if x < 0.0 then err "sqrt of negative %g" x else Value.Vfloat (sqrt x)
+  | Types.Fabs -> Value.Vfloat (Float.abs (Value.as_float a))

@@ -1,0 +1,36 @@
+type t = { counts : (int, int) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 64; total = 0 }
+
+let add t ~opid ~count =
+  if count < 0 then invalid_arg "Profile.add: negative count";
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counts opid) in
+  Hashtbl.replace t.counts opid (current + count);
+  t.total <- t.total + count
+
+let bump t ~opid = add t ~opid ~count:1
+let count t ~opid = Option.value ~default:0 (Hashtbl.find_opt t.counts opid)
+let total t = t.total
+
+let to_alist t =
+  Hashtbl.fold (fun opid c acc -> (opid, c) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let of_alist alist =
+  let t = create () in
+  List.iter (fun (opid, c) -> add t ~opid ~count:c) alist;
+  t
+
+let merge a b =
+  let t = of_alist (to_alist a) in
+  List.iter (fun (opid, c) -> add t ~opid ~count:c) (to_alist b);
+  t
+
+let scale t factor =
+  if factor < 0.0 then invalid_arg "Profile.scale: negative factor";
+  of_alist
+    (List.filter_map
+       (fun (opid, c) ->
+         let scaled = int_of_float (Float.round (float_of_int c *. factor)) in
+         if scaled > 0 then Some (opid, scaled) else None)
+       (to_alist t))

@@ -1,0 +1,31 @@
+(** Dynamic execution profiles.
+
+    Maps opids to execution counts — the "profile information" of step 2 in
+    the paper's pipeline.  Counts survive the scheduling transformations
+    because those preserve opids, so the sequence analyzer can weight
+    post-optimization ops with pre-optimization counts. *)
+
+type t
+
+val create : unit -> t
+val bump : t -> opid:int -> unit
+val add : t -> opid:int -> count:int -> unit
+
+val count : t -> opid:int -> int
+(** 0 for opids never executed. *)
+
+val total : t -> int
+(** Sum of all counts: total dynamic operations = total cycles under the
+    unit-latency model. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; inputs unchanged. *)
+
+val scale : t -> float -> t
+(** Counts multiplied and rounded — used when combining benchmarks with
+    normalization. *)
+
+val to_alist : t -> (int * int) list
+(** (opid, count) pairs, opid-ascending. *)
+
+val of_alist : (int * int) list -> t

@@ -1,0 +1,37 @@
+type t = Vint of int | Vfloat of float
+
+let ty = function
+  | Vint _ -> Asipfb_ir.Types.Int
+  | Vfloat _ -> Asipfb_ir.Types.Float
+
+let as_int = function
+  | Vint n -> n
+  | Vfloat _ -> invalid_arg "Value.as_int: float value"
+
+let as_float = function
+  | Vfloat x -> x
+  | Vint _ -> invalid_arg "Value.as_float: int value"
+
+let zero = function
+  | Asipfb_ir.Types.Int -> Vint 0
+  | Asipfb_ir.Types.Float -> Vfloat 0.0
+
+let equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> x = y
+  | Vint _, Vfloat _ | Vfloat _, Vint _ -> false
+
+let close ?(eps = 1e-9) a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y ->
+      let scale = max 1.0 (max (Float.abs x) (Float.abs y)) in
+      Float.abs (x -. y) <= (eps *. scale)
+  | Vint _, Vfloat _ | Vfloat _, Vint _ -> false
+
+let pp fmt = function
+  | Vint n -> Format.pp_print_int fmt n
+  | Vfloat x -> Format.fprintf fmt "%g" x
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,22 @@
+(** Runtime values of the simulator. *)
+
+type t = Vint of int | Vfloat of float
+
+val ty : t -> Asipfb_ir.Types.ty
+
+val as_int : t -> int
+(** @raise Invalid_argument on a float value. *)
+
+val as_float : t -> float
+(** @raise Invalid_argument on an int value. *)
+
+val zero : Asipfb_ir.Types.ty -> t
+val equal : t -> t -> bool
+
+val close : ?eps:float -> t -> t -> bool
+(** Equality with a relative/absolute epsilon on floats — the check the
+    semantic-preservation tests use to compare optimized vs. reference
+    runs. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,80 +1,1 @@
-(* Fault-injection harness for the simulator.
-
-   Injects three classes of faults at configurable rates, driven by the
-   deterministic LCG PRNG so every run is reproducible from a seed:
-
-   - register-value corruption: a written register value is bit-flipped
-     (int) or perturbed (float) with probability [reg_corrupt_rate];
-   - memory faults: a loaded value is corrupted with probability
-     [mem_fault_rate] (modelling a faulty data bus / bad cell);
-   - premature fuel exhaustion: [fuel_cap] clamps the interpreter's fuel,
-     turning long runs into out-of-fuel runtime errors.
-
-   Silent corruptions are the point: they must be caught downstream by
-   the per-benchmark expected-output self-check (Benchmark.self_check),
-   proving the isolation layer contains faults instead of letting them
-   poison profiles. *)
-
-module Prng = Asipfb_util.Prng
-
-type config = {
-  seed : int;
-  reg_corrupt_rate : float;  (* probability per register write *)
-  mem_fault_rate : float;    (* probability per memory load *)
-  fuel_cap : int option;     (* clamp interpreter fuel when [Some] *)
-}
-
-let none = { seed = 0; reg_corrupt_rate = 0.0; mem_fault_rate = 0.0; fuel_cap = None }
-
-let enabled c =
-  c.reg_corrupt_rate > 0.0 || c.mem_fault_rate > 0.0 || c.fuel_cap <> None
-
-type t = {
-  config : config;
-  prng : Prng.t;
-  mutable reg_corruptions : int;
-  mutable mem_corruptions : int;
-}
-
-let create config =
-  if config.reg_corrupt_rate < 0.0 || config.reg_corrupt_rate > 1.0 then
-    invalid_arg "Fault.create: reg_corrupt_rate outside [0,1]";
-  if config.mem_fault_rate < 0.0 || config.mem_fault_rate > 1.0 then
-    invalid_arg "Fault.create: mem_fault_rate outside [0,1]";
-  { config; prng = Prng.create ~seed:config.seed;
-    reg_corruptions = 0; mem_corruptions = 0 }
-
-let injected_total t = t.reg_corruptions + t.mem_corruptions
-
-(* Single-event bit flip for ints; relative perturbation for floats so the
-   value always changes but keeps its type (a realistic datapath upset). *)
-let corrupt_value t v =
-  match v with
-  | Value.Vint n -> Value.Vint (n lxor (1 lsl Prng.next_int t.prng ~bound:30))
-  | Value.Vfloat x ->
-      let delta = Prng.next_float_range t.prng ~lo:0.25 ~hi:0.75 in
-      Value.Vfloat (if x = 0.0 then delta else x *. (1.0 +. delta))
-
-let fires t rate = rate > 0.0 && Prng.next_float t.prng < rate
-
-let on_reg_write t v =
-  if fires t t.config.reg_corrupt_rate then begin
-    t.reg_corruptions <- t.reg_corruptions + 1;
-    corrupt_value t v
-  end
-  else v
-
-let on_mem_load t v =
-  if fires t t.config.mem_fault_rate then begin
-    t.mem_corruptions <- t.mem_corruptions + 1;
-    corrupt_value t v
-  end
-  else v
-
-let clamp_fuel t fuel =
-  match t.config.fuel_cap with Some cap -> min fuel cap | None -> fuel
-
-let summary t =
-  [ ("fault_seed", string_of_int t.config.seed);
-    ("reg_corruptions", string_of_int t.reg_corruptions);
-    ("mem_corruptions", string_of_int t.mem_corruptions) ]
+include Asipfb_exec.Fault

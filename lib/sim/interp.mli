@@ -4,11 +4,24 @@
     Executes a validated program from its entry function, recording a
     per-opid dynamic count.  Every executed non-label instruction costs one
     cycle; the total dynamic count is the baseline cycle count the ASIP
-    speedup model compares against. *)
+    speedup model compares against.
+
+    Since the unified-core refactor this module is a thin front end over
+    the pre-compiled execution core ([Asipfb_exec]): the program is
+    compiled once to a dense register-renumbered form and interpreted with
+    flat arrays.  Results are identical to the retained reference
+    tree-walker ({!Ref_interp}) — checked by differential tests — at
+    several times the throughput. *)
 
 exception Runtime_error of string
-(** Division by zero, out-of-bounds access, fuel exhaustion, shift out of
-    range, or an unbound register (an IR bug). *)
+(** Division by zero, out-of-bounds access, shift out of range, or an
+    unbound register (an IR bug). *)
+
+exception Fuel_exhausted of { instrs_executed : int; fuel : int }
+(** The fuel budget ran out before the program returned.  Structurally
+    distinct from {!Runtime_error} so suite runners can classify timeouts
+    (likely infinite loops, or a fault-injection fuel cap) separately from
+    genuine crashes; {!Sim_diag.to_diag} tags it [kind=timeout]. *)
 
 type outcome = {
   return_value : Value.t option;  (** Entry function's return, if any. *)
@@ -30,8 +43,11 @@ val run :
     instruction before each execution — the hook {!Trace} builds on.
     [faults], when given, injects register/memory corruption and clamps
     fuel per its configuration (see {!Fault}); corruption is silent by
-    design and must be caught by output self-checks.
-    @raise Runtime_error as above. *)
+    design and must be caught by output self-checks.  Passing no [on_exec]
+    and no [faults] selects an uninstrumented core with zero per-op hook
+    overhead.
+    @raise Runtime_error as above.
+    @raise Fuel_exhausted when the fuel budget is spent. *)
 
 val eval_binop : Asipfb_ir.Types.binop -> Value.t -> Value.t -> Value.t
 (** Exposed for unit tests and for the ASIP rewriter's constant folding.

@@ -1,49 +1,1 @@
-module Types = Asipfb_ir.Types
-module Prog = Asipfb_ir.Prog
-
-exception Bounds of string * int
-
-type t = (string, Types.ty * Value.t array) Hashtbl.t
-
-let create (p : Prog.t) : t =
-  let table = Hashtbl.create 16 in
-  List.iter
-    (fun (r : Prog.region) ->
-      Hashtbl.replace table r.region_name
-        (r.elt_ty, Array.make r.size (Value.zero r.elt_ty)))
-    p.regions;
-  table
-
-let find t region =
-  match Hashtbl.find_opt t region with
-  | Some cell -> cell
-  | None -> invalid_arg ("Memory: unknown region " ^ region)
-
-let seed t region data =
-  let ty, cells = find t region in
-  if Array.length data > Array.length cells then
-    invalid_arg ("Memory.seed: data too long for " ^ region);
-  Array.iteri
-    (fun i v ->
-      if Value.ty v <> ty then
-        invalid_arg ("Memory.seed: type mismatch in " ^ region);
-      cells.(i) <- v)
-    data
-
-let load t region idx =
-  let _, cells = find t region in
-  if idx < 0 || idx >= Array.length cells then raise (Bounds (region, idx));
-  cells.(idx)
-
-let store t region idx v =
-  let ty, cells = find t region in
-  if idx < 0 || idx >= Array.length cells then raise (Bounds (region, idx));
-  if Value.ty v <> ty then
-    invalid_arg ("Memory.store: type mismatch in " ^ region);
-  cells.(idx) <- v
-
-let dump t region =
-  let _, cells = find t region in
-  Array.copy cells
-
-let regions t = Hashtbl.fold (fun name _ acc -> name :: acc) t []
+include Asipfb_exec.Memory

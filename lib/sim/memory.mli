@@ -1,30 +1,5 @@
-(** Region-based memory.
+(** Simulated memory regions — re-exported from the execution core
+    ({!Asipfb_exec.Memory}) so existing consumers keep compiling
+    unchanged. *)
 
-    One flat cell vector per declared region; cells are zero-initialized
-    and the benchmark harness seeds input regions before running. *)
-
-type t
-
-exception Bounds of string * int
-(** Region name and offending index. *)
-
-val create : Asipfb_ir.Prog.t -> t
-(** Zero-initialized memory for every region of the program. *)
-
-val seed : t -> string -> Value.t array -> unit
-(** [seed m region data] writes [data] into the region from index 0.
-    @raise Invalid_argument if the region is unknown, the data is longer
-    than the region, or an element's type differs from the region's. *)
-
-val load : t -> string -> int -> Value.t
-(** @raise Bounds on an out-of-range index.
-    @raise Invalid_argument on an unknown region. *)
-
-val store : t -> string -> int -> Value.t -> unit
-(** @raise Bounds on an out-of-range index.
-    @raise Invalid_argument on an unknown region or a type mismatch. *)
-
-val dump : t -> string -> Value.t array
-(** Copy of the region's contents. *)
-
-val regions : t -> string list
+include module type of struct include Asipfb_exec.Memory end

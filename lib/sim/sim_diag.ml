@@ -7,6 +7,17 @@ let to_diag : exn -> Diag.t option = function
       Some
         (Diag.make ~stage:Diag.Simulation ~context:[ ("phase", "interp") ]
            ("runtime error: " ^ msg))
+  | Interp.Fuel_exhausted { instrs_executed; fuel } ->
+      Some
+        (Diag.make ~stage:Diag.Simulation
+           ~context:
+             [
+               ("phase", "interp");
+               ("kind", "timeout");
+               ("fuel", string_of_int fuel);
+               ("instrs_executed", string_of_int instrs_executed);
+             ]
+           "out of fuel (infinite loop?)")
   | Memory.Bounds (region, idx) ->
       Some
         (Diag.make ~stage:Diag.Simulation

@@ -1,22 +1,5 @@
-(** Runtime values of the simulator. *)
+(** Runtime values — re-exported from the execution core
+    ({!Asipfb_exec.Value}) so existing consumers keep compiling
+    unchanged. *)
 
-type t = Vint of int | Vfloat of float
-
-val ty : t -> Asipfb_ir.Types.ty
-
-val as_int : t -> int
-(** @raise Invalid_argument on a float value. *)
-
-val as_float : t -> float
-(** @raise Invalid_argument on an int value. *)
-
-val zero : Asipfb_ir.Types.ty -> t
-val equal : t -> t -> bool
-
-val close : ?eps:float -> t -> t -> bool
-(** Equality with a relative/absolute epsilon on floats — the check the
-    semantic-preservation tests use to compare optimized vs. reference
-    runs. *)
-
-val pp : Format.formatter -> t -> unit
-val to_string : t -> string
+include module type of struct include Asipfb_exec.Value end

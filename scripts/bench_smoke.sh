@@ -13,7 +13,20 @@ dune build bench/main.exe
 dune exec bench/main.exe -- --no-timing > /dev/null
 
 # Sequential vs parallel vs cold/warm-cache suite wall time, plus the
-# verify-stage wall time (a `--verify full` pass on the warm cache).
+# verify-stage wall time (a `--verify full` pass on the warm cache) and
+# the simulator throughput comparison (unified core vs reference).
 dune exec bench/main.exe -- --engine-only --engine-json "$out"
+
+# The baseline must record a positive simulator throughput, and the
+# pre-compiled core must hold its >= 2x win over the reference
+# tree-walker (it measures ~5x; 2x is the regression floor).
+awk -F'[:,]' '
+  /"sim_instrs_per_s"/ { ips = $2 + 0 }
+  /"sim_speedup"/      { spd = $2 + 0 }
+  END {
+    if (ips <= 0) { print "bench smoke: sim_instrs_per_s missing or not positive"; exit 1 }
+    if (spd < 2)  { print "bench smoke: sim_speedup " spd " below the 2x floor"; exit 1 }
+    printf "bench smoke: sim throughput %.1fM instrs/s (%.2fx vs reference)\n", ips / 1e6, spd
+  }' "$out"
 
 echo "bench smoke: wrote $out"

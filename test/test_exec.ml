@@ -1,0 +1,232 @@
+(* Differential tests for the unified execution core.
+
+   Interp now executes through the pre-compiled core (Asipfb_exec);
+   Ref_interp is the retained pre-refactor tree-walker.  These tests pin
+   the refactor's contract: both are observationally identical — return
+   value, final memory, profile, instruction count, and (under equal
+   seeds) the fault-injection stream — on the whole benchmark suite at
+   every opt level and on random programs.  Tsim rides the same core, so
+   its cycle counts are checked against Interp's dynamic count on
+   chain-free target programs. *)
+
+module Lower = Asipfb_frontend.Lower
+module Interp = Asipfb_sim.Interp
+module Ref_interp = Asipfb_sim.Ref_interp
+module Value = Asipfb_sim.Value
+module Memory = Asipfb_sim.Memory
+module Profile = Asipfb_sim.Profile
+module Fault = Asipfb_sim.Fault
+module Schedule = Asipfb_sched.Schedule
+module Opt_level = Asipfb_sched.Opt_level
+module Target = Asipfb_asip.Target
+module Tsim = Asipfb_asip.Tsim
+module Benchmark = Asipfb_bench_suite.Benchmark
+module Registry = Asipfb_bench_suite.Registry
+module Pipeline = Asipfb.Pipeline
+module Diag = Asipfb_diag.Diag
+module Code = Asipfb_exec.Code
+
+(* Structural comparison (so identically-computed NaNs still agree). *)
+let same a b = Stdlib.compare a b = 0
+
+let profile_alist (o : Interp.outcome) =
+  List.sort compare (Profile.to_alist o.profile)
+
+let agree (a : Interp.outcome) (b : Interp.outcome) =
+  same a.return_value b.return_value
+  && a.instrs_executed = b.instrs_executed
+  && profile_alist a = profile_alist b
+  && Memory.regions a.memory = Memory.regions b.memory
+  && List.for_all
+       (fun r -> same (Memory.dump a.memory r) (Memory.dump b.memory r))
+       (Memory.regions a.memory)
+
+let check_agree what (a : Interp.outcome) (b : Interp.outcome) =
+  Alcotest.(check bool)
+    (what ^ ": return value agrees") true
+    (same a.return_value b.return_value);
+  Alcotest.(check int) (what ^ ": instrs executed") b.instrs_executed
+    a.instrs_executed;
+  Alcotest.(check (list (pair int int)))
+    (what ^ ": profile alist") (profile_alist b) (profile_alist a);
+  Alcotest.(check (list string))
+    (what ^ ": region list") (Memory.regions b.memory)
+    (Memory.regions a.memory);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (what ^ ": region " ^ r) true
+        (same (Memory.dump a.memory r) (Memory.dump b.memory r)))
+    (Memory.regions a.memory)
+
+(* --- whole suite x every opt level, with and without faults ------------- *)
+
+let heavy = { Fault.seed = 7; reg_corrupt_rate = 0.01; mem_fault_rate = 0.01;
+              fuel_cap = None }
+
+let test_suite_differential () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let p = Benchmark.compile b in
+      let inputs = b.inputs () in
+      List.iter
+        (fun level ->
+          let prog = (Schedule.optimize ~level p).prog in
+          let what =
+            Printf.sprintf "%s/%s" b.name (Opt_level.to_string level)
+          in
+          check_agree what (Interp.run ~inputs prog)
+            (Ref_interp.run ~inputs prog);
+          (* Equal seeds must give bit-identical fault streams: the core
+             preserves the reference's PRNG draw order.  A corrupted index
+             can legitimately crash the run (e.g. a load out of bounds) —
+             then both interpreters must crash with the same message. *)
+          let fa = Fault.create heavy and fb = Fault.create heavy in
+          let outcome_of run faults =
+            try Ok (run ~inputs ~faults prog)
+            with Interp.Runtime_error m -> Error m
+          in
+          (match
+             ( outcome_of (fun ~inputs ~faults p ->
+                   Interp.run ~inputs ~faults p)
+                 fa,
+               outcome_of (fun ~inputs ~faults p ->
+                   Ref_interp.run ~inputs ~faults p)
+                 fb )
+           with
+          | Ok a, Ok b -> check_agree (what ^ "+faults") a b
+          | Error a, Error b ->
+              Alcotest.(check string)
+                (what ^ "+faults: both crash identically") b a
+          | Ok _, Error m ->
+              Alcotest.fail
+                (what ^ "+faults: only the reference crashed: " ^ m)
+          | Error m, Ok _ ->
+              Alcotest.fail (what ^ "+faults: only the core crashed: " ^ m));
+          Alcotest.(check int)
+            (what ^ "+faults: injections agree")
+            (Fault.injected_total fb) (Fault.injected_total fa))
+        Opt_level.all)
+    Registry.all
+
+(* --- random programs (QCheck) ------------------------------------------- *)
+
+let prop_core_matches_reference =
+  QCheck2.Test.make ~name:"core agrees with reference on random programs"
+    ~count:40 Gen_minic.gen_program (fun src ->
+      let p = Lower.compile src ~entry:"main" in
+      List.for_all
+        (fun level ->
+          let prog = (Schedule.optimize ~level p).prog in
+          agree (Interp.run prog) (Ref_interp.run prog))
+        Opt_level.all)
+
+let prop_traced_matches_plain =
+  (* The instrumented core instantiations must not change semantics: a
+     no-op trace hook sees exactly instrs_executed events and leaves the
+     outcome identical to the plain fast path. *)
+  QCheck2.Test.make ~name:"traced core agrees with plain core" ~count:20
+    Gen_minic.gen_program (fun src ->
+      let p = Lower.compile src ~entry:"main" in
+      let events = ref 0 in
+      let traced = Interp.run ~on_exec:(fun _ _ -> incr events) p in
+      let plain = Interp.run p in
+      agree traced plain && !events = traced.instrs_executed)
+
+(* --- Tsim rides the same core ------------------------------------------- *)
+
+let test_tsim_matches_interp () =
+  List.iter
+    (fun (b : Benchmark.t) ->
+      let p = Benchmark.compile b in
+      let inputs = b.inputs () in
+      let o = Interp.run ~inputs p in
+      let t = Tsim.run ~inputs (Target.of_prog p) in
+      Alcotest.(check int)
+        (b.name ^ ": chain-free cycles equal base dynamic count")
+        o.instrs_executed t.cycles;
+      Alcotest.(check int) (b.name ^ ": ops equal cycles") t.cycles
+        t.ops_executed;
+      Alcotest.(check int) (b.name ^ ": nothing chained") 0 t.chained_executed;
+      Alcotest.(check bool) (b.name ^ ": return value agrees") true
+        (same o.return_value t.return_value);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) (b.name ^ ": region " ^ r) true
+            (same (Memory.dump o.memory r) (Memory.dump t.memory r)))
+        (Memory.regions o.memory))
+    Registry.all
+
+(* --- sorted region listing (deterministic reports) ----------------------- *)
+
+let test_regions_sorted () =
+  let src =
+    "int zz[2]; int aa[2]; int mm[2]; void main() { aa[0] = 1; zz[0] = 2; \
+     mm[0] = 3; }"
+  in
+  let o = Interp.run (Lower.compile src ~entry:"main") in
+  Alcotest.(check (list string))
+    "regions listed in sorted order, not hash order" [ "aa"; "mm"; "zz" ]
+    (Memory.regions o.memory)
+
+(* --- timeout classification through the suite runner --------------------- *)
+
+let test_timeout_classification () =
+  let faults = { Fault.none with fuel_cap = Some 100 } in
+  let r =
+    Pipeline.run_suite ~faults
+      ~benchmarks:[ Registry.find "fir" ]
+      ~on_error:`Isolate ()
+  in
+  (match r.failures with
+  | [ f ] ->
+      Alcotest.(check bool) "fuel cap classified as timeout" true
+        (Pipeline.classify_failure f = `Timeout)
+  | _ -> Alcotest.fail "fuel cap of 100 must isolate fir");
+  let crash =
+    { Pipeline.failed_benchmark = "x";
+      diag = Diag.make ~stage:Diag.Simulation "boom" }
+  in
+  Alcotest.(check bool) "plain diagnostic classified as crash" true
+    (Pipeline.classify_failure crash = `Crash)
+
+(* --- pre-compiled form sanity -------------------------------------------- *)
+
+let test_code_shape () =
+  let p =
+    Lower.compile
+      "int out[1]; void main() { int i; int s = 0; for (i = 0; i < 3; i++) \
+       { s = s + i; } out[0] = s; }"
+      ~entry:"main"
+  in
+  let c = Code.of_prog p in
+  Alcotest.(check bool) "version tag non-empty" true
+    (String.length Code.version > 0);
+  Alcotest.(check bool) "labels occupy no slots" true
+    (Code.slot_count c
+    < List.fold_left
+        (fun acc (f : Asipfb_ir.Func.t) -> acc + List.length f.body)
+        0 p.funcs);
+  (* Executing the compiled form must count exactly the slots the
+     profile says ran: dense counters and slot model are consistent. *)
+  let o = Interp.run p in
+  Alcotest.(check int) "profile total equals instrs executed"
+    o.instrs_executed
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (profile_alist o))
+
+let suite =
+  [
+    ( "exec",
+      [
+        Alcotest.test_case "suite differential vs reference" `Quick
+          test_suite_differential;
+        Alcotest.test_case "tsim matches interp on chain-free code" `Quick
+          test_tsim_matches_interp;
+        Alcotest.test_case "regions sorted" `Quick test_regions_sorted;
+        Alcotest.test_case "timeout classification" `Quick
+          test_timeout_classification;
+        Alcotest.test_case "pre-compiled form sanity" `Quick test_code_shape;
+        QCheck_alcotest.to_alcotest prop_core_matches_reference;
+        QCheck_alcotest.to_alcotest prop_traced_matches_plain;
+      ] );
+  ]

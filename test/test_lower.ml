@@ -159,7 +159,7 @@ let test_runtime_errors () =
    | _ -> Alcotest.fail "expected division by zero");
   let src = "void main() { while (1) { } }" in
   match Interp.run (compile src) ~fuel:1000 with
-  | exception Interp.Runtime_error _ -> ()
+  | exception Interp.Fuel_exhausted _ -> ()
   | _ -> Alcotest.fail "expected fuel exhaustion"
 
 let suite =

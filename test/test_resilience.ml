@@ -122,9 +122,12 @@ let test_fault_fuel_cap () =
   | Ok _ -> Alcotest.fail "fuel cap of 100 must exhaust fir"
   | Error d ->
       Alcotest.(check string) "premature fuel exhaustion diagnostic"
-        "runtime error: out of fuel (infinite loop?)" d.message;
+        "out of fuel (infinite loop?)" d.message;
       Alcotest.(check bool) "simulation stage" true
-        (d.stage = Diag.Simulation)
+        (d.stage = Diag.Simulation);
+      Alcotest.(check (option string)) "classified as a timeout"
+        (Some "timeout")
+        (List.assoc_opt "kind" d.context)
 
 let test_self_check_clean_run () =
   let b = fir () in

@@ -165,11 +165,29 @@ let expect_exact_error expected f =
 let run_src src = Interp.run (Lower.compile src ~entry:"main")
 
 let test_fuel_exhaustion_diag () =
-  expect_exact_error "out of fuel (infinite loop?)" (fun () ->
-      Interp.run
-        (Lower.compile "void main() { int i = 0; while (1) { i = i + 1; } }"
-           ~entry:"main")
-        ~fuel:1000)
+  (* Fuel exhaustion is structurally distinct from a crash: it raises
+     Fuel_exhausted carrying the budget and progress, and its diagnostic
+     is tagged kind=timeout for suite-level classification. *)
+  match
+    Interp.run
+      (Lower.compile "void main() { int i = 0; while (1) { i = i + 1; } }"
+         ~entry:"main")
+      ~fuel:1000
+  with
+  | exception Interp.Fuel_exhausted { instrs_executed; fuel } -> (
+      Alcotest.(check int) "budget recorded" 1000 fuel;
+      Alcotest.(check int) "spent the whole budget" 1000 instrs_executed;
+      match
+        Asipfb_sim.Sim_diag.to_diag
+          (Interp.Fuel_exhausted { instrs_executed; fuel })
+      with
+      | Some d ->
+          Alcotest.(check string) "diagnostic message"
+            "out of fuel (infinite loop?)" d.message;
+          Alcotest.(check (option string)) "tagged as timeout" (Some "timeout")
+            (List.assoc_opt "kind" d.context)
+      | None -> Alcotest.fail "Sim_diag must convert Fuel_exhausted")
+  | _ -> Alcotest.fail "expected fuel exhaustion"
 
 let test_division_by_zero_diag () =
   expect_exact_error "integer division by zero" (fun () ->
