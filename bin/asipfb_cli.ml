@@ -286,10 +286,46 @@ let write_diag_json path diags =
 (* Engine selection for the suite-wide commands: [--jobs N] sizes the
    domain pool (0 = the runtime's recommended count), [--cache-dir]
    persists analysis payloads across invocations, [--no-cache] disables
-   memoization entirely.  Output is byte-identical for any setting. *)
-let make_engine ~jobs ~cache_dir ~no_cache =
-  let jobs = if jobs = 0 then None else Some jobs in
-  Asipfb_engine.Engine.create ?jobs ?cache_dir ~cache:(not no_cache) ()
+   memoization entirely.  The supervision flags tune retry/backoff, the
+   per-task watchdog, and the deterministic chaos harness.  Output is
+   byte-identical for any setting whenever retries succeed. *)
+type engine_opts = {
+  jobs : int;
+  cache_dir : string option;
+  no_cache : bool;
+  chaos_seed : int option;
+  chaos_rate : float option;
+  retries : int;
+  retry_backoff : float;
+  task_timeout : float option;
+}
+
+let make_engine (o : engine_opts) =
+  let* chaos =
+    match (o.chaos_seed, o.chaos_rate) with
+    | None, Some _ -> Error "--chaos-rate requires --chaos-seed"
+    | None, None -> Ok None
+    | Some seed, rate ->
+        Ok
+          (Some
+             { Asipfb_supervise.Chaos.seed;
+               rate = Option.value rate ~default:0.05 })
+  in
+  let* () =
+    if o.retries < 0 then Error "--retries must be non-negative" else Ok ()
+  in
+  let policy =
+    {
+      Asipfb_supervise.Supervise.Policy.default with
+      retries = o.retries;
+      backoff_base_s = o.retry_backoff;
+      task_timeout_s = o.task_timeout;
+    }
+  in
+  let jobs = if o.jobs = 0 then None else Some o.jobs in
+  Ok
+    (Asipfb_engine.Engine.create ?jobs ?cache_dir:o.cache_dir
+       ~cache:(not o.no_cache) ~policy ?chaos ())
 
 let jobs_arg =
   let doc =
@@ -310,6 +346,53 @@ let no_cache_arg =
   let doc = "Disable the analysis memo cache (recompute everything)." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let chaos_seed_arg =
+  let doc =
+    "Enable the deterministic chaos harness with PRNG seed $(docv): \
+     inject task faults, delays, and cache corruption at engine seams \
+     (reproducible: equal seeds give identical fault decisions)."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let chaos_rate_arg =
+  let doc =
+    "Per-seam chaos fault probability in [0,1] (default 0.05; requires \
+     $(b,--chaos-seed))."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "chaos-rate" ] ~docv:"RATE" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry each failing analysis task up to $(docv) times when the \
+     failure is classified transient or timeout, with jittered \
+     exponential backoff."
+  in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
+let retry_backoff_arg =
+  let doc = "Base retry backoff delay in seconds (doubles per retry)." in
+  Arg.(value & opt float 0.05 & info [ "retry-backoff" ] ~docv:"SECONDS" ~doc)
+
+let task_timeout_arg =
+  let doc =
+    "Per-task wall-clock watchdog budget in seconds: a wedged simulation \
+     is aborted and classified as a timeout."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "task-timeout" ] ~docv:"SECONDS" ~doc)
+
+let engine_opts_term =
+  let mk jobs cache_dir no_cache chaos_seed chaos_rate retries retry_backoff
+      task_timeout =
+    { jobs; cache_dir; no_cache; chaos_seed; chaos_rate; retries;
+      retry_backoff; task_timeout }
+  in
+  Term.(const mk $ jobs_arg $ cache_dir_arg $ no_cache_arg $ chaos_seed_arg
+        $ chaos_rate_arg $ retries_arg $ retry_backoff_arg
+        $ task_timeout_arg)
+
 let timings_arg =
   let doc =
     "After the run, print per-stage wall-clock metrics and cache counters \
@@ -320,14 +403,22 @@ let timings_arg =
 let print_timings engine =
   let stats = Asipfb_engine.Engine.stats engine in
   let cache_line label (s : Asipfb_engine.Cache.stats) =
-    Printf.eprintf "%-12s %d hit(s), %d disk hit(s), %d miss(es)\n" label
-      s.hits s.disk_hits s.misses
+    Printf.eprintf
+      "%-12s %d hit(s), %d disk hit(s), %d miss(es), %d corrupt, %d io \
+       error(s)\n"
+      label s.hits s.disk_hits s.misses s.corrupt s.io_errors
   in
   prerr_endline "-- engine stage timings (cumulative task seconds) --";
   prerr_string (Asipfb_engine.Metrics.render Asipfb_engine.Metrics.global);
   cache_line "base cache" stats.base;
   cache_line "sched cache" stats.sched;
-  cache_line "verify cache" stats.verify
+  cache_line "verify cache" stats.verify;
+  let s = stats.supervise in
+  Printf.eprintf
+    "supervise    %d task(s), %d attempt(s), %d retry(ies), %d failure(s), \
+     %d timeout(s), %d quarantined, %d degraded\n"
+    s.tasks s.attempts s.retries s.failures s.timeouts s.quarantined
+    s.degraded
 
 (* Parsed as a raw string, like --level, for a clean one-line error. *)
 let verify_arg =
@@ -361,10 +452,17 @@ let run_suite ?(verify = `Off) ~engine ~keep_going ~diag_json () =
         (fun (a : Asipfb.Pipeline.analysis) -> a.verify)
         r.analyses
     in
+    (* The supervisor's event log (retries, recoveries, quarantines,
+       cache healing, degradations) rides along in the diagnostic report
+       so the run's robustness story is machine-readable. *)
+    let supervise_diags =
+      Asipfb_supervise.Supervise.report
+        (Asipfb_engine.Engine.supervisor engine)
+    in
     List.iter
       (fun d -> prerr_endline ("asipfb: " ^ Asipfb_diag.Diag.to_string d))
-      verify_diags;
-    write_diag_json diag_json (failure_diags @ verify_diags);
+      (verify_diags @ supervise_diags);
+    write_diag_json diag_json (failure_diags @ verify_diags @ supervise_diags);
     r.analyses
   in
   if keep_going then begin
@@ -375,6 +473,7 @@ let run_suite ?(verify = `Off) ~engine ~keep_going ~diag_json () =
           match Asipfb.Pipeline.classify_failure f with
           | `Timeout -> "timeout"
           | `Crash -> "crash"
+          | `Quarantined -> "quarantined"
         in
         prerr_endline
           (Printf.sprintf "asipfb: skipped %s (%s): %s" f.failed_benchmark
@@ -405,11 +504,10 @@ let diag_json_arg =
   Arg.(value & opt (some string) None
        & info [ "diag-json" ] ~docv:"FILE" ~doc)
 
-let cmd_report artifact keep_going diag_json verify jobs cache_dir no_cache
-    timings =
+let cmd_report artifact keep_going diag_json verify opts timings =
   wrap (fun () ->
       let* verify = find_verify_mode verify in
-      let engine = make_engine ~jobs ~cache_dir ~no_cache in
+      let* engine = make_engine opts in
       let suite = run_suite ~verify ~engine ~keep_going ~diag_json () in
       let finish r = if timings then print_timings engine; r in
       finish
@@ -463,14 +561,14 @@ let cmd_report artifact keep_going diag_json verify jobs cache_dir no_cache
 (* Static analysis as its own subcommand: run all three checkers of
    lib/verify (mini-C lint, IR dataflow checks, schedule-legality proof
    at every opt level) over one benchmark or the whole suite. *)
-let cmd_lint name json strict jobs cache_dir no_cache timings =
+let cmd_lint name json strict opts timings =
   wrap (fun () ->
       let* benchmarks =
         match name with
         | None -> Ok Asipfb_bench_suite.Registry.all
         | Some n -> Result.map (fun b -> [ b ]) (find_benchmark n)
       in
-      let engine = make_engine ~jobs ~cache_dir ~no_cache in
+      let* engine = make_engine opts in
       let r =
         Asipfb.Pipeline.run_suite ~engine ~verify:`Full ~benchmarks
           ~on_error:`Raise ()
@@ -517,8 +615,8 @@ let lint_cmd =
        ~doc:
          "Run the static verifier: mini-C lint, IR dataflow checks, and \
           the schedule-legality proof at every optimization level.")
-    Term.(const cmd_lint $ benchmark $ json $ strict $ jobs_arg
-          $ cache_dir_arg $ no_cache_arg $ timings_arg)
+    Term.(const cmd_lint $ benchmark $ json $ strict $ engine_opts_term
+          $ timings_arg)
 
 (* --- command wiring ------------------------------------------------------ *)
 
@@ -600,11 +698,10 @@ let design_cmd =
        ~doc:"Select a chained-instruction set under an area budget.")
     Term.(const cmd_design $ benchmark_arg $ area_arg $ dot)
 
-let cmd_export dir keep_going diag_json verify jobs cache_dir no_cache
-    timings =
+let cmd_export dir keep_going diag_json verify opts timings =
   wrap (fun () ->
       let* verify = find_verify_mode verify in
-      let engine = make_engine ~jobs ~cache_dir ~no_cache in
+      let* engine = make_engine opts in
       let suite = run_suite ~verify ~engine ~keep_going ~diag_json () in
       let written = Asipfb.Experiments.export_csv suite ~dir in
       List.iter print_endline written;
@@ -620,8 +717,7 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Export the raw experiment data as CSV files.")
     Term.(const cmd_export $ dir $ keep_going_arg $ diag_json_arg
-          $ verify_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-          $ timings_arg)
+          $ verify_arg $ engine_opts_term $ timings_arg)
 
 let report_cmd =
   let artifact =
@@ -632,8 +728,7 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Regenerate the paper's tables and figures over the whole suite.")
     Term.(const cmd_report $ artifact $ keep_going_arg $ diag_json_arg
-          $ verify_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-          $ timings_arg)
+          $ verify_arg $ engine_opts_term $ timings_arg)
 
 let main =
   let doc = "compiler feedback for ASIP design (DATE 1995 reproduction)" in

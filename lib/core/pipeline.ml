@@ -97,6 +97,22 @@ let diag_of_exn_opt exn =
                    ("runtime error: " ^ msg))
           | Asipfb_bench_suite.Registry.Unknown_benchmark msg ->
               Some (Diag.make ~stage:Diag.Driver msg)
+          | Asipfb_supervise.Supervise.Quarantined
+              { benchmark; failed_attempts } ->
+              Some
+                (Diag.make ~stage:Diag.Driver
+                   ~context:
+                     [ ("kind", "quarantined"); ("benchmark", benchmark);
+                       ("failed_attempts", string_of_int failed_attempts) ]
+                   (Printf.sprintf
+                      "benchmark %s is quarantined after %d failed \
+                       attempt(s); task skipped"
+                      benchmark failed_attempts))
+          | Asipfb_supervise.Chaos.Injected msg ->
+              Some
+                (Diag.make ~stage:Diag.Driver
+                   ~context:[ ("kind", "chaos-injected") ]
+                   msg)
           | Failure msg -> Some (Diag.make ~stage:Diag.Driver msg)
           | Diag.Diag_error d -> Some d
           | _ -> None))
@@ -122,13 +138,16 @@ let analyze_result ?verify ?faults (benchmark : Benchmark.t) :
 
 type failure = { failed_benchmark : string; diag : Diag.t }
 
-(* A timeout (fuel exhaustion — likely an infinite loop, or a
-   fault-injection fuel cap) is a different kind of suite failure than a
-   crash: the diagnostic's kind=timeout tag, stamped by Sim_diag, is the
+(* A timeout (fuel exhaustion or watchdog expiry — likely an infinite
+   loop, a fault-injection fuel cap, or a wedged task) is a different
+   kind of suite failure than a crash, and a quarantined benchmark
+   (skipped by the supervisor after repeated failures) is a third: the
+   diagnostic's kind tag, stamped by Sim_diag / the supervisor, is the
    classification key. *)
-let classify_failure (f : failure) : [ `Timeout | `Crash ] =
+let classify_failure (f : failure) : [ `Timeout | `Crash | `Quarantined ] =
   match List.assoc_opt "kind" f.diag.context with
   | Some "timeout" -> `Timeout
+  | Some "quarantined" -> `Quarantined
   | _ -> `Crash
 
 type suite_report = {

@@ -128,11 +128,14 @@ type failure = {
   diag : Asipfb_diag.Diag.t;
 }
 
-val classify_failure : failure -> [ `Timeout | `Crash ]
+val classify_failure : failure -> [ `Timeout | `Crash | `Quarantined ]
 (** [`Timeout] when the diagnostic is tagged [kind=timeout] — fuel
-    exhaustion ({!Asipfb_sim.Interp.Fuel_exhausted}), i.e. a likely
-    infinite loop or a fault-injection fuel cap; [`Crash] for every other
-    failure.  Lets suite runners report hangs separately from genuine
+    exhaustion ({!Asipfb_sim.Interp.Fuel_exhausted}) or a watchdog abort
+    ({!Asipfb_sim.Interp.Watchdog_timeout}), i.e. a likely infinite loop,
+    a fault-injection fuel cap, or a wedged task; [`Quarantined] when the
+    supervisor skipped the benchmark after repeated failures
+    ([kind=quarantined]); [`Crash] for every other failure.  Lets suite
+    runners report hangs and quarantines separately from genuine
     errors. *)
 
 type suite_report = {

@@ -1,47 +1,127 @@
-type stats = { hits : int; disk_hits : int; misses : int; stores : int }
+module Chaos = Asipfb_supervise.Chaos
+
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+  io_errors : int;
+}
+
+type event =
+  | Corrupt_entry of { key : string; reason : string }
+  | Io_error of { op : string; message : string }
 
 type 'a t = {
   mutex : Mutex.t;
   table : (string, 'a) Hashtbl.t;
-  dir : string option;
+  mutable dir : string option;
   enabled : bool;
+  chaos : Chaos.t option;
+  on_event : (event -> unit) option;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable corrupt : int;
+  mutable io_errors : int;
 }
 
-let create ?dir ?(enabled = true) () =
+let create ?dir ?(enabled = true) ?chaos ?on_event () =
   {
     mutex = Mutex.create ();
     table = Hashtbl.create 64;
     dir;
     enabled;
+    chaos;
+    on_event;
     hits = 0;
     disk_hits = 0;
     misses = 0;
     stores = 0;
+    corrupt = 0;
+    io_errors = 0;
   }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let path t ~key dir = ignore t; Filename.concat dir (key ^ ".cache")
+let emit t ev = match t.on_event with Some f -> f ev | None -> ()
 
-(* Any load failure — missing file, truncation, a Marshal payload from a
-   different compiler — is a plain miss; the entry is recomputed and
-   rewritten. *)
+let path ~key dir = Filename.concat dir (key ^ ".cache")
+
+(* ---- Entry envelope: magic, content digest, Marshal payload ---------
+
+   The digest covers the payload bytes exactly as written, so truncation,
+   interleaving, bit rot, or chaos-injected mangling is detected before
+   [Marshal.from_string] ever sees the bytes (unmarshalling arbitrary
+   bytes is unsafe; a digest match proves they are bytes we produced). *)
+
+let magic = "ASFBC1\n"
+let digest_len = 16
+let header_len = String.length magic + digest_len
+
+let encode v =
+  let payload = Marshal.to_string v [] in
+  magic ^ Digest.string payload ^ payload
+
+type 'a decoded = Value of 'a | Corrupt of string
+
+let decode data =
+  let n = String.length data in
+  if n < header_len then Corrupt "short entry (truncated header)"
+  else if String.sub data 0 (String.length magic) <> magic then
+    Corrupt "bad magic"
+  else
+    let stored = String.sub data (String.length magic) digest_len in
+    let payload = String.sub data header_len (n - header_len) in
+    if Digest.string payload <> stored then Corrupt "checksum mismatch"
+    else
+      (* Digest verified: the payload is bytes we marshalled.  A Failure
+         here means a different compiler version wrote them. *)
+      match Marshal.from_string payload 0 with
+      | v -> Value v
+      | exception _ -> Corrupt "unmarshallable payload (compiler change?)"
+
+let mangle t ~site ~key data =
+  match t.chaos with
+  | Some c -> Chaos.mangle c ~site ~key data
+  | None -> data
+
+let note_corrupt t ~key reason =
+  with_lock t (fun () -> t.corrupt <- t.corrupt + 1);
+  emit t (Corrupt_entry { key; reason })
+
+(* An I/O error on the cache directory disables persistence for the rest
+   of the run — the pipeline must degrade to compute-only, not crash. *)
+let note_io_error t ~op message =
+  with_lock t (fun () ->
+      t.io_errors <- t.io_errors + 1;
+      t.dir <- None);
+  emit t (Io_error { op; message })
+
+(* A verified-corrupt entry is deleted so it cannot poison later runs;
+   the caller recomputes and rewrites it (self-healing). *)
 let load_disk t ~key =
   match t.dir with
   | None -> None
   | Some dir -> (
-      let file = path t ~key dir in
-      match
-        In_channel.with_open_bin file (fun ic -> Marshal.from_channel ic)
-      with
-      | v -> Some v
-      | exception _ -> None)
+      let file = path ~key dir in
+      if not (Sys.file_exists file) then None
+      else
+        match In_channel.with_open_bin file In_channel.input_all with
+        | exception Sys_error msg ->
+            note_io_error t ~op:"read" msg;
+            None
+        | data -> (
+            match decode (mangle t ~site:"cache-read" ~key data) with
+            | Value v -> Some v
+            | Corrupt reason ->
+                (try Sys.remove file with Sys_error _ -> ());
+                note_corrupt t ~key reason;
+                None))
 
 (* Atomic publish: write a temp file, then rename, so a concurrent or
    interrupted writer can never leave a half-written entry behind. *)
@@ -51,13 +131,15 @@ let store_disk t ~key v =
   | Some dir -> (
       try
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        let tmp =
-          Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp"
-        in
-        Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc v []);
-        Sys.rename tmp (path t ~key dir);
+        let tmp = Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp" in
+        let data = mangle t ~site:"cache-write" ~key (encode v) in
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc data);
+        Sys.rename tmp (path ~key dir);
         true
-      with _ -> false)
+      with Sys_error msg ->
+        note_io_error t ~op:"store" msg;
+        false)
 
 let find_or_compute t ~key f =
   if not t.enabled then f ()
@@ -88,16 +170,20 @@ let find_or_compute t ~key f =
                 Hashtbl.replace t.table key v);
             v)
 
+let persistent t = with_lock t (fun () -> t.dir <> None)
+
 let stats t =
   with_lock t (fun () ->
       { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
-        stores = t.stores })
+        stores = t.stores; corrupt = t.corrupt; io_errors = t.io_errors })
 
 let reset_stats t =
   with_lock t (fun () ->
       t.hits <- 0;
       t.disk_hits <- 0;
       t.misses <- 0;
-      t.stores <- 0)
+      t.stores <- 0;
+      t.corrupt <- 0;
+      t.io_errors <- 0)
 
 let clear t = with_lock t (fun () -> Hashtbl.reset t.table)

@@ -6,8 +6,15 @@
     input edit changes the key.  Values are held in a mutex-protected
     in-memory table; with a directory attached, they are also persisted
     via [Marshal] so later processes (repeated CLI invocations) reuse
-    them.  A disk entry that fails to load — truncated file, different
-    compiler version — is treated as a miss and rewritten.
+    them.
+
+    Disk entries are self-healing: each carries a magic string and a
+    content digest, written atomically (temp file + rename).  An entry
+    whose digest does not verify — truncation, interleaving, bit rot —
+    is deleted, reported as a {!Corrupt_entry} event, and recomputed;
+    [Marshal] never sees unverified bytes.  A [Sys_error] on the cache
+    directory disables persistence for the rest of the run (reported as
+    an {!Io_error} event) instead of crashing the pipeline.
 
     One cache holds one value type; the engine keeps a separate cache per
     payload kind. *)
@@ -19,17 +26,40 @@ type stats = {
   disk_hits : int;  (** Loaded from the cache directory. *)
   misses : int;  (** Computed fresh. *)
   stores : int;  (** Written to disk. *)
+  corrupt : int;  (** Disk entries that failed verification (healed). *)
+  io_errors : int;  (** [Sys_error]s that disabled persistence. *)
 }
 
-val create : ?dir:string -> ?enabled:bool -> unit -> 'a t
+type event =
+  | Corrupt_entry of { key : string; reason : string }
+      (** A disk entry failed checksum/format verification; it was
+          deleted and will be recomputed. *)
+  | Io_error of { op : string; message : string }
+      (** A [Sys_error] during [op] (["read"] or ["store"]); disk
+          persistence is disabled for the rest of the run. *)
+
+val create :
+  ?dir:string ->
+  ?enabled:bool ->
+  ?chaos:Asipfb_supervise.Chaos.t ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  'a t
 (** [enabled] defaults to [true]; a disabled cache computes every lookup
-    and records nothing.  [dir] is created on first store. *)
+    and records nothing.  [dir] is created on first store.  [chaos]
+    mangles entry bytes on the ["cache-read"]/["cache-write"] seams (the
+    chaos harness proving checksum detection); [on_event] observes
+    corruption and I/O degradation. *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
 (** Memory, then disk, then compute-and-store.  [key] must be filename-
     safe (the engine uses [Digest.to_hex]).  Concurrent callers with the
     same fresh key may both compute; the value is deterministic, so
     either result is correct and one wins the table. *)
+
+val persistent : 'a t -> bool
+(** Whether disk persistence is still active (a directory was given and
+    no I/O error has disabled it). *)
 
 val stats : 'a t -> stats
 val reset_stats : 'a t -> unit

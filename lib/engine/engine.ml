@@ -3,6 +3,8 @@ module Opt_level = Asipfb_sched.Opt_level
 module Schedule = Asipfb_sched.Schedule
 module Diag = Asipfb_diag.Diag
 module Fault = Asipfb_sim.Fault
+module Supervise = Asipfb_supervise.Supervise
+module Chaos = Asipfb_supervise.Chaos
 
 type analysis = {
   benchmark : Benchmark.t;
@@ -22,6 +24,7 @@ type base = { prog : Asipfb_ir.Prog.t; outcome : Asipfb_sim.Interp.outcome }
 
 type t = {
   jobs : int;
+  sup : Supervise.t;
   base_cache : base Cache.t;
   sched_cache : Schedule.t Cache.t;
   verify_cache : Diag.t list Cache.t;
@@ -31,12 +34,13 @@ type stats = {
   base : Cache.stats;
   sched : Cache.stats;
   verify : Cache.stats;
+  supervise : Supervise.stats;
 }
 
 (* Bump on any change to the analysis semantics or payload layout: the
    revision is part of every key, so old disk entries simply stop
    matching. *)
-let schema_revision = "asipfb-engine-2"
+let schema_revision = "asipfb-engine-3"
 
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
@@ -58,23 +62,50 @@ let verify_sched_key (b : Benchmark.t) level =
     [ schema_revision; "verify-sched"; b.name; b.source;
       Opt_level.to_string level ]
 
-let create ?jobs ?cache_dir ?(cache = true) () =
+let cache_diag label = function
+  | Cache.Corrupt_entry { key; reason } ->
+      Diag.make ~severity:Diag.Warning ~stage:Diag.Driver
+        ~context:
+          [ ("kind", "cache-corrupt"); ("cache", label); ("key", key);
+            ("reason", reason) ]
+        (Printf.sprintf
+           "corrupt %s cache entry detected (%s); deleted and recomputed"
+           label reason)
+  | Cache.Io_error { op; message } ->
+      Diag.make ~severity:Diag.Warning ~stage:Diag.Driver
+        ~context:[ ("kind", "cache-io-error"); ("cache", label); ("op", op) ]
+        (Printf.sprintf
+           "cache %s failed (%s); disk persistence disabled for this run" op
+           message)
+
+let create ?jobs ?cache_dir ?(cache = true) ?policy ?chaos () =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let sup = Supervise.create ?policy ?chaos () in
+  let mk label =
+    Cache.create ?dir:cache_dir ~enabled:cache ?chaos:(Supervise.chaos sup)
+      ~on_event:(fun ev -> Supervise.note_degraded sup (cache_diag label ev))
+      ()
+  in
   {
     jobs;
-    base_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
-    sched_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
-    verify_cache = Cache.create ?dir:cache_dir ~enabled:cache ();
+    sup;
+    base_cache = mk "base";
+    sched_cache = mk "sched";
+    verify_cache = mk "verify";
   }
 
-let sequential () = create ~jobs:1 ~cache:false ()
+let sequential () =
+  create ~jobs:1 ~cache:false ~policy:Supervise.Policy.off ()
+
 let jobs t = t.jobs
+let supervisor t = t.sup
 
 let stats t =
   {
     base = Cache.stats t.base_cache;
     sched = Cache.stats t.sched_cache;
     verify = Cache.stats t.verify_cache;
+    supervise = Supervise.stats t.sup;
   }
 
 let reset_stats t =
@@ -85,15 +116,30 @@ let reset_stats t =
 let derive_faults (config : Fault.config) (b : Benchmark.t) =
   Fault.create { config with seed = config.seed lxor Hashtbl.hash b.name }
 
-let compute_base ?faults (b : Benchmark.t) =
+let compute_base t ?faults ?(ctx : Supervise.ctx option) (b : Benchmark.t) =
   let prog =
     Metrics.timed Metrics.global "frontend" (fun () -> Benchmark.compile b)
   in
   let injector = Option.map (fun c -> derive_faults c b) faults in
-  let outcome =
-    Metrics.timed Metrics.global "sim" (fun () ->
-        Asipfb_sim.Interp.run prog ~inputs:(b.inputs ()) ?faults:injector)
+  let watchdog = Option.bind ctx (fun c -> c.Supervise.watchdog) in
+  let attempt = match ctx with Some c -> c.Supervise.attempt | None -> 1 in
+  (* The chaos "exec-core" seam: a simulated core crash exercises the
+     Ref_interp degradation ladder; keyed per attempt so a retry can
+     succeed. *)
+  let inject_core_crash =
+    match Supervise.chaos t.sup with
+    | Some c ->
+        Chaos.core_crash c ~key:(Printf.sprintf "%s#%d" b.name attempt)
+    | None -> false
   in
+  let cross_check = (Supervise.policy t.sup).Supervise.Policy.cross_check in
+  let outcome, degrade_diags =
+    Metrics.timed Metrics.global "sim" (fun () ->
+        Asipfb_sim.Fallback.run prog ~inputs:(b.inputs ()) ?faults:injector
+          ?fresh_faults:(Option.map (fun c () -> derive_faults c b) faults)
+          ?watchdog ~inject_core_crash ~cross_check ~benchmark:b.name)
+  in
+  List.iter (Supervise.note_degraded t.sup) degrade_diags;
   (* The self-check turns silent corruption into a diagnostic before the
      poisoned profile can reach the analyzer. *)
   (match injector with
@@ -110,12 +156,12 @@ let compute_base ?faults (b : Benchmark.t) =
 
 (* Fault-injected outcomes depend on the injection config, which is not
    part of the content key — never cache them. *)
-let base t ?faults b =
+let base t ?faults ?ctx b =
   match faults with
-  | Some _ -> compute_base ?faults b
+  | Some _ -> compute_base t ?faults ?ctx b
   | None ->
       Cache.find_or_compute t.base_cache ~key:(source_key b) (fun () ->
-          compute_base b)
+          compute_base t ?ctx b)
 
 let sched_for t (b : Benchmark.t) prog level =
   Cache.find_or_compute t.sched_cache ~key:(sched_key b level) (fun () ->
@@ -139,11 +185,28 @@ let verify_sched_for t (b : Benchmark.t) prog level sched =
 
 let analyze_all t ?(verify = `Off) ?faults benchmarks =
   let bs = Array.of_list benchmarks in
+  (* Every task body runs under the supervisor: retry/backoff for
+     transient failures, quarantine gating per benchmark, chaos
+     injection.  Supervise.run returns the (value, exn) result the
+     isolation logic below already expects. *)
+  let supervised ~group ~name f = Supervise.run t.sup ~group ~name f in
+  let pool_run tasks =
+    Pool.run ~jobs:t.jobs
+      ~on_spawn_failure:(fun exn ->
+        Supervise.note_degraded t.sup
+          (Diag.make ~severity:Diag.Warning ~stage:Diag.Driver
+             ~context:[ ("kind", "pool-degraded") ]
+             ("domain spawn failed; continuing with fewer workers: "
+             ^ Printexc.to_string exn)))
+      tasks
+  in
   (* Phase 1: one base task per benchmark, failures isolated. *)
   let bases =
-    Pool.run ~jobs:t.jobs
+    pool_run
       (Array.map
-         (fun b () -> try Ok (base t ?faults b) with exn -> Error exn)
+         (fun (b : Benchmark.t) () ->
+           supervised ~group:b.name ~name:("base:" ^ b.name) (fun ctx ->
+               base t ?faults ~ctx b))
          bs)
   in
   (* Phase 2: one sched task per (benchmark, level); a benchmark whose
@@ -151,16 +214,20 @@ let analyze_all t ?(verify = `Off) ?faults benchmarks =
   let levels = Array.of_list Opt_level.all in
   let nl = Array.length levels in
   let sched_results =
-    Pool.run ~jobs:t.jobs
+    pool_run
       (Array.init
          (Array.length bs * nl)
          (fun idx () ->
            let bi = idx / nl and li = idx mod nl in
            match bases.(bi) with
            | Error _ -> Error Exit (* placeholder; base error is reported *)
-           | Ok base -> (
-               try Ok (sched_for t bs.(bi) base.prog levels.(li))
-               with exn -> Error exn)))
+           | Ok base ->
+               let b = bs.(bi) in
+               supervised ~group:b.name
+                 ~name:
+                   (Printf.sprintf "sched:%s@%s" b.name
+                      (Opt_level.to_string levels.(li)))
+                 (fun _ctx -> sched_for t b base.prog levels.(li))))
   in
   (* Phase 3 (optional): verify tasks — per benchmark for the IR checks,
      plus per (benchmark, level) for the legality proof under [`Full].
@@ -173,16 +240,21 @@ let analyze_all t ?(verify = `Off) ?faults benchmarks =
         let ir_task bi () =
           match bases.(bi) with
           | Error _ -> Error Exit
-          | Ok base -> (
-              try Ok (verify_ir_for t bs.(bi) base.prog)
-              with exn -> Error exn)
+          | Ok base ->
+              let b = bs.(bi) in
+              supervised ~group:b.name ~name:("verify-ir:" ^ b.name)
+                (fun _ctx -> verify_ir_for t b base.prog)
         in
         let sched_task idx () =
           let bi = idx / nl and li = idx mod nl in
           match (bases.(bi), sched_results.((bi * nl) + li)) with
-          | Ok base, Ok s -> (
-              try Ok (verify_sched_for t bs.(bi) base.prog levels.(li) s)
-              with exn -> Error exn)
+          | Ok base, Ok s ->
+              let b = bs.(bi) in
+              supervised ~group:b.name
+                ~name:
+                  (Printf.sprintf "verify-sched:%s@%s" b.name
+                     (Opt_level.to_string levels.(li)))
+                (fun _ctx -> verify_sched_for t b base.prog levels.(li) s)
           | _ -> Error Exit
         in
         let tasks =
@@ -192,7 +264,7 @@ let analyze_all t ?(verify = `Off) ?faults benchmarks =
               Array.append (Array.init nb ir_task)
                 (Array.init (nb * nl) (fun idx -> sched_task idx))
         in
-        Pool.run ~jobs:t.jobs tasks
+        pool_run tasks
   in
   let verify_for bi =
     if verify = `Off then Ok []

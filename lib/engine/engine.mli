@@ -53,23 +53,42 @@ type verify_mode = Asipfb_verify.Verify.mode
 
 type t
 
-val create : ?jobs:int -> ?cache_dir:string -> ?cache:bool -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?cache:bool ->
+  ?policy:Asipfb_supervise.Supervise.Policy.t ->
+  ?chaos:Asipfb_supervise.Chaos.config ->
+  unit ->
+  t
 (** [jobs] defaults to {!Pool.default_jobs}[ ()]; [1] is the sequential
     reference path.  [cache] (default [true]) enables the in-memory
     memo; [cache_dir] additionally persists entries on disk for reuse
-    across processes.  [cache:false] disables both. *)
+    across processes.  [cache:false] disables both.
+
+    [policy] (default {!Asipfb_supervise.Supervise.Policy.default})
+    governs retry/backoff, the per-task watchdog, and quarantine; every
+    task of {!analyze_all} runs under it.  [chaos] attaches the
+    deterministic fault injector to the task and cache seams. *)
 
 val sequential : unit -> t
-(** [create ~jobs:1 ~cache:false ()] — recompute everything, in order:
-    the behavior of the pre-engine pipeline. *)
+(** [create ~jobs:1 ~cache:false ~policy:Policy.off ()] — recompute
+    everything, in order, fail-fast: the behavior of the pre-engine
+    pipeline. *)
 
 val jobs : t -> int
+
+val supervisor : t -> Asipfb_supervise.Supervise.t
+(** The engine's supervisor — source of the retry/quarantine/degradation
+    event report and counters. *)
 
 type stats = {
   base : Cache.stats;  (** Compile+profile payloads (12 per suite run). *)
   sched : Cache.stats;  (** Per-level schedules (36 per suite run). *)
   verify : Cache.stats;
       (** Verify findings (12 IR + 36 legality per [`Full] suite run). *)
+  supervise : Asipfb_supervise.Supervise.stats;
+      (** Retry/quarantine/degradation accounting. *)
 }
 
 val stats : t -> stats

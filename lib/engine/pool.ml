@@ -6,7 +6,7 @@ type 'a slot =
 
 let run_seq tasks = Array.map (fun task -> task ()) tasks
 
-let run ~jobs tasks =
+let run ?on_spawn_failure ~jobs tasks =
   let n = Array.length tasks in
   if jobs <= 1 || n <= 1 then run_seq tasks
   else begin
@@ -27,8 +27,18 @@ let run ~jobs tasks =
       end
     in
     let domains =
-      (* The calling domain is worker 0, so [jobs] counts it. *)
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+      (* The calling domain is worker 0, so [jobs] counts it.  A failed
+         spawn (resource exhaustion) degrades to fewer workers — in the
+         limit the calling domain alone, i.e. the sequential path —
+         rather than aborting the run. *)
+      List.filter_map
+        (fun _ ->
+          match Domain.spawn worker with
+          | d -> Some d
+          | exception exn ->
+              (match on_spawn_failure with Some f -> f exn | None -> ());
+              None)
+        (List.init (min jobs n - 1) Fun.id)
     in
     worker ();
     List.iter Domain.join domains;

@@ -12,7 +12,8 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     useful parallelism (1 on a single-core host). *)
 
-val run : jobs:int -> (unit -> 'a) array -> 'a array
+val run :
+  ?on_spawn_failure:(exn -> unit) -> jobs:int -> (unit -> 'a) array -> 'a array
 (** [run ~jobs tasks] executes every task exactly once and returns the
     results in task order.  Work is distributed by an atomic next-task
     counter, so any idle domain picks up the next unstarted task.
@@ -21,4 +22,9 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
     failure must not abort unrelated benchmarks); then the exception of
     the {e lowest-indexed} failing task is re-raised with its backtrace —
     deterministic regardless of domain interleaving.  Callers that need
-    per-task isolation wrap their task bodies in [result]. *)
+    per-task isolation wrap their task bodies in [result].
+
+    A [Domain.spawn] failure does not abort the run: the pool degrades to
+    however many workers did start (at minimum the calling domain — the
+    sequential path), reporting each failure to [on_spawn_failure].
+    Results are unaffected since any worker can claim any task. *)

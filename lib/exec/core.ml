@@ -2,6 +2,11 @@ module Types = Asipfb_ir.Types
 module Instr = Asipfb_ir.Instr
 
 exception Out_of_fuel of { executed : int; fuel : int }
+exception Watchdog_abort of { executed : int }
+
+(* How many ops run between watchdog polls.  The poll piggybacks on the
+   fuel counter, so a run without a watchdog pays nothing. *)
+let watchdog_interval = 8192
 
 type outcome = {
   return_value : Value.t option;
@@ -35,6 +40,7 @@ module type S = sig
   val run :
     ?fuel:int ->
     ?inputs:(string * Value.t array) list ->
+    ?watchdog:(unit -> bool) ->
     hooks:hooks ->
     Code.t ->
     outcome
@@ -46,8 +52,8 @@ module Make (H : HOOKS) : S with type hooks = H.t = struct
   open Code
 
 
-  let run ?(fuel = 50_000_000) ?(inputs = []) ~(hooks : H.t) (c : Code.t) :
-      outcome =
+  let run ?(fuel = 50_000_000) ?(inputs = []) ?watchdog ~(hooks : H.t)
+      (c : Code.t) : outcome =
     let memory = Memory.of_regions c.prog_regions in
     List.iter (fun (region, data) -> Memory.seed memory region data) inputs;
     (* The flat region table aliases the cell arrays inside [memory], so
@@ -58,6 +64,11 @@ module Make (H : HOOKS) : S with type hooks = H.t = struct
     in
     let counts = Array.make (Array.length c.prof_opids) 0 in
     let fuel_left = ref fuel in
+    (* Next fuel_left value at which the watchdog is polled; [min_int]
+       means never, so the common unwatched path costs one compare. *)
+    let wd_at =
+      ref (match watchdog with Some _ -> fuel - watchdog_interval | None -> min_int)
+    in
     let cycles = ref 0 and ops = ref 0 and fused = ref 0 in
     let rec call (f : cfunc) (args : Value.t list) : Value.t option =
       let frame = Array.make f.nregs (Value.Vint 0) in
@@ -150,6 +161,13 @@ module Make (H : HOOKS) : S with type hooks = H.t = struct
         if pc >= ncode then Ops.err "fell off the end of %s" f.fname
         else begin
           if !fuel_left <= 0 then raise (Out_of_fuel { executed = !ops; fuel });
+          if !fuel_left <= !wd_at then begin
+            (match watchdog with
+            | Some expired when expired () ->
+                raise (Watchdog_abort { executed = !ops })
+            | _ -> ());
+            wd_at := !fuel_left - watchdog_interval
+          end;
           decr fuel_left;
           incr cycles;
           match f.code.(pc) with

@@ -18,6 +18,14 @@ exception Out_of_fuel of { executed : int; fuel : int }
     of [fuel] cycles.  Distinct from {!Ops.Trap} so consumers can classify
     timeouts separately from crashes. *)
 
+exception Watchdog_abort of { executed : int }
+(** A watchdog poll reported the task's deadline passed; [executed] ops
+    had been performed.  Raised only when [run] is given [?watchdog]. *)
+
+val watchdog_interval : int
+(** Executed slots between watchdog polls (the poll rides on the fuel
+    counter, so unwatched runs pay nothing beyond one compare). *)
+
 type outcome = {
   return_value : Value.t option;
   memory : Memory.t;  (** Final memory (shared with the region table). *)
@@ -59,13 +67,17 @@ module type S = sig
   val run :
     ?fuel:int ->
     ?inputs:(string * Value.t array) list ->
+    ?watchdog:(unit -> bool) ->
     hooks:hooks ->
     Code.t ->
     outcome
   (** Execute from the entry function.  [fuel] bounds executed cycles
-      (default 50 million); [inputs] seed named regions.
+      (default 50 million); [inputs] seed named regions; [watchdog] is
+      polled every {!watchdog_interval} slots and aborts the run when it
+      returns [true].
       @raise Ops.Trap on any runtime trap.
-      @raise Out_of_fuel when the budget is exhausted. *)
+      @raise Out_of_fuel when the budget is exhausted.
+      @raise Watchdog_abort when [watchdog] reports expiry. *)
 end
 
 module Make (H : HOOKS) : S with type hooks = H.t

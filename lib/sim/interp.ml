@@ -5,6 +5,7 @@ module Core = Asipfb_exec.Core
 
 exception Runtime_error of string
 exception Fuel_exhausted of { instrs_executed : int; fuel : int }
+exception Watchdog_timeout of { instrs_executed : int }
 
 type outcome = {
   return_value : Value.t option;
@@ -19,8 +20,8 @@ let eval_binop op a b =
 let eval_unop op a =
   try Ops.eval_unop op a with Ops.Trap msg -> raise (Runtime_error msg)
 
-let run ?(fuel = 50_000_000) ?(inputs = []) ?on_exec ?faults (p : Prog.t) :
-    outcome =
+let run ?(fuel = 50_000_000) ?(inputs = []) ?on_exec ?faults ?watchdog
+    (p : Prog.t) : outcome =
   try
     let code = Code.of_prog p in
     let fuel =
@@ -31,10 +32,11 @@ let run ?(fuel = 50_000_000) ?(inputs = []) ?on_exec ?faults (p : Prog.t) :
        branch per instruction. *)
     let (out : Core.outcome) =
       match (on_exec, faults) with
-      | None, None -> Core.Plain.run ~fuel ~inputs ~hooks:() code
-      | Some h, None -> Core.Traced.run ~fuel ~inputs ~hooks:h code
-      | None, Some f -> Core.Faulted.run ~fuel ~inputs ~hooks:f code
-      | Some h, Some f -> Core.Instrumented.run ~fuel ~inputs ~hooks:(h, f) code
+      | None, None -> Core.Plain.run ~fuel ~inputs ?watchdog ~hooks:() code
+      | Some h, None -> Core.Traced.run ~fuel ~inputs ?watchdog ~hooks:h code
+      | None, Some f -> Core.Faulted.run ~fuel ~inputs ?watchdog ~hooks:f code
+      | Some h, Some f ->
+          Core.Instrumented.run ~fuel ~inputs ?watchdog ~hooks:(h, f) code
     in
     {
       return_value = out.return_value;
@@ -46,3 +48,5 @@ let run ?(fuel = 50_000_000) ?(inputs = []) ?on_exec ?faults (p : Prog.t) :
   | Ops.Trap msg -> raise (Runtime_error msg)
   | Core.Out_of_fuel { executed; fuel } ->
       raise (Fuel_exhausted { instrs_executed = executed; fuel })
+  | Core.Watchdog_abort { executed } ->
+      raise (Watchdog_timeout { instrs_executed = executed })

@@ -23,6 +23,11 @@ exception Fuel_exhausted of { instrs_executed : int; fuel : int }
     (likely infinite loops, or a fault-injection fuel cap) separately from
     genuine crashes; {!Sim_diag.to_diag} tags it [kind=timeout]. *)
 
+exception Watchdog_timeout of { instrs_executed : int }
+(** A supervised run's wall-clock watchdog expired mid-execution (polled
+    cooperatively by the execution core every few thousand ops).  Tagged
+    [kind=timeout] by {!Sim_diag.to_diag}, like {!Fuel_exhausted}. *)
+
 type outcome = {
   return_value : Value.t option;  (** Entry function's return, if any. *)
   profile : Profile.t;
@@ -35,6 +40,7 @@ val run :
   ?inputs:(string * Value.t array) list ->
   ?on_exec:(string -> Asipfb_ir.Instr.t -> unit) ->
   ?faults:Fault.t ->
+  ?watchdog:(unit -> bool) ->
   Asipfb_ir.Prog.t ->
   outcome
 (** [run p ~inputs] seeds the named regions and interprets from
@@ -43,11 +49,13 @@ val run :
     instruction before each execution — the hook {!Trace} builds on.
     [faults], when given, injects register/memory corruption and clamps
     fuel per its configuration (see {!Fault}); corruption is silent by
-    design and must be caught by output self-checks.  Passing no [on_exec]
-    and no [faults] selects an uninstrumented core with zero per-op hook
-    overhead.
+    design and must be caught by output self-checks.  [watchdog] is the
+    supervision layer's deadline poll, checked periodically by the core.
+    Passing no [on_exec] and no [faults] selects an uninstrumented core
+    with zero per-op hook overhead.
     @raise Runtime_error as above.
-    @raise Fuel_exhausted when the fuel budget is spent. *)
+    @raise Fuel_exhausted when the fuel budget is spent.
+    @raise Watchdog_timeout when [watchdog] reports expiry. *)
 
 val eval_binop : Asipfb_ir.Types.binop -> Value.t -> Value.t -> Value.t
 (** Exposed for unit tests and for the ASIP rewriter's constant folding.

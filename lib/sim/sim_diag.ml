@@ -18,6 +18,16 @@ let to_diag : exn -> Diag.t option = function
                ("instrs_executed", string_of_int instrs_executed);
              ]
            "out of fuel (infinite loop?)")
+  | Interp.Watchdog_timeout { instrs_executed } ->
+      Some
+        (Diag.make ~stage:Diag.Simulation
+           ~context:
+             [
+               ("phase", "watchdog");
+               ("kind", "timeout");
+               ("instrs_executed", string_of_int instrs_executed);
+             ]
+           "watchdog timeout: task exceeded its wall-clock budget")
   | Memory.Bounds (region, idx) ->
       Some
         (Diag.make ~stage:Diag.Simulation

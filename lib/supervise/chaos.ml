@@ -1,0 +1,69 @@
+(* Deterministic chaos injection at the engine's seams.
+
+   Every decision is a pure function of (seed, site, key): a fresh PRNG is
+   derived per draw site, so whether a fault fires at a given seam is
+   independent of domain interleaving, task order, or how many other
+   faults fired before it.  That is what lets the chaos harness assert
+   byte-identical artifacts: a chaos run with a fixed seed injects exactly
+   the same faults every time, at every parallelism level. *)
+
+module Prng = Asipfb_util.Prng
+
+type config = { seed : int; rate : float }
+
+exception Injected of string
+
+type t = { config : config }
+
+let create (config : config) =
+  if config.rate < 0.0 || config.rate > 1.0 then
+    invalid_arg "Chaos.create: rate must be in [0, 1]";
+  { config }
+
+let config t = t.config
+let enabled t = t.config.rate > 0.0
+
+(* One independent stream per (seed, site, key): [Hashtbl.hash] is
+   deterministic across runs for a given OCaml version, and string
+   contents are hashed in full. *)
+let stream t ~site ~key =
+  Prng.create ~seed:(Hashtbl.hash (t.config.seed, site, key))
+
+let fires t prng = Prng.next_float prng < t.config.rate
+
+let task_crash t ~key = enabled t && fires t (stream t ~site:"task-crash" ~key)
+let core_crash t ~key = enabled t && fires t (stream t ~site:"exec-core" ~key)
+
+(* Artificial delays are kept tiny (sub-5ms): they exist to shake out
+   timing assumptions and watchdog plumbing, not to stall the suite. *)
+let task_delay t ~key =
+  if not (enabled t) then None
+  else
+    let p = stream t ~site:"task-delay" ~key in
+    if fires t p then Some (0.0005 +. (0.002 *. Prng.next_float p)) else None
+
+type bytes_fault = Flip_byte | Truncate
+
+let bytes_fault t ~site ~key =
+  if not (enabled t) then None
+  else
+    let p = stream t ~site ~key in
+    if not (fires t p) then None
+    else if Prng.next_int p ~bound:2 = 0 then Some Flip_byte
+    else Some Truncate
+
+let mangle t ~site ~key data =
+  match bytes_fault t ~site ~key with
+  | None -> data
+  | Some fault -> (
+      let n = String.length data in
+      if n = 0 then data
+      else
+        let p = stream t ~site:(site ^ "-pos") ~key in
+        match fault with
+        | Truncate -> String.sub data 0 (Prng.next_int p ~bound:n)
+        | Flip_byte ->
+            let i = Prng.next_int p ~bound:n in
+            let b = Bytes.of_string data in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+            Bytes.to_string b)

@@ -23,10 +23,12 @@ dune exec bench/main.exe -- --engine-only --engine-json "$out"
 awk -F'[:,]' '
   /"sim_instrs_per_s"/ { ips = $2 + 0 }
   /"sim_speedup"/      { spd = $2 + 0 }
+  /"jobs"/             { jobs = $2 + 0 }
   END {
     if (ips <= 0) { print "bench smoke: sim_instrs_per_s missing or not positive"; exit 1 }
     if (spd < 2)  { print "bench smoke: sim_speedup " spd " below the 2x floor"; exit 1 }
-    printf "bench smoke: sim throughput %.1fM instrs/s (%.2fx vs reference)\n", ips / 1e6, spd
+    if (jobs < 2) { print "bench smoke: parallel measurement ran at jobs " jobs " (< 2): it measures nothing"; exit 1 }
+    printf "bench smoke: sim throughput %.1fM instrs/s (%.2fx vs reference), parallel run at jobs %d\n", ips / 1e6, spd, jobs
   }' "$out"
 
 echo "bench smoke: wrote $out"
