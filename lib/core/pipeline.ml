@@ -155,17 +155,37 @@ type suite_report = {
   failures : failure list;
 }
 
+(* Per-benchmark results in input order, every failure already converted
+   to a structured diagnostic — the streaming building block the corpus
+   runner consumes batch by batch. *)
+let run_results ?engine ?verify ?faults
+    ?(benchmarks = Asipfb_bench_suite.Registry.all) () :
+    (Benchmark.t * (analysis, failure) result) list =
+  let engine =
+    match engine with Some e -> e | None -> Engine.sequential ()
+  in
+  List.map
+    (fun ((b : Benchmark.t), r) ->
+      match r with
+      | Ok a -> (b, Ok a)
+      | Error exn ->
+          let diag =
+            Diag.with_context (diag_of_exn exn) [ ("benchmark", b.name) ]
+          in
+          (b, Error { failed_benchmark = b.name; diag }))
+    (Engine.analyze_all engine ?verify ?faults benchmarks)
+
 let run_suite ?engine ?verify ?faults
     ?(benchmarks = Asipfb_bench_suite.Registry.all)
     ~(on_error : [ `Raise | `Isolate ]) () : suite_report =
   let engine =
     match engine with Some e -> e | None -> Engine.sequential ()
   in
-  let results = Engine.analyze_all engine ?verify ?faults benchmarks in
   match on_error with
   | `Raise ->
       (* Every benchmark already ran; fail on the first broken one, in
          suite order — deterministic regardless of domain interleaving. *)
+      let results = Engine.analyze_all engine ?verify ?faults benchmarks in
       let analyses =
         List.map
           (fun (_, r) -> match r with Ok a -> a | Error exn -> raise exn)
@@ -175,16 +195,12 @@ let run_suite ?engine ?verify ?faults
   | `Isolate ->
       let analyses, failures =
         List.fold_left
-          (fun (oks, errs) ((b : Benchmark.t), r) ->
+          (fun (oks, errs) (_, r) ->
             match r with
             | Ok a -> (a :: oks, errs)
-            | Error exn ->
-                let diag =
-                  Diag.with_context (diag_of_exn exn)
-                    [ ("benchmark", b.name) ]
-                in
-                (oks, { failed_benchmark = b.name; diag } :: errs))
-          ([], []) results
+            | Error f -> (oks, f :: errs))
+          ([], [])
+          (run_results ~engine ?verify ?faults ~benchmarks ())
       in
       { analyses = List.rev analyses; failures = List.rev failures }
 

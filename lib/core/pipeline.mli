@@ -143,6 +143,20 @@ type suite_report = {
   failures : failure list;  (** Isolated per-benchmark failures. *)
 }
 
+val run_results :
+  ?engine:Asipfb_engine.Engine.t ->
+  ?verify:Asipfb_engine.Engine.verify_mode ->
+  ?faults:Asipfb_sim.Fault.config ->
+  ?benchmarks:Asipfb_bench_suite.Benchmark.t list ->
+  unit ->
+  (Asipfb_bench_suite.Benchmark.t * (analysis, failure) result) list
+(** Per-benchmark results in input order, failures converted to
+    {!failure} records in place (never raising) — the streaming building
+    block for batch-at-a-time consumers like
+    {!Asipfb_corpus.Corpus.run}, which needs each benchmark's result
+    positioned rather than partitioned.  {!run_suite} with [`Isolate] is
+    the partitioned view of the same results. *)
+
 val run_suite :
   ?engine:Asipfb_engine.Engine.t ->
   ?verify:Asipfb_engine.Engine.verify_mode ->

@@ -1,0 +1,134 @@
+(* Deterministic mini-C program synthesis.
+
+   The grammar is the one the QCheck differential-testing generator
+   (test/gen_minic.ml) established — straight-line assignments,
+   conditionals, and bounded loops over four int scalars and one
+   8-element array, with every array index masked in bounds and division
+   never generated, so every generated program compiles and runs without
+   traps.  Unlike the QCheck version, generation here is driven by the
+   project's own {!Asipfb_util.Prng} LCG: a program is a pure function
+   of (seed, index, size), byte-identical across runs, platforms, and
+   library versions — which is what lets a failing corpus program be
+   reproduced from three integers. *)
+
+module Prng = Asipfb_util.Prng
+
+let default_size = 12
+
+let var_names = [| "a"; "b"; "c"; "d" |]
+
+(* One independent PRNG stream per program: an avalanche mix of the
+   corpus seed and the program index, so streams do not correlate when
+   either varies by small deltas. *)
+let program_seed ~seed ~index =
+  let mix h k =
+    let h = (h lxor k) * 0x01000193 in
+    h lxor (h lsr 17)
+  in
+  mix (mix (mix 0x811C9DC5 seed) index) 0x5BD1E995 land max_int
+
+let pick p arr = arr.(Prng.next_int p ~bound:(Array.length arr))
+
+(* Weighted choice over thunks; weights mirror test/gen_minic.ml. *)
+let frequency p choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let roll = Prng.next_int p ~bound:total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, f) :: rest -> if roll < acc + w then f () else go (acc + w) rest
+  in
+  go 0 choices
+
+(* Integer expressions over the declared scalars; depth-bounded. *)
+let rec gen_expr p depth =
+  if depth <= 0 then
+    if Prng.next_int p ~bound:2 = 0 then
+      string_of_int (Prng.next_int p ~bound:10)
+    else pick p var_names
+  else
+    let sub () = gen_expr p (depth - 1) in
+    match Prng.next_int p ~bound:11 with
+    | 0 -> string_of_int (Prng.next_int p ~bound:10)
+    | 1 -> pick p var_names
+    | 2 -> Printf.sprintf "(%s + %s)" (sub ()) (sub ())
+    | 3 -> Printf.sprintf "(%s - %s)" (sub ()) (sub ())
+    | 4 -> Printf.sprintf "(%s * %s)" (sub ()) (sub ())
+    | 5 -> Printf.sprintf "(%s & %s)" (sub ()) (sub ())
+    | 6 -> Printf.sprintf "(%s ^ %s)" (sub ()) (sub ())
+    | 7 -> Printf.sprintf "(%s << 1)" (sub ())
+    | 8 -> Printf.sprintf "(%s >> 1)" (sub ())
+    | 9 -> Printf.sprintf "(-%s)" (sub ())
+    | _ -> Printf.sprintf "(m[%s & 7] + %s)" (sub ()) (sub ())
+
+let gen_assign p =
+  let v = pick p var_names in
+  Printf.sprintf "%s = %s;" v (gen_expr p 2)
+
+let gen_array_store p =
+  let i = gen_expr p 1 in
+  Printf.sprintf "m[%s & 7] = %s;" i (gen_expr p 2)
+
+let gen_if p =
+  let c = gen_expr p 1 in
+  let t = gen_assign p in
+  let e = gen_assign p in
+  Printf.sprintf "if (%s > 0) { %s } else { %s }" c t e
+
+let gen_loop p =
+  let bound = 1 + Prng.next_int p ~bound:6 in
+  let body1 =
+    if Prng.next_int p ~bound:2 = 0 then gen_assign p else gen_array_store p
+  in
+  let body2 = gen_assign p in
+  Printf.sprintf "for (k = 0; k < %d; k++) { %s %s }" bound body1 body2
+
+let gen_stmt p =
+  frequency p
+    [
+      (4, fun () -> gen_assign p);
+      (2, fun () -> gen_array_store p);
+      (1, fun () -> gen_if p);
+      (2, fun () -> gen_loop p);
+    ]
+
+let source ~seed ?(size = default_size) ~index () =
+  if index < 0 then invalid_arg "Gen.source: negative index";
+  let size = max 3 size in
+  let p = Prng.create ~seed:(program_seed ~seed ~index) in
+  let n_stmts = 3 + Prng.next_int p ~bound:(size - 2) in
+  let stmts = List.init n_stmts (fun _ -> gen_stmt p) in
+  let body = String.concat "\n  " stmts in
+  Printf.sprintf
+    {|
+int m[8];
+int out[8];
+void main() {
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  int d = 4;
+  int k;
+  %s
+  out[0] = a; out[1] = b; out[2] = c; out[3] = d;
+  for (k = 0; k < 8; k++) { out[4] = out[4] + m[k]; }
+}
+|}
+    body
+
+let name ~seed ~index = Printf.sprintf "gen-%d-%04d" seed index
+
+let benchmark ~seed ?(size = default_size) ~index () :
+    Asipfb_bench_suite.Benchmark.t =
+  {
+    name = name ~seed ~index;
+    description =
+      Printf.sprintf "generated mini-C program (seed %d, index %d, size %d)"
+        seed index size;
+    data_input = "none (self-initializing)";
+    source = source ~seed ~size ~index ();
+    (* Generated programs initialize all state themselves; there is no
+       input region to seed, so the inputs thunk is empty and the
+       observable behaviour is the [out] region alone. *)
+    inputs = (fun () -> []);
+    output_regions = [ "out" ];
+  }

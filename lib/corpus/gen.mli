@@ -1,0 +1,51 @@
+(** Deterministic seeded mini-C program synthesis.
+
+    {2 Grammar}
+
+    Generated programs draw from the shapes the QCheck
+    differential-testing generator ([test/gen_minic.ml]) established:
+
+    - four [int] scalars [a b c d] (initialized 1–4), a loop counter
+      [k], and two 8-element global arrays [m] (scratch) and [out]
+      (observable output);
+    - expressions: constants 0–9, scalar reads, [+ - * & ^], shifts by
+      one, negation, and masked array reads [m\[e & 7\]], depth ≤ 2;
+    - statements: scalar assignment, masked array store, two-armed
+      [if (e > 0)], and bounded [for] loops (1–6 iterations) —
+      frequency-weighted 4:2:1:2;
+    - a fixed epilogue copies the scalars and a reduction over [m] into
+      [out], so every variable the program computed is observable.
+
+    Every array index is masked in bounds and division is never
+    generated, so {e every} generated program compiles and runs without
+    traps — corpus failures always indicate a pipeline bug, never a
+    malformed input.
+
+    {2 Determinism}
+
+    Generation is driven by {!Asipfb_util.Prng} seeded with an avalanche
+    mix of [(seed, index)]: a program's text is a pure function of
+    [(seed, index, size)], byte-identical across runs, platforms, OCaml
+    versions, and job counts.  To reproduce any corpus program, rerun
+    with the same three integers (CLI: [asipfb corpus --seed S --size Z
+    --print I]). *)
+
+val default_size : int
+(** [12] — maximum statement count drawn per program body. *)
+
+val source : seed:int -> ?size:int -> index:int -> unit -> string
+(** The program text for [(seed, index)].  [size] (default
+    {!default_size}, clamped to ≥ 3) bounds the statement count: each
+    body has between 3 and [size] statements.
+    @raise Invalid_argument on a negative [index]. *)
+
+val name : seed:int -> index:int -> string
+(** ["gen-<seed>-<index>"] — stable, unique per (seed, index). *)
+
+val benchmark :
+  seed:int -> ?size:int -> index:int -> unit ->
+  Asipfb_bench_suite.Benchmark.t
+(** A {!Asipfb_bench_suite.Benchmark.t} wrapping {!source}: no input
+    regions (generated programs self-initialize), observable output in
+    [out].  Drop-in compatible with every [Registry]-consuming entry
+    point ([Pipeline.run_suite ~benchmarks], the engine, supervision). *)

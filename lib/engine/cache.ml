@@ -13,44 +13,78 @@ type event =
   | Corrupt_entry of { key : string; reason : string }
   | Io_error of { op : string; message : string }
 
-type 'a t = {
+(* ---- Sharding -------------------------------------------------------
+
+   The cache sits on every engine task's hot path (48 lookups per suite
+   run, thousands per corpus run), and a single table mutex serialized
+   all of them.  The table and its counters are split into [shard_count]
+   independently locked shards selected by key hash, so concurrent
+   lookups of different keys proceed without contention.  Disk entries
+   are likewise fanned out into two-hex-character subdirectories of the
+   cache dir (keyed on the digest prefix) so a corpus-scale run does not
+   pile thousands of files into one directory. *)
+
+let shard_count = 16
+
+type 'a shard = {
   mutex : Mutex.t;
   table : (string, 'a) Hashtbl.t;
-  mutable dir : string option;
-  enabled : bool;
-  chaos : Chaos.t option;
-  on_event : (event -> unit) option;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
   mutable corrupt : int;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  (* [dir] is cleared (persistence disabled) on the first I/O error;
+     guarded by [dir_mutex] together with the io_errors counter. *)
+  dir_mutex : Mutex.t;
+  mutable dir : string option;
   mutable io_errors : int;
+  enabled : bool;
+  chaos : Chaos.t option;
+  on_event : (event -> unit) option;
 }
 
 let create ?dir ?(enabled = true) ?chaos ?on_event () =
   {
-    mutex = Mutex.create ();
-    table = Hashtbl.create 64;
+    shards =
+      Array.init shard_count (fun _ ->
+          {
+            mutex = Mutex.create ();
+            table = Hashtbl.create 16;
+            hits = 0;
+            disk_hits = 0;
+            misses = 0;
+            stores = 0;
+            corrupt = 0;
+          });
+    dir_mutex = Mutex.create ();
     dir;
+    io_errors = 0;
     enabled;
     chaos;
     on_event;
-    hits = 0;
-    disk_hits = 0;
-    misses = 0;
-    stores = 0;
-    corrupt = 0;
-    io_errors = 0;
   }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let shard_of t ~key = t.shards.(Hashtbl.hash key land (shard_count - 1))
+
+let with_lock mutex f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
 
 let emit t ev = match t.on_event with Some f -> f ev | None -> ()
 
-let path ~key dir = Filename.concat dir (key ^ ".cache")
+(* Disk layout: DIR/<first two key chars>/<key>.cache — the engine's
+   keys are hex digests, so the prefix spreads entries uniformly over at
+   most 256 subdirectories. *)
+let subdir ~key dir =
+  let prefix = if String.length key >= 2 then String.sub key 0 2 else key in
+  Filename.concat dir prefix
+
+let path ~key dir = Filename.concat (subdir ~key dir) (key ^ ".cache")
 
 (* ---- Entry envelope: magic, content digest, Marshal payload ---------
 
@@ -91,21 +125,24 @@ let mangle t ~site ~key data =
   | None -> data
 
 let note_corrupt t ~key reason =
-  with_lock t (fun () -> t.corrupt <- t.corrupt + 1);
+  let shard = shard_of t ~key in
+  with_lock shard.mutex (fun () -> shard.corrupt <- shard.corrupt + 1);
   emit t (Corrupt_entry { key; reason })
 
 (* An I/O error on the cache directory disables persistence for the rest
    of the run — the pipeline must degrade to compute-only, not crash. *)
 let note_io_error t ~op message =
-  with_lock t (fun () ->
+  with_lock t.dir_mutex (fun () ->
       t.io_errors <- t.io_errors + 1;
       t.dir <- None);
   emit t (Io_error { op; message })
 
+let current_dir t = with_lock t.dir_mutex (fun () -> t.dir)
+
 (* A verified-corrupt entry is deleted so it cannot poison later runs;
    the caller recomputes and rewrites it (self-healing). *)
 let load_disk t ~key =
-  match t.dir with
+  match current_dir t with
   | None -> None
   | Some dir -> (
       let file = path ~key dir in
@@ -123,15 +160,29 @@ let load_disk t ~key =
                 note_corrupt t ~key reason;
                 None))
 
+(* A concurrent domain may create the same directory between the check
+   and the mkdir; that is success, not an error. *)
+let mkdir_one dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_one parent;
+    mkdir_one dir
+  end
+
 (* Atomic publish: write a temp file, then rename, so a concurrent or
    interrupted writer can never leave a half-written entry behind. *)
 let store_disk t ~key v =
-  match t.dir with
+  match current_dir t with
   | None -> false
   | Some dir -> (
       try
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        let tmp = Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp" in
+        let entry_dir = subdir ~key dir in
+        mkdir_p entry_dir;
+        let tmp = Filename.temp_file ~temp_dir:entry_dir ("." ^ key) ".tmp" in
         let data = mangle t ~site:"cache-write" ~key (encode v) in
         Out_channel.with_open_bin tmp (fun oc ->
             Out_channel.output_string oc data);
@@ -144,11 +195,12 @@ let store_disk t ~key v =
 let find_or_compute t ~key f =
   if not t.enabled then f ()
   else
+    let shard = shard_of t ~key in
     let cached =
-      with_lock t (fun () ->
-          match Hashtbl.find_opt t.table key with
+      with_lock shard.mutex (fun () ->
+          match Hashtbl.find_opt shard.table key with
           | Some v ->
-              t.hits <- t.hits + 1;
+              shard.hits <- shard.hits + 1;
               Some v
           | None -> None)
     in
@@ -157,33 +209,53 @@ let find_or_compute t ~key f =
     | None -> (
         match load_disk t ~key with
         | Some v ->
-            with_lock t (fun () ->
-                t.disk_hits <- t.disk_hits + 1;
-                Hashtbl.replace t.table key v);
+            with_lock shard.mutex (fun () ->
+                shard.disk_hits <- shard.disk_hits + 1;
+                Hashtbl.replace shard.table key v);
             v
         | None ->
             let v = f () in
             let stored = store_disk t ~key v in
-            with_lock t (fun () ->
-                t.misses <- t.misses + 1;
-                if stored then t.stores <- t.stores + 1;
-                Hashtbl.replace t.table key v);
+            with_lock shard.mutex (fun () ->
+                shard.misses <- shard.misses + 1;
+                if stored then shard.stores <- shard.stores + 1;
+                Hashtbl.replace shard.table key v);
             v)
 
-let persistent t = with_lock t (fun () -> t.dir <> None)
+let persistent t = current_dir t <> None
 
 let stats t =
-  with_lock t (fun () ->
-      { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
-        stores = t.stores; corrupt = t.corrupt; io_errors = t.io_errors })
+  let acc =
+    Array.fold_left
+      (fun (acc : stats) shard ->
+        with_lock shard.mutex (fun () ->
+            {
+              acc with
+              hits = acc.hits + shard.hits;
+              disk_hits = acc.disk_hits + shard.disk_hits;
+              misses = acc.misses + shard.misses;
+              stores = acc.stores + shard.stores;
+              corrupt = acc.corrupt + shard.corrupt;
+            }))
+      { hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0;
+        io_errors = 0 }
+      t.shards
+  in
+  { acc with io_errors = with_lock t.dir_mutex (fun () -> t.io_errors) }
 
 let reset_stats t =
-  with_lock t (fun () ->
-      t.hits <- 0;
-      t.disk_hits <- 0;
-      t.misses <- 0;
-      t.stores <- 0;
-      t.corrupt <- 0;
-      t.io_errors <- 0)
+  Array.iter
+    (fun shard ->
+      with_lock shard.mutex (fun () ->
+          shard.hits <- 0;
+          shard.disk_hits <- 0;
+          shard.misses <- 0;
+          shard.stores <- 0;
+          shard.corrupt <- 0))
+    t.shards;
+  with_lock t.dir_mutex (fun () -> t.io_errors <- 0)
 
-let clear t = with_lock t (fun () -> Hashtbl.reset t.table)
+let clear t =
+  Array.iter
+    (fun shard -> with_lock shard.mutex (fun () -> Hashtbl.reset shard.table))
+    t.shards

@@ -3,10 +3,14 @@
     Keys are caller-computed digests of everything the cached value
     depends on (benchmark source, optimization level, config revision —
     see {!Engine}), so a stale hit is impossible by construction: any
-    input edit changes the key.  Values are held in a mutex-protected
-    in-memory table; with a directory attached, they are also persisted
-    via [Marshal] so later processes (repeated CLI invocations) reuse
-    them.
+    input edit changes the key.  Values are held in an in-memory table
+    split into independently locked shards selected by key hash, so
+    concurrent engine tasks looking up different keys never contend;
+    with a directory attached, they are also persisted via [Marshal] so
+    later processes (repeated CLI invocations) reuse them.  Disk entries
+    fan out into two-hex-character subdirectories keyed on the digest
+    prefix ([DIR/ab/abcd….cache]), keeping corpus-scale runs (thousands
+    of entries) out of a single flat directory.
 
     Disk entries are self-healing: each carries a magic string and a
     content digest, written atomically (temp file + rename).  An entry

@@ -1,38 +1,92 @@
+(* Per-stage wall-clock accounting with per-domain accumulators.
+
+   The previous implementation serialized every [add] on one global
+   mutex; with 4+ domains timing every frontend/sim/sched/verify task
+   the lock was a measurable contention point (and, worse, it padded the
+   parallel suite time that BENCH_engine.json divides by).  Each domain
+   now accumulates into its own private table, reached lock-free through
+   [Domain.DLS]; the registry mutex is taken only the first time a
+   domain touches a given metrics instance, and [snapshot] merges all
+   per-domain tables.
+
+   Concurrency contract: [add]/[timed] never contend with each other.
+   [snapshot]/[render]/[to_json]/[reset] must not race with concurrent
+   recording — the engine only calls them between pool phases (after
+   [Domain.join] has published every worker's writes), which the callers
+   (CLI [--timings], bench harness) inherit by construction. *)
+
+type domain_table = (string, int ref * float ref) Hashtbl.t
+
 type t = {
-  mutex : Mutex.t;
-  table : (string, int * float) Hashtbl.t;
+  mutex : Mutex.t;  (* guards [tables] registration and snapshots *)
+  mutable tables : domain_table list;  (* one per domain that ever recorded *)
+  dls : domain_table option ref Domain.DLS.key;
 }
 
 type stage_stat = { stage : string; count : int; seconds : float }
 
-let create () = { mutex = Mutex.create (); table = Hashtbl.create 8 }
+let create () =
+  {
+    mutex = Mutex.create ();
+    tables = [];
+    dls = Domain.DLS.new_key (fun () -> ref None);
+  }
+
 let global = create ()
 
+(* The calling domain's private table, registering it on first use.  The
+   DLS cell is domain-local, so the [None] check and the write race with
+   nothing; only the registry push needs the lock. *)
+let local_table t =
+  let cell = Domain.DLS.get t.dls in
+  match !cell with
+  | Some tbl -> tbl
+  | None ->
+      let tbl : domain_table = Hashtbl.create 8 in
+      cell := Some tbl;
+      Mutex.lock t.mutex;
+      t.tables <- tbl :: t.tables;
+      Mutex.unlock t.mutex;
+      tbl
+
 let add t stage ~seconds =
-  Mutex.lock t.mutex;
-  let count, total =
-    Option.value (Hashtbl.find_opt t.table stage) ~default:(0, 0.0)
-  in
-  Hashtbl.replace t.table stage (count + 1, total +. seconds);
-  Mutex.unlock t.mutex
+  let tbl = local_table t in
+  match Hashtbl.find_opt tbl stage with
+  | Some (count, total) ->
+      incr count;
+      total := !total +. seconds
+  | None -> Hashtbl.replace tbl stage (ref 1, ref seconds)
 
 let timed t stage f =
   let start = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add t stage ~seconds:(Unix.gettimeofday () -. start)) f
+  Fun.protect
+    ~finally:(fun () -> add t stage ~seconds:(Unix.gettimeofday () -. start))
+    f
 
 let snapshot t =
   Mutex.lock t.mutex;
-  let stats =
-    Hashtbl.fold
-      (fun stage (count, seconds) acc -> { stage; count; seconds } :: acc)
-      t.table []
-  in
+  let merged : (string, int * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun stage (count, total) ->
+          let c0, s0 =
+            Option.value (Hashtbl.find_opt merged stage) ~default:(0, 0.0)
+          in
+          Hashtbl.replace merged stage (c0 + !count, s0 +. !total))
+        tbl)
+    t.tables;
   Mutex.unlock t.mutex;
-  List.sort (fun a b -> String.compare a.stage b.stage) stats
+  Hashtbl.fold
+    (fun stage (count, seconds) acc -> { stage; count; seconds } :: acc)
+    merged []
+  |> List.sort (fun a b -> String.compare a.stage b.stage)
 
 let reset t =
   Mutex.lock t.mutex;
-  Hashtbl.reset t.table;
+  (* Tables of joined domains stay registered but empty — they can never
+     be written again, so clearing them is a complete reset. *)
+  List.iter Hashtbl.reset t.tables;
   Mutex.unlock t.mutex
 
 let render t =

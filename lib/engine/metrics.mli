@@ -2,10 +2,17 @@
 
     A metrics instance accumulates, per named stage ("frontend", "sim",
     "sched", "detect", …), how many timed sections ran and their total
-    wall-clock seconds.  Accumulation is mutex-protected, so tasks on
-    different domains record concurrently; under parallel execution the
-    per-stage totals are cumulative {e task} seconds, which exceed
-    elapsed time — elapsed wall clock is the caller's measurement.
+    wall-clock seconds.  Each domain records into its own lock-free
+    accumulator (domain-local storage, registered once per domain under
+    a mutex), so concurrent tasks never contend on the recording hot
+    path; {!snapshot} merges the per-domain tables.  Under parallel
+    execution the per-stage totals are cumulative {e task} seconds,
+    which exceed elapsed time — elapsed wall clock is the caller's
+    measurement.
+
+    Reading ({!snapshot}, {!render}, {!to_json}) and {!reset} must not
+    race with concurrent recording; the engine satisfies this by only
+    reading between pool phases, after every worker domain has joined.
 
     Recording order is irrelevant to any engine output: metrics never
     feed back into analysis results, so they cannot break byte-identical

@@ -15,8 +15,11 @@ val default_jobs : unit -> int
 val run :
   ?on_spawn_failure:(exn -> unit) -> jobs:int -> (unit -> 'a) array -> 'a array
 (** [run ~jobs tasks] executes every task exactly once and returns the
-    results in task order.  Work is distributed by an atomic next-task
-    counter, so any idle domain picks up the next unstarted task.
+    results in task order.  Work is distributed by an atomic next-index
+    counter from which idle domains claim contiguous {e batches} of
+    tasks (one atomic operation per batch, not per task), sized so the
+    pool still makes at least [4 × jobs] claims — load stays balanced
+    while per-task handoff overhead disappears for small suites.
 
     If one or more tasks raise, every task still runs to completion (a
     failure must not abort unrelated benchmarks); then the exception of

@@ -21,9 +21,12 @@ let of_alist alist =
   List.iter (fun (opid, c) -> add t ~opid ~count:c) alist;
   t
 
+let merge_into dst src =
+  Hashtbl.iter (fun opid c -> add dst ~opid ~count:c) src.counts
+
 let merge a b =
   let t = of_alist (to_alist a) in
-  List.iter (fun (opid, c) -> add t ~opid ~count:c) (to_alist b);
+  merge_into t b;
   t
 
 let scale t factor =

@@ -21,6 +21,10 @@ val total : t -> int
 val merge : t -> t -> t
 (** Pointwise sum; inputs unchanged. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s counts into [dst] in place — the
+    allocation-free accumulation path for corpus-scale aggregation. *)
+
 val scale : t -> float -> t
 (** Counts multiplied and rounded — used when combining benchmarks with
     normalization. *)

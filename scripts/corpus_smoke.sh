@@ -1,0 +1,45 @@
+#!/bin/sh
+# Corpus smoke: a seeded 50-program generated mini-C corpus must run the
+# full supervised pipeline (detect -> sched -> sim -> verify) with zero
+# crashes, timeouts, and quarantines, and the summary must be
+# byte-identical across job counts (the engine's determinism contract
+# extended to the generated population).
+# Usage: sh scripts/corpus_smoke.sh [SEED] [COUNT]   (default 7, 50)
+set -eu
+
+seed=${1:-7}
+count=${2:-50}
+
+dune build bin/asipfb_cli.exe
+
+workdir=$(mktemp -d corpus_smoke.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+run="dune exec bin/asipfb_cli.exe --"
+
+# Supervised run: watchdog + retries on, verifier on.  The subcommand
+# exits non-zero if any program crashed, timed out, or was quarantined,
+# so `set -e` is the zero-quarantine assertion.
+$run corpus --seed "$seed" --count "$count" -j 4 \
+  --verify full --retries 2 --retry-backoff 0.01 --task-timeout 30 \
+  --diag-json "$workdir/corpus_diag.json" \
+  > "$workdir/j4.out"
+
+grep -q " 0 crashed, 0 timeout(s), 0 quarantined" "$workdir/j4.out" || {
+  echo "corpus smoke: summary reports failures" >&2
+  cat "$workdir/j4.out" >&2
+  exit 1
+}
+
+# Same spec at -j 1 must produce a byte-identical summary.
+$run corpus --seed "$seed" --count "$count" -j 1 \
+  --verify full --retries 2 --retry-backoff 0.01 --task-timeout 30 \
+  > "$workdir/j1.out"
+
+if ! cmp -s "$workdir/j4.out" "$workdir/j1.out"; then
+  echo "corpus smoke: summary differs between -j 4 and -j 1" >&2
+  diff "$workdir/j4.out" "$workdir/j1.out" | head -40 >&2
+  exit 1
+fi
+
+echo "corpus smoke: seed $seed count $count — supervised run clean, summary byte-identical across -j 1/4"

@@ -1,0 +1,145 @@
+(* Corpus generator + runner: the determinism contract extended to the
+   generated population.  Same spec must mean byte-identical sources and
+   byte-identical analysis artifacts at any job count, and every
+   generated program must compile and run trap-free. *)
+
+module Gen = Asipfb_corpus.Gen
+module Corpus = Asipfb_corpus.Corpus
+module Engine = Asipfb_engine.Engine
+
+let test_source_deterministic () =
+  for index = 0 to 19 do
+    let a = Gen.source ~seed:42 ~index () in
+    let b = Gen.source ~seed:42 ~index () in
+    Alcotest.(check string)
+      (Printf.sprintf "program %d byte-identical across calls" index)
+      a b
+  done;
+  Alcotest.(check bool) "different index differs" true
+    (Gen.source ~seed:42 ~index:0 () <> Gen.source ~seed:42 ~index:1 ());
+  Alcotest.(check bool) "different seed differs" true
+    (Gen.source ~seed:42 ~index:0 () <> Gen.source ~seed:43 ~index:0 ())
+
+let test_names_unique () =
+  let names =
+    List.init 200 (fun index -> Gen.name ~seed:7 ~index)
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check int) "200 distinct names" 200 (List.length names)
+
+let test_programs_trap_free () =
+  (* The grammar's safety claim: every program compiles and runs without
+     traps, so corpus failures always indicate a pipeline bug. *)
+  List.iter
+    (fun (b : Asipfb_bench_suite.Benchmark.t) ->
+      let a = Asipfb.Pipeline.analyze b in
+      Alcotest.(check bool)
+        (b.name ^ " executed instructions")
+        true
+        (a.outcome.instrs_executed > 0))
+    (Corpus.benchmarks (Corpus.spec ~seed:99 ~count:25 ()))
+
+(* One outcome, reduced to a comparable artifact fingerprint. *)
+let fingerprint (o : Corpus.outcome) =
+  match o.result with
+  | Error _ -> (o.benchmark.name, -1, -1, [])
+  | Ok (a, ds) ->
+      ( o.benchmark.name,
+        a.outcome.instrs_executed,
+        List.length a.verify,
+        List.map
+          (fun (d : Asipfb_chain.Detect.detected) ->
+            (Asipfb_chain.Detect.display_name d, d.freq))
+          ds )
+
+let run_fingerprints ~jobs spec =
+  let stream = ref [] in
+  let engine = Engine.create ~jobs ~cache:false () in
+  let summary =
+    Corpus.run_spec ~engine ~verify:`Full
+      ~on_result:(fun o -> stream := fingerprint o :: !stream)
+      spec
+  in
+  (summary, List.rev !stream)
+
+let test_jobs_artifact_equality () =
+  (* Same spec at -j 1 and -j 4: identical summary, identical rendered
+     text, identical per-program artifact stream in index order. *)
+  let spec = Corpus.spec ~seed:42 ~count:30 () in
+  let s1, f1 = run_fingerprints ~jobs:1 spec in
+  let s4, f4 = run_fingerprints ~jobs:4 spec in
+  Alcotest.(check bool) "summaries equal" true (s1 = s4);
+  Alcotest.(check string) "rendered summaries byte-identical"
+    (Corpus.render_summary spec s1)
+    (Corpus.render_summary spec s4);
+  Alcotest.(check bool) "artifact streams equal" true (f1 = f4);
+  Alcotest.(check int) "all ok" 30 s1.ok;
+  Alcotest.(check int) "none crashed" 0
+    (s1.crashed + s1.timeouts + s1.quarantined)
+
+let test_streaming_order_and_counts () =
+  (* A batch far smaller than the corpus: on_result must still arrive
+     once per program, in index order, and the counters must add up. *)
+  let spec = Corpus.spec ~seed:5 ~count:17 () in
+  let seen = ref [] in
+  let summary =
+    Corpus.run_spec
+      ~engine:(Engine.sequential ())
+      ~batch:4
+      ~on_result:(fun o -> seen := o.benchmark.name :: !seen)
+      spec
+  in
+  let expected = List.init 17 (fun index -> Gen.name ~seed:5 ~index) in
+  Alcotest.(check (list string)) "stream in index order" expected
+    (List.rev !seen);
+  Alcotest.(check int) "total" 17 summary.total;
+  Alcotest.(check int) "counters partition the total" 17
+    (summary.ok + summary.crashed + summary.timeouts + summary.quarantined)
+
+let test_chain_histogram_shape () =
+  let summary =
+    Corpus.run_spec
+      ~engine:(Engine.sequential ())
+      (Corpus.spec ~seed:42 ~count:20 ())
+  in
+  Alcotest.(check bool) "has chains" true (summary.chains <> []);
+  Alcotest.(check bool) "dynamic ops positive" true (summary.dynamic_ops > 0);
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "histogram sorted descending" true
+    (sorted summary.chains);
+  List.iter
+    (fun (name, pct) ->
+      Alcotest.(check bool)
+        (name ^ " share within [0, 100]")
+        true
+        (pct >= 0.0 && pct <= 100.0))
+    summary.chains
+
+let test_spec_validation () =
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Corpus.spec: negative count") (fun () ->
+      ignore (Corpus.spec ~seed:1 ~count:(-1) ()));
+  let s = Corpus.spec ~seed:1 ~count:1 ~size:0 () in
+  Alcotest.(check int) "size clamped to 3" 3 s.size
+
+let suite =
+  [
+    ( "corpus",
+      [
+        Alcotest.test_case "sources deterministic" `Quick
+          test_source_deterministic;
+        Alcotest.test_case "names unique" `Quick test_names_unique;
+        Alcotest.test_case "programs trap-free" `Slow
+          test_programs_trap_free;
+        Alcotest.test_case "-j1/-j4 artifacts equal" `Slow
+          test_jobs_artifact_equality;
+        Alcotest.test_case "streaming order" `Quick
+          test_streaming_order_and_counts;
+        Alcotest.test_case "histogram shape" `Quick
+          test_chain_histogram_shape;
+        Alcotest.test_case "spec validation" `Quick test_spec_validation;
+      ] );
+  ]

@@ -96,14 +96,23 @@ let test_cache_corrupt_disk_entry_is_miss () =
   let dir = fresh_cache_dir () in
   let c1 : string Cache.t = Cache.create ~dir () in
   ignore (Cache.find_or_compute c1 ~key:"cafe" (fun () -> "good"));
-  (* Truncate the entry on disk: the fresh cache must fall back to
-     computing rather than crash. *)
-  (match Sys.readdir dir with
-  | [||] -> Alcotest.fail "expected a disk entry"
+  (* Truncate the entry on disk (entries live in digest-prefix
+     subdirectories): the fresh cache must fall back to computing rather
+     than crash. *)
+  let rec entry_files dir =
+    Array.to_list (Sys.readdir dir)
+    |> List.concat_map (fun f ->
+           let p = Filename.concat dir f in
+           if Sys.is_directory p then entry_files p
+           else if Filename.check_suffix p ".cache" then [ p ]
+           else [])
+  in
+  (match entry_files dir with
+  | [] -> Alcotest.fail "expected a disk entry"
   | files ->
-      Array.iter
+      List.iter
         (fun f ->
-          Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+          Out_channel.with_open_bin f (fun oc ->
               output_string oc "not marshal data"))
         files);
   let c2 : string Cache.t = Cache.create ~dir () in

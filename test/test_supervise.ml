@@ -280,11 +280,17 @@ let test_cross_check_clean_run_is_silent () =
 (* --- cache self-healing ------------------------------------------------- *)
 
 let entry_file dir =
-  match
+  (* Cache entries live in digest-prefix subdirectories of [dir]. *)
+  let rec walk dir =
     Array.to_list (Sys.readdir dir)
-    |> List.filter (fun f -> Filename.check_suffix f ".cache")
-  with
-  | [ f ] -> Filename.concat dir f
+    |> List.concat_map (fun f ->
+           let p = Filename.concat dir f in
+           if Sys.is_directory p then walk p
+           else if Filename.check_suffix p ".cache" then [ p ]
+           else [])
+  in
+  match walk dir with
+  | [ f ] -> f
   | l -> Alcotest.fail (Printf.sprintf "expected 1 entry, got %d" (List.length l))
 
 let corrupt_with f dir =
