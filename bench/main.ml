@@ -216,7 +216,7 @@ let engine_baseline ~path =
   let json =
     Printf.sprintf
       "{\n\
-      \  \"schema\": 4,\n\
+      \  \"schema_version\": 5,\n\
       \  \"recommended_domain_count\": %d,\n\
       \  \"jobs\": %d,\n\
       \  \"sequential_s\": %.6f,\n\
@@ -229,6 +229,7 @@ let engine_baseline ~path =
       \  \"warm_base_hits\": %d,\n\
       \  \"warm_sched_hits\": %d,\n\
       \  \"warm_misses\": %d,\n\
+      \  \"engine_stats\": %s,\n\
       \  \"corpus_programs\": %d,\n\
       \  \"corpus_s\": %.6f,\n\
       \  \"corpus_programs_per_s\": %.1f,\n\
@@ -241,6 +242,10 @@ let engine_baseline ~path =
       recommended best_jobs seq_s par_s par_speedup sweep_json cold_s warm_s
       verify_s warm.base.hits warm.sched.hits
       (warm.base.misses + warm.sched.misses)
+      (* the warm cache/supervise counters in the same shape (and via the
+         same encoder) as the service's stats op *)
+      (Asipfb_service.Json.to_string
+         (Asipfb_service.Api.engine_stats_to_json warm))
       corpus_programs corpus_s
       (float_of_int corpus_programs /. Float.max 1e-9 corpus_s)
       corpus_sum.dynamic_ops sim_ips sim_ref_ips sim_speedup

@@ -177,7 +177,7 @@ let cmd_optimize name level =
             sched.prog.funcs)
         (find_benchmark name))
 
-let cmd_detect name level length min_freq budget =
+let cmd_detect name level length min_freq budget json =
   wrap (fun () ->
       let* level = find_level level in
       Result.map
@@ -187,6 +187,11 @@ let cmd_detect name level length min_freq budget =
             Asipfb.Pipeline.detect_report a
               (Asipfb.Pipeline.Query.make ~length ~min_freq ?budget level)
           in
+          if json then
+            print_endline
+              (Asipfb_service.Json.to_string
+                 (Asipfb_service.Api.detect_report_to_json r))
+          else begin
           let ds = r.Asipfb_chain.Detect.detections in
           (match r.completeness with
           | Asipfb_chain.Detect.Exact -> ()
@@ -208,10 +213,11 @@ let cmd_detect name level length min_freq budget =
                  [ Asipfb_report.Table.Left; Asipfb_report.Table.Right;
                    Asipfb_report.Table.Right ]
                ~headers:[ "Sequence"; "Frequency"; "Occurrences" ]
-               ~rows ()))
+               ~rows ())
+          end)
         (find_benchmark name))
 
-let cmd_coverage name level budget =
+let cmd_coverage name level budget json =
   wrap (fun () ->
       let* level = find_level level in
       Result.map
@@ -221,18 +227,24 @@ let cmd_coverage name level budget =
             Asipfb.Pipeline.coverage a
               (Asipfb.Pipeline.Query.make ?budget level)
           in
-          List.iter
-            (fun (p : Asipfb_chain.Coverage.pick) ->
-              Printf.printf "%-30s %6.2f%%\n"
-                (Asipfb_chain.Chainop.sequence_name p.pick_classes)
-                p.pick_freq)
-            r.picks;
-          let tag =
-            match r.completeness with
-            | Asipfb_chain.Detect.Exact -> ""
-            | Asipfb_chain.Detect.Budget_truncated -> " (budget-truncated)"
-          in
-          Printf.printf "coverage = %.2f%%%s\n" r.coverage tag)
+          if json then
+            print_endline
+              (Asipfb_service.Json.to_string
+                 (Asipfb_service.Api.coverage_to_json r))
+          else begin
+            List.iter
+              (fun (p : Asipfb_chain.Coverage.pick) ->
+                Printf.printf "%-30s %6.2f%%\n"
+                  (Asipfb_chain.Chainop.sequence_name p.pick_classes)
+                  p.pick_freq)
+              r.picks;
+            let tag =
+              match r.completeness with
+              | Asipfb_chain.Detect.Exact -> ""
+              | Asipfb_chain.Detect.Budget_truncated -> " (budget-truncated)"
+            in
+            Printf.printf "coverage = %.2f%%%s\n" r.coverage tag
+          end)
         (find_benchmark name))
 
 let cmd_design name area dot =
@@ -272,14 +284,17 @@ let artifact_names =
     "ablation_cleanup"; "codegen"; "ablation_motion"; "opmix"; "extra";
     "validation_unroll" ]
 
-(* Write the machine-readable error report (a JSON array of structured
-   diagnostics; empty when the run was clean). *)
+(* Write the machine-readable error report — the Service.Api diagnostics
+   envelope, so file reports, lint --json, and daemon error frames all
+   speak the same schema (DESIGN §14). *)
 let write_diag_json path diags =
   match path with
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc (Asipfb_diag.Diag.report_to_json diags);
+      output_string oc
+        (Asipfb_service.Json.to_string
+           (Asipfb_service.Api.diag_report_to_json diags));
       output_char oc '\n';
       close_out oc
 
@@ -578,7 +593,10 @@ let cmd_lint name json strict opts timings =
           (fun (a : Asipfb.Pipeline.analysis) -> a.verify)
           r.analyses
       in
-      if json then print_endline (Asipfb_diag.Diag.report_to_json findings)
+      if json then
+        print_endline
+          (Asipfb_service.Json.to_string
+             (Asipfb_service.Api.findings_to_json findings))
       else begin
         List.iter
           (fun d -> print_endline (Asipfb_diag.Diag.to_string d))
@@ -599,8 +617,8 @@ let cmd_lint name json strict opts timings =
 (* Corpus scale-out: generate a seeded mini-C population and stream it
    through the full pipeline (detect→sched→sim→verify) on the engine,
    under the same supervision policy as the curated suite. *)
-let cmd_corpus seed count size print_index level length top verify diag_json
-    opts timings =
+let cmd_corpus seed count size print_index level length top verify json
+    diag_json opts timings =
   wrap (fun () ->
       match print_index with
       | Some index ->
@@ -645,7 +663,12 @@ let cmd_corpus seed count size print_index level length top verify diag_json
           let summary =
             Asipfb_corpus.Corpus.run_spec ~engine ~verify ~query ~on_result sp
           in
-          print_string (Asipfb_corpus.Corpus.render_summary ~top sp summary);
+          if json then
+            print_endline
+              (Asipfb_service.Json.to_string
+                 (Asipfb_service.Api.corpus_summary_to_json sp summary))
+          else
+            print_string (Asipfb_corpus.Corpus.render_summary ~top sp summary);
           let supervise_diags =
             Asipfb_supervise.Supervise.report
               (Asipfb_engine.Engine.supervisor engine)
@@ -696,6 +719,14 @@ let corpus_cmd =
          & info [ "top" ] ~docv:"N"
              ~doc:"Chain-histogram lines to print in the summary.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Print the run summary as JSON (the service schema's \
+                corpus-summary object) instead of the human-readable \
+                report.")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -731,8 +762,8 @@ let corpus_cmd =
          "Generate a seeded mini-C corpus and analyze it at scale on \
           the parallel engine.")
     Term.(const cmd_corpus $ seed $ count $ size $ print_index $ level_arg
-          $ length_arg $ top $ verify_arg $ diag_json_arg $ engine_opts_term
-          $ timings_arg)
+          $ length_arg $ top $ verify_arg $ json $ diag_json_arg
+          $ engine_opts_term $ timings_arg)
 
 let lint_cmd =
   let benchmark =
@@ -755,6 +786,242 @@ let lint_cmd =
           the schedule-legality proof at every optimization level.")
     Term.(const cmd_lint $ benchmark $ json $ strict $ engine_opts_term
           $ timings_arg)
+
+(* --- analysis service: serve + client ------------------------------------ *)
+
+module Service = Asipfb_service
+
+let socket_arg =
+  let doc = "Path of the daemon's Unix-domain socket." in
+  Arg.(value & opt string "asipfb.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+(* Hold the engine warm across requests: repeated questions hit the
+   daemon's response memo, identical concurrent questions coalesce, and
+   everything else lands in the engine's content-keyed analysis cache. *)
+let cmd_serve socket workers verbose opts =
+  wrap (fun () ->
+      let* () =
+        if workers < 1 then Error "--workers must be at least 1" else Ok ()
+      in
+      let* engine = make_engine opts in
+      let log =
+        if verbose then
+          Some (fun line -> Printf.eprintf "asipfb[serve]: %s\n%!" line)
+        else None
+      in
+      let server = Service.Server.create ~engine ?log () in
+      let stop _ = Service.Server.request_stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      (* A client vanishing mid-response must surface as EPIPE in the
+         worker (handled per-connection), not kill the daemon. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Service.Server.serve server
+        ~on_ready:(fun () ->
+          Printf.eprintf "asipfb: serving on %s (%d worker(s))\n%!" socket
+            workers)
+        ~socket ~workers ())
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N"
+             ~doc:
+               "Accept-loop worker domains (= maximum concurrently served \
+                connections; excess connections wait in the listen \
+                backlog).")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ]
+             ~doc:"Log one line per handled frame to stderr.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Run the analysis daemon: bind a Unix-domain socket and answer \
+         newline-delimited JSON request frames (DESIGN §14) with one warm \
+         engine shared across requests and clients — compiled benchmark \
+         analyses, the content-keyed cache, and supervision state stay \
+         resident, so repeated queries skip recomputation entirely.";
+      `P
+        "Responses carry a cache tag: $(b,miss) (computed fresh), \
+         $(b,hit) (served from the completed-response memo), $(b,join) \
+         (coalesced with an identical in-flight computation), or \
+         $(b,none) (nothing cacheable).  Response payloads are \
+         byte-identical to the offline CLI's $(b,--json) output for the \
+         same query.";
+      `P
+        "The daemon refuses to start when the socket is already served \
+         by a live daemon, takes over a stale socket left by a killed \
+         one, and removes the socket file on shutdown (including \
+         SIGINT/SIGTERM).  Stop it with $(b,asipfb client shutdown).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man
+       ~doc:"Run the analysis daemon on a Unix-domain socket.")
+    Term.(const cmd_serve $ socket_arg $ workers $ verbose
+          $ engine_opts_term)
+
+let meta_arg =
+  let doc =
+    "Print response metadata (the cache status: miss, hit, join, none) \
+     to stderr."
+  in
+  Arg.(value & flag & info [ "meta" ] ~doc)
+
+let render_payload (p : Service.Api.payload) =
+  let json j = print_endline (Service.Json.to_string j) in
+  match p with
+  | Service.Api.Pong ->
+      print_endline "pong";
+      Ok ()
+  | Service.Api.Stopping ->
+      print_endline "stopping";
+      Ok ()
+  | Service.Api.Detect_result r ->
+      json (Service.Api.detect_report_to_json r);
+      Ok ()
+  | Service.Api.Coverage_result r ->
+      json (Service.Api.coverage_to_json r);
+      Ok ()
+  | Service.Api.Findings ds ->
+      json (Service.Api.findings_to_json ds);
+      Ok ()
+  | Service.Api.Stats_result s ->
+      json (Service.Api.stats_to_json s);
+      Ok ()
+  | Service.Api.Sample { source; _ } ->
+      print_string source;
+      Ok ()
+
+let run_client socket meta req =
+  let* c = Service.Client.connect ~socket in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.close c)
+    (fun () ->
+      let* (r : Service.Api.response) = Service.Client.rpc c req in
+      if meta then
+        Printf.eprintf "asipfb: cache=%s\n"
+          (Service.Api.cache_status_to_string r.cache);
+      match r.body with
+      | Ok payload -> render_payload payload
+      | Error d -> Error (Asipfb_diag.Diag.to_string d))
+
+let cmd_client_simple req socket meta =
+  wrap (fun () -> run_client socket meta req)
+
+let cmd_client_detect name level length min_freq budget socket meta =
+  wrap (fun () ->
+      let* level = find_level level in
+      let query =
+        Asipfb.Pipeline.Query.make ~length ~min_freq ?budget level
+      in
+      run_client socket meta
+        (Service.Api.Detect { benchmark = name; query }))
+
+let cmd_client_coverage name level budget socket meta =
+  wrap (fun () ->
+      let* level = find_level level in
+      let query = Asipfb.Pipeline.Query.make ?budget level in
+      run_client socket meta
+        (Service.Api.Coverage { benchmark = name; query }))
+
+let cmd_client_verify name mode socket meta =
+  wrap (fun () ->
+      let* mode =
+        match mode with
+        | "ir" -> Ok `Ir
+        | "full" -> Ok `Full
+        | s ->
+            Error
+              (Printf.sprintf "invalid verify mode %S (expected ir or full)"
+                 s)
+      in
+      run_client socket meta (Service.Api.Verify { benchmark = name; mode }))
+
+let cmd_client_lint name socket meta =
+  wrap (fun () ->
+      run_client socket meta (Service.Api.Lint { benchmark = name }))
+
+let cmd_client_corpus_sample seed index size socket meta =
+  wrap (fun () ->
+      run_client socket meta
+        (Service.Api.Corpus_sample { seed; index; size }))
+
+let client_cmd =
+  let simple name ~doc req =
+    Cmd.v (Cmd.info name ~doc)
+      Term.(const (cmd_client_simple req) $ socket_arg $ meta_arg)
+  in
+  let verify_mode =
+    Arg.(value & opt string "full"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Verifier depth: $(b,ir) or $(b,full).")
+  in
+  let lint_benchmark =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Benchmark to lint (default: the whole suite).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Corpus PRNG seed.")
+  in
+  let index =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"INDEX"
+           ~doc:"Corpus program index to regenerate.")
+  in
+  let size =
+    Arg.(value & opt (some int) None & info [ "size" ] ~docv:"STMTS"
+           ~doc:"Maximum statements per program body.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Send one request frame to a running $(b,asipfb serve) daemon \
+         and print the response: analysis payloads as JSON \
+         (byte-identical to the offline $(b,--json) output for the same \
+         query), corpus samples as mini-C source.  A structured error \
+         response becomes a one-line message and exit 1.";
+    ]
+  in
+  Cmd.group (Cmd.info "client" ~man ~doc:"Query a running analysis daemon.")
+    [
+      simple "ping" ~doc:"Liveness probe." Service.Api.Ping;
+      simple "stats"
+        ~doc:"Engine cache/supervision counters and service counters."
+        Service.Api.Stats;
+      simple "shutdown" ~doc:"Ask the daemon to exit cleanly."
+        Service.Api.Shutdown;
+      Cmd.v
+        (Cmd.info "detect"
+           ~doc:"Detect chainable sequences via the daemon.")
+        Term.(const cmd_client_detect $ benchmark_arg $ level_arg
+              $ length_arg $ min_freq_arg $ budget_arg $ socket_arg
+              $ meta_arg);
+      Cmd.v
+        (Cmd.info "coverage"
+           ~doc:"Iterative sequence coverage via the daemon.")
+        Term.(const cmd_client_coverage $ benchmark_arg $ level_arg
+              $ budget_arg $ socket_arg $ meta_arg);
+      Cmd.v
+        (Cmd.info "verify" ~doc:"Static verification via the daemon.")
+        Term.(const cmd_client_verify $ benchmark_arg $ verify_mode
+              $ socket_arg $ meta_arg);
+      Cmd.v
+        (Cmd.info "lint"
+           ~doc:"Full-suite (or one-benchmark) lint via the daemon.")
+        Term.(const cmd_client_lint $ lint_benchmark $ socket_arg
+              $ meta_arg);
+      Cmd.v
+        (Cmd.info "corpus-sample"
+           ~doc:"Regenerate one corpus program's source via the daemon.")
+        Term.(const cmd_client_corpus_sample $ seed $ index $ size
+              $ socket_arg $ meta_arg);
+    ]
 
 (* --- command wiring ------------------------------------------------------ *)
 
@@ -812,17 +1079,25 @@ let optimize_cmd =
        ~doc:"Optimize a benchmark and print the transformed code (step 3).")
     Term.(const cmd_optimize $ benchmark_arg $ level_arg)
 
+let result_json_arg =
+  let doc =
+    "Print the result as JSON (the service wire schema; byte-identical \
+     to the daemon's response payload for the same query)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Detect chainable operation sequences (step 4).")
     Term.(const cmd_detect $ benchmark_arg $ level_arg $ length_arg
-          $ min_freq_arg $ budget_arg)
+          $ min_freq_arg $ budget_arg $ result_json_arg)
 
 let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage" ~doc:"Iterative sequence coverage (section 7).")
-    Term.(const cmd_coverage $ benchmark_arg $ level_arg $ budget_arg)
+    Term.(const cmd_coverage $ benchmark_arg $ level_arg $ budget_arg
+          $ result_json_arg)
 
 let design_cmd =
   let dot =
@@ -873,6 +1148,6 @@ let main =
   Cmd.group (Cmd.info "asipfb" ~version:"1.0.0" ~doc)
     [ list_cmd; compile_cmd; check_cmd; lint_cmd; simulate_cmd; optimize_cmd;
       detect_cmd; coverage_cmd; design_cmd; report_cmd; export_cmd;
-      corpus_cmd ]
+      corpus_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -67,17 +67,6 @@ let coverage ?(config = Coverage.default_config) t (q : Query.t) =
   Metrics.timed Metrics.global "coverage" (fun () ->
       Coverage.analyze config (sched t q.level) ~profile:t.profile)
 
-(* --- deprecated pre-Query entry points (one PR cycle) ------------------- *)
-
-let detect_legacy t ~level ~length ?min_freq ?budget () =
-  detect t (Query.make ~length ?min_freq ?budget level)
-
-let detect_report_legacy t ~level ~length ?min_freq ?budget () =
-  detect_report t (Query.make ~length ?min_freq ?budget level)
-
-let coverage_legacy t ~level ?(config = Coverage.default_config) () =
-  coverage ~config t (Query.make level)
-
 (* --- structured-diagnostic conversion ----------------------------------- *)
 
 (* Normalise any exception a pipeline stage can raise into a structured
@@ -203,9 +192,3 @@ let run_suite ?engine ?verify ?faults
           (run_results ~engine ?verify ?faults ~benchmarks ())
       in
       { analyses = List.rev analyses; failures = List.rev failures }
-
-(* --- deprecated pre-engine suite entry points --------------------------- *)
-
-let suite () = (run_suite ~on_error:`Raise ()).analyses
-let suite_resilient ?faults ?benchmarks () =
-  run_suite ?faults ?benchmarks ~on_error:`Isolate ()

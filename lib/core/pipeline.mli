@@ -67,36 +67,6 @@ val coverage :
     [config.budget] when set ([q.length] and [q.min_freq] are not used —
     coverage explores [config.lengths]). *)
 
-(** {1 Deprecated pre-Query entry points} *)
-
-val detect_legacy :
-  analysis ->
-  level:Asipfb_sched.Opt_level.t ->
-  length:int ->
-  ?min_freq:float ->
-  ?budget:int ->
-  unit ->
-  Asipfb_chain.Detect.detected list
-[@@ocaml.deprecated "Use Pipeline.detect with a Pipeline.Query.t."]
-
-val detect_report_legacy :
-  analysis ->
-  level:Asipfb_sched.Opt_level.t ->
-  length:int ->
-  ?min_freq:float ->
-  ?budget:int ->
-  unit ->
-  Asipfb_chain.Detect.report
-[@@ocaml.deprecated "Use Pipeline.detect_report with a Pipeline.Query.t."]
-
-val coverage_legacy :
-  analysis ->
-  level:Asipfb_sched.Opt_level.t ->
-  ?config:Asipfb_chain.Coverage.config ->
-  unit ->
-  Asipfb_chain.Coverage.result
-[@@ocaml.deprecated "Use Pipeline.coverage with a Pipeline.Query.t."]
-
 (** {1 Structured diagnostics} *)
 
 val diag_of_exn_opt : exn -> Asipfb_diag.Diag.t option
@@ -175,15 +145,3 @@ val run_suite :
     deterministic.  Per-benchmark fault streams are derived from
     [faults.seed] and the benchmark name, so a fixed seed reproduces the
     same failures regardless of suite order, subset, or parallelism. *)
-
-(** {1 Deprecated pre-engine suite entry points} *)
-
-val suite : unit -> analysis list
-[@@ocaml.deprecated "Use Pipeline.run_suite ~on_error:`Raise."]
-
-val suite_resilient :
-  ?faults:Asipfb_sim.Fault.config ->
-  ?benchmarks:Asipfb_bench_suite.Benchmark.t list ->
-  unit ->
-  suite_report
-[@@ocaml.deprecated "Use Pipeline.run_suite ~on_error:`Isolate."]

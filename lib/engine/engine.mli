@@ -78,6 +78,12 @@ val sequential : unit -> t
 
 val jobs : t -> int
 
+val schema_revision : string
+(** The engine payload schema revision (e.g. ["asipfb-engine-3"]) — a
+    component of every content key, exported so external surfaces (the
+    service daemon's [stats] response, the bench baseline) can report
+    which analysis schema produced their numbers. *)
+
 val supervisor : t -> Asipfb_supervise.Supervise.t
 (** The engine's supervisor — source of the retry/quarantine/degradation
     event report and counters. *)

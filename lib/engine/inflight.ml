@@ -1,0 +1,73 @@
+(* Single-flight coalescing: first caller per key computes, overlapping
+   callers block on a condition variable and share the result.  The
+   entry lives only while the computation is in flight — completed
+   results are the caller's to memoize. *)
+
+type 'a state =
+  | Running
+  | Finished of ('a, exn) result
+
+type 'a entry = { mutable state : 'a state; done_cond : Condition.t }
+
+type 'a t = {
+  mu : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable led : int;
+  mutable joined : int;
+}
+
+type outcome = Led | Joined
+
+type stats = { led : int; joined : int }
+
+let create () =
+  { mu = Mutex.create (); table = Hashtbl.create 16; led = 0; joined = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let run t ~key f =
+  let role =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+            t.joined <- t.joined + 1;
+            `Join e
+        | None ->
+            let e = { state = Running; done_cond = Condition.create () } in
+            Hashtbl.replace t.table key e;
+            t.led <- t.led + 1;
+            `Lead e)
+  in
+  match role with
+  | `Lead e ->
+      let result = try Ok (f ()) with exn -> Error exn in
+      (* Publish before removing: a caller that found the entry is
+         either already waiting on [done_cond] or about to; removal only
+         stops *new* callers from joining a finished flight. *)
+      locked t (fun () ->
+          e.state <- Finished result;
+          Condition.broadcast e.done_cond;
+          Hashtbl.remove t.table key);
+      (match result with Ok v -> (v, Led) | Error exn -> raise exn)
+  | `Join e -> (
+      let result =
+        locked t (fun () ->
+            let rec wait () =
+              match e.state with
+              | Running ->
+                  Condition.wait e.done_cond t.mu;
+                  wait ()
+              | Finished r -> r
+            in
+            wait ())
+      in
+      match result with Ok v -> (v, Joined) | Error exn -> raise exn)
+
+let stats t = locked t (fun () -> { led = t.led; joined = t.joined })
+
+let reset_stats t =
+  locked t (fun () ->
+      t.led <- 0;
+      t.joined <- 0)

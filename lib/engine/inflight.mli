@@ -1,0 +1,41 @@
+(** Single-flight coalescing of identical concurrent computations.
+
+    A table of in-flight computations keyed by content digest: the first
+    caller of a fresh key becomes the {e leader} and runs the thunk;
+    every caller that arrives with the same key while the leader is
+    still running becomes a {e joiner} and blocks until the leader
+    finishes, then shares its result (or its exception).  The entry is
+    removed once the leader completes, so coalescing applies only to
+    {e overlapping} calls — memoization of completed results is the
+    caller's concern (the service daemon layers a response memo on
+    top; the engine's {!Cache} is the analysis-level memo).
+
+    This is the dedup hook behind the analysis service: N clients asking
+    the same question while it is being computed cost one analysis.
+    Keys follow the same digest scheme as {!Engine.source_key} /
+    {!Engine.sched_key}, so "identical request" means "identical
+    content", not "identical bytes on the wire".
+
+    Thread-safe across domains; the thunk runs outside the table lock. *)
+
+type 'a t
+
+type outcome =
+  | Led  (** This caller ran the thunk. *)
+  | Joined  (** This caller waited for a concurrent leader's result. *)
+
+val create : unit -> 'a t
+
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a * outcome
+(** [run t ~key f] returns [f ()]'s value, computing it at most once
+    across all callers whose [run] overlaps.  If the leader's [f]
+    raises, every joiner re-raises the same exception; the entry is
+    removed either way, so a later call retries fresh. *)
+
+type stats = {
+  led : int;  (** Computations actually run. *)
+  joined : int;  (** Callers served by coalescing with a leader. *)
+}
+
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit

@@ -1,0 +1,58 @@
+(* Wire-protocol client: one request line out, one response line in. *)
+
+type t = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (* bytes read past the last returned line *)
+  chunk : Bytes.t;
+}
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; pending = Buffer.create 1024; chunk = Bytes.create 4096 }
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s (is the daemon running?)"
+           socket (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let read_line t =
+  let rec take () =
+    let s = Buffer.contents t.pending in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear t.pending;
+        Buffer.add_substring t.pending s (i + 1) (String.length s - i - 1);
+        Ok (String.sub s 0 i)
+    | None -> (
+        match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> Error "daemon closed the connection before responding"
+        | n ->
+            Buffer.add_subbytes t.pending t.chunk 0 n;
+            take ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+        | exception Unix.Unix_error (err, _, _) ->
+            Error (Printf.sprintf "read failed: %s" (Unix.error_message err)))
+  in
+  take ()
+
+let rpc_raw t line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  match write_all t.fd bytes 0 (Bytes.length bytes) with
+  | () -> read_line t
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "write failed: %s" (Unix.error_message err))
+
+let rpc t ?id req =
+  Result.bind (rpc_raw t (Api.encode_request ?id req)) Api.decode_response

@@ -1,0 +1,21 @@
+(** Client side of the wire protocol: connect to a daemon's Unix-domain
+    socket, send one {!Api.request} per call, read one response line.
+
+    Used by the [asipfb client] subcommand and the protocol tests.  All
+    failures are [Error] strings (connection refused, daemon gone,
+    malformed response) — callers render them as one-line CLI errors. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+(** Connect to a listening daemon.  A missing or dead socket is a
+    one-line [Error], not an exception. *)
+
+val close : t -> unit
+
+val rpc : t -> ?id:string -> Api.request -> (Api.response, string) result
+(** Send one request frame and block for its response frame. *)
+
+val rpc_raw : t -> string -> (string, string) result
+(** Send an arbitrary pre-encoded line and return the raw response line
+    — the malformed-frame test hook. *)

@@ -11,11 +11,12 @@ The whole suite verifies clean under --strict (exit 0):
   $ asipfb lint --strict
   0 finding(s) across 12 benchmark(s) (36 schedule(s) verified)
 
---json emits the machine-readable diagnostic report (an empty JSON
-array when the run is clean) instead of the human summary:
+--json emits the machine-readable findings object (the service wire
+schema, with an empty findings list when the run is clean) instead of
+the human summary:
 
   $ asipfb lint fir --json
-  []
+  {"kind":"findings","schema_version":1,"findings":[]}
 
 An unknown benchmark is a one-line error, exit 1:
 

@@ -1,0 +1,32 @@
+Analysis-service error paths: every failure is a clean one-line
+"asipfb:" message with exit 1 — no backtraces, no stale socket files.
+
+A client pointed at a socket nobody serves:
+
+  $ asipfb client ping --socket no-daemon.sock
+  asipfb: cannot connect to no-daemon.sock: No such file or directory (is the daemon running?)
+  [1]
+
+The daemon refuses to replace a path that is not a socket (it will
+never delete a user's regular file):
+
+  $ touch not-a-socket
+  $ asipfb serve --socket not-a-socket
+  asipfb: refusing to replace not-a-socket: not a socket
+  [1]
+  $ test -f not-a-socket
+
+A full serve/shutdown cycle answers a ping and removes the socket
+file on exit (stale-socket takeover is exercised by
+scripts/serve_smoke.sh, which kills a daemon with SIGKILL first):
+
+  $ asipfb serve --socket live.sock --workers 1 2>/dev/null &
+  > SERVE_PID=$!
+  > for _ in $(seq 100); do test -S live.sock && break; sleep 0.1; done
+  > asipfb client ping --socket live.sock
+  > asipfb client shutdown --socket live.sock
+  > wait $SERVE_PID
+  pong
+  stopping
+  $ test -e live.sock
+  [1]

