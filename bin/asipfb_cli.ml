@@ -439,9 +439,10 @@ let print_timings engine =
 let verify_arg =
   let doc =
     "Run the static verifier during analysis: $(b,off), $(b,ir) (mini-C \
-     lint + IR dataflow checks), or $(b,full) (adds the per-level \
-     schedule-legality proof).  Findings go to stderr and to the \
-     $(b,--diag-json) report."
+     lint + IR dataflow checks), $(b,full) (adds the per-level \
+     schedule-legality proof), or $(b,tv) (adds the per-level semantic \
+     refinement proof with counterexample search).  Findings go to \
+     stderr and to the $(b,--diag-json) report."
   in
   Arg.(value & opt string "off" & info [ "verify" ] ~docv:"MODE" ~doc)
 
@@ -450,10 +451,11 @@ let find_verify_mode s : (Asipfb_engine.Engine.verify_mode, string) result =
   | "off" -> Ok `Off
   | "ir" -> Ok `Ir
   | "full" -> Ok `Full
+  | "tv" -> Ok `Tv
   | s ->
       Error
-        (Printf.sprintf "invalid verify mode %S (expected off, ir, or full)"
-           s)
+        (Printf.sprintf
+           "invalid verify mode %S (expected off, ir, full, or tv)" s)
 
 (* Full-suite analysis for report/export.  With [--keep-going] a broken
    benchmark is isolated: its diagnostic goes to stderr (and the JSON
@@ -787,6 +789,120 @@ let lint_cmd =
     Term.(const cmd_lint $ benchmark $ json $ strict $ engine_opts_term
           $ timings_arg)
 
+(* Translation validation as its own subcommand: prove (or refute, with
+   a counterexample) that each scheduled program refines its original.
+   --corrupt deliberately mutates the schedule first — the self-test the
+   CI smoke gate runs to check the checker still rejects. *)
+let cmd_equiv name level corrupt seed =
+  let module Equiv = Asipfb_verify.Equiv in
+  let module Mutate = Asipfb_verify.Mutate in
+  wrap (fun () ->
+      let* benchmarks =
+        match name with
+        | None -> Ok Asipfb_bench_suite.Registry.all
+        | Some n -> Result.map (fun b -> [ b ]) (find_benchmark n)
+      in
+      let* levels =
+        match level with
+        | None -> Ok Asipfb_sched.Opt_level.all
+        | Some s -> Result.map (fun l -> [ l ]) (find_level s)
+      in
+      let* kind =
+        match corrupt with
+        | None -> Ok None
+        | Some s -> (
+            match
+              List.find_opt
+                (fun k -> Mutate.kind_to_string k = s)
+                Mutate.all
+            with
+            | Some k -> Ok (Some k)
+            | None ->
+                Error
+                  (Printf.sprintf "invalid corruption %S (expected %s)" s
+                     (String.concat ", "
+                        (List.map Mutate.kind_to_string Mutate.all))))
+      in
+      let failed = ref 0 in
+      List.iter
+        (fun (b : Asipfb_bench_suite.Benchmark.t) ->
+          let original = Asipfb_bench_suite.Benchmark.compile b in
+          List.iter
+            (fun lvl ->
+              let tag =
+                Printf.sprintf "%s %s" b.name
+                  (Asipfb_sched.Opt_level.to_string lvl)
+              in
+              let sched =
+                Asipfb_sched.Schedule.optimize ~level:lvl original
+              in
+              match
+                match kind with
+                | None -> Some sched.prog
+                | Some k -> Mutate.apply ~seed k sched.prog
+              with
+              | None ->
+                  incr failed;
+                  Printf.printf "%s: no mutation site for --corrupt\n" tag
+              | Some transformed -> (
+                  match Equiv.check ~original ~transformed () with
+                  | Equiv.Refines -> Printf.printf "%s: refines\n" tag
+                  | Equiv.Fails { failures; counterexample } ->
+                      incr failed;
+                      Printf.printf "%s: FAILS (%d obligation(s))\n" tag
+                        (List.length failures);
+                      List.iter
+                        (fun f ->
+                          Printf.printf "  %s\n"
+                            (Equiv.failure_to_string f))
+                        failures;
+                      Option.iter
+                        (fun (cx : Equiv.counterexample) ->
+                          Printf.printf
+                            "  counterexample (attempt %d%s): %s\n"
+                            cx.cx_attempt
+                            (if cx.cx_ref_confirmed then ", ref-confirmed"
+                             else "")
+                            cx.cx_divergence)
+                        counterexample))
+            levels)
+        benchmarks;
+      Printf.printf "%d pair(s) checked, %d refinement failure(s)\n"
+        (List.length benchmarks * List.length levels)
+        !failed;
+      if !failed > 0 then
+        Error (Printf.sprintf "equiv: %d refinement failure(s)" !failed)
+      else Ok ())
+
+let equiv_cmd =
+  let benchmark =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Benchmark to validate (default: the whole suite).")
+  in
+  let level =
+    Arg.(value & opt (some string) None
+         & info [ "O"; "level" ] ~docv:"LEVEL"
+             ~doc:"Optimization level to validate (default: all three).")
+  in
+  let corrupt =
+    Arg.(value & opt (some string) None
+         & info [ "corrupt" ] ~docv:"KIND"
+             ~doc:
+               "Deliberately corrupt the schedule before checking \
+                ($(b,swap-deps), $(b,drop-copy), $(b,retarget-jump), or \
+                $(b,edit-const)) — the checker must then reject.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Mutation-site PRNG seed for $(b,--corrupt).")
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Translation validation: prove each scheduled program refines \
+          its original, or refute with a concrete counterexample trace.")
+    Term.(const cmd_equiv $ benchmark $ level $ corrupt $ seed)
+
 (* --- analysis service: serve + client ------------------------------------ *)
 
 module Service = Asipfb_service
@@ -893,6 +1009,9 @@ let render_payload (p : Service.Api.payload) =
   | Service.Api.Stats_result s ->
       json (Service.Api.stats_to_json s);
       Ok ()
+  | Service.Api.Tv_result v ->
+      json (Service.Api.equiv_verdict_to_json v);
+      Ok ()
   | Service.Api.Sample { source; _ } ->
       print_string source;
       Ok ()
@@ -935,10 +1054,11 @@ let cmd_client_verify name mode socket meta =
         match mode with
         | "ir" -> Ok `Ir
         | "full" -> Ok `Full
+        | "tv" -> Ok `Tv
         | s ->
             Error
-              (Printf.sprintf "invalid verify mode %S (expected ir or full)"
-                 s)
+              (Printf.sprintf
+                 "invalid verify mode %S (expected ir, full, or tv)" s)
       in
       run_client socket meta (Service.Api.Verify { benchmark = name; mode }))
 
@@ -959,7 +1079,7 @@ let client_cmd =
   let verify_mode =
     Arg.(value & opt string "full"
          & info [ "mode" ] ~docv:"MODE"
-             ~doc:"Verifier depth: $(b,ir) or $(b,full).")
+             ~doc:"Verifier depth: $(b,ir), $(b,full), or $(b,tv).")
   in
   let lint_benchmark =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
@@ -1146,8 +1266,8 @@ let report_cmd =
 let main =
   let doc = "compiler feedback for ASIP design (DATE 1995 reproduction)" in
   Cmd.group (Cmd.info "asipfb" ~version:"1.0.0" ~doc)
-    [ list_cmd; compile_cmd; check_cmd; lint_cmd; simulate_cmd; optimize_cmd;
-      detect_cmd; coverage_cmd; design_cmd; report_cmd; export_cmd;
-      corpus_cmd; serve_cmd; client_cmd ]
+    [ list_cmd; compile_cmd; check_cmd; lint_cmd; equiv_cmd; simulate_cmd;
+      optimize_cmd; detect_cmd; coverage_cmd; design_cmd; report_cmd;
+      export_cmd; corpus_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -57,6 +57,11 @@ let sched_key (b : Benchmark.t) level =
 let verify_ir_key (b : Benchmark.t) =
   key [ schema_revision; "verify-ir"; b.name; b.source ]
 
+let verify_tv_key (b : Benchmark.t) level =
+  key
+    [ schema_revision; "verify-tv"; b.name; b.source;
+      Opt_level.to_string level ]
+
 let verify_sched_key (b : Benchmark.t) level =
   key
     [ schema_revision; "verify-sched"; b.name; b.source;
@@ -183,6 +188,15 @@ let verify_sched_for t (b : Benchmark.t) prog level sched =
       Metrics.timed Metrics.global "verify" (fun () ->
           Asipfb_verify.Verify.check_schedule ~original:prog sched))
 
+(* Translation validation is the most expensive checker, so it gets its
+   own metrics stage (and cache key family) rather than folding into
+   "verify". *)
+let verify_tv_for t (b : Benchmark.t) prog level sched =
+  Cache.find_or_compute t.verify_cache ~key:(verify_tv_key b level)
+    (fun () ->
+      Metrics.timed Metrics.global "verify-tv" (fun () ->
+          Asipfb_verify.Verify.check_refinement ~original:prog sched))
+
 let analyze_all t ?(verify = `Off) ?faults benchmarks =
   let bs = Array.of_list benchmarks in
   (* Every task body runs under the supervisor: retry/backoff for
@@ -230,13 +244,15 @@ let analyze_all t ?(verify = `Off) ?faults benchmarks =
                  (fun _ctx -> sched_for t b base.prog levels.(li))))
   in
   (* Phase 3 (optional): verify tasks — per benchmark for the IR checks,
-     plus per (benchmark, level) for the legality proof under [`Full].
-     Laid out as [nb] IR slots followed by [nb × nl] legality slots. *)
+     plus per (benchmark, level) for the legality proof under [`Full],
+     plus per (benchmark, level) for translation validation under [`Tv].
+     Laid out as [nb] IR slots, then [nb × nl] legality slots, then
+     [nb × nl] refinement slots. *)
   let nb = Array.length bs in
   let verify_results =
     match verify with
     | `Off -> [||]
-    | (`Ir | `Full) as mode ->
+    | (`Ir | `Full | `Tv) as mode ->
         let ir_task bi () =
           match bases.(bi) with
           | Error _ -> Error Exit
@@ -245,24 +261,31 @@ let analyze_all t ?(verify = `Off) ?faults benchmarks =
               supervised ~group:b.name ~name:("verify-ir:" ^ b.name)
                 (fun _ctx -> verify_ir_for t b base.prog)
         in
-        let sched_task idx () =
+        let per_level_task label run idx () =
           let bi = idx / nl and li = idx mod nl in
           match (bases.(bi), sched_results.((bi * nl) + li)) with
           | Ok base, Ok s ->
               let b = bs.(bi) in
               supervised ~group:b.name
                 ~name:
-                  (Printf.sprintf "verify-sched:%s@%s" b.name
+                  (Printf.sprintf "%s:%s@%s" label b.name
                      (Opt_level.to_string levels.(li)))
-                (fun _ctx -> verify_sched_for t b base.prog levels.(li) s)
+                (fun _ctx -> run b base.prog levels.(li) s)
           | _ -> Error Exit
         in
+        let sched_task = per_level_task "verify-sched" (verify_sched_for t) in
+        let tv_task = per_level_task "verify-tv" (verify_tv_for t) in
         let tasks =
           match mode with
           | `Ir -> Array.init nb ir_task
           | `Full ->
               Array.append (Array.init nb ir_task)
-                (Array.init (nb * nl) (fun idx -> sched_task idx))
+                (Array.init (nb * nl) sched_task)
+          | `Tv ->
+              Array.concat
+                [ Array.init nb ir_task;
+                  Array.init (nb * nl) sched_task;
+                  Array.init (nb * nl) tv_task ]
         in
         pool_run tasks
   in
@@ -272,15 +295,31 @@ let analyze_all t ?(verify = `Off) ?faults benchmarks =
       match verify_results.(bi) with
       | Error exn -> Error exn
       | Ok ir ->
-          let rec levels_from li acc =
-            if verify = `Ir || li = nl then Ok (List.rev acc)
-            else
-              match verify_results.(nb + (bi * nl) + li) with
-              | Ok ds -> levels_from (li + 1) (ds :: acc)
-              | Error exn -> Error exn
+          (* Per-level findings of one segment (legality at offset [nb],
+             refinement at [nb + nb·nl]), concatenated in level order. *)
+          let segment off =
+            let rec go li acc =
+              if li = nl then Ok (List.concat (List.rev acc))
+              else
+                match verify_results.(off + (bi * nl) + li) with
+                | Ok ds -> go (li + 1) (ds :: acc)
+                | Error exn -> Error exn
+            in
+            go 0 []
           in
-          Result.map (fun per_level -> List.concat (ir :: per_level))
-            (levels_from 0 [])
+          let offsets =
+            match verify with
+            | `Off | `Ir -> []
+            | `Full -> [ nb ]
+            | `Tv -> [ nb; nb + (nb * nl) ]
+          in
+          let rec across = function
+            | [] -> Ok []
+            | off :: rest ->
+                Result.bind (segment off) (fun ds ->
+                    Result.map (fun more -> ds @ more) (across rest))
+          in
+          Result.map (fun rest -> ir @ rest) (across offsets)
   in
   Array.to_list
     (Array.mapi

@@ -25,7 +25,7 @@
     depend only on the compiled program and stay cacheable.
 
     Stage wall-clock is charged to {!Metrics.global} under ["frontend"],
-    ["sim"], ["sched"], and ["verify"].
+    ["sim"], ["sched"], ["verify"], and ["verify-tv"].
 
     {2 Verify checkpoint}
 
@@ -34,9 +34,13 @@
     and the IR dataflow/structural checks on the compiled program.
     [`Full] adds one legality-proof task per (benchmark, level),
     verifying the optimized graph preserves the original dependence
-    structure.  Findings land in {!analysis.verify} (IR findings first,
-    then per-level in {!Asipfb_sched.Opt_level.all} order) and are
-    cached under their own content keys. *)
+    structure.  [`Tv] adds, on top of [`Full], one translation-validation
+    task per (benchmark, level) — {!Asipfb_verify.Equiv}'s semantic
+    refinement proof, with counterexample search on failure — charged to
+    the ["verify-tv"] metrics stage.  Findings land in
+    {!analysis.verify} (IR findings first, then per-level legality, then
+    per-level refinement, each in {!Asipfb_sched.Opt_level.all} order)
+    and are cached under their own content keys. *)
 
 type analysis = {
   benchmark : Asipfb_bench_suite.Benchmark.t;
@@ -92,7 +96,8 @@ type stats = {
   base : Cache.stats;  (** Compile+profile payloads (12 per suite run). *)
   sched : Cache.stats;  (** Per-level schedules (36 per suite run). *)
   verify : Cache.stats;
-      (** Verify findings (12 IR + 36 legality per [`Full] suite run). *)
+      (** Verify findings (12 IR + 36 legality per [`Full] suite run;
+          [`Tv] adds 36 refinement payloads). *)
   supervise : Asipfb_supervise.Supervise.stats;
       (** Retry/quarantine/degradation accounting. *)
 }
@@ -118,6 +123,11 @@ val verify_ir_key : Asipfb_bench_suite.Benchmark.t -> string
 val verify_sched_key :
   Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
 (** Content key of one (benchmark, level) legality-proof result. *)
+
+val verify_tv_key :
+  Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
+(** Content key of one (benchmark, level) translation-validation
+    result. *)
 
 val derive_faults :
   Asipfb_sim.Fault.config -> Asipfb_bench_suite.Benchmark.t ->

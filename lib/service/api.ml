@@ -13,7 +13,11 @@ module Supervise = Asipfb_supervise.Supervise
 module Corpus = Asipfb_corpus.Corpus
 
 let api_version = 1
-let schema_version = 1
+
+(* v2 added the translation-validation surface: verify mode "tv" and the
+   "equiv-verdict" payload.  Decoders are lenient on schema_version, so
+   v1 frames (which can only carry v1 kinds) still decode. *)
+let schema_version = 2
 
 type request =
   | Ping
@@ -21,7 +25,7 @@ type request =
   | Shutdown
   | Detect of { benchmark : string; query : Pipeline.Query.t }
   | Coverage of { benchmark : string; query : Pipeline.Query.t }
-  | Verify of { benchmark : string; mode : [ `Ir | `Full ] }
+  | Verify of { benchmark : string; mode : [ `Ir | `Full | `Tv ] }
   | Lint of { benchmark : string option }
   | Corpus_sample of { seed : int; index : int; size : int option }
 
@@ -60,6 +64,14 @@ type service_stats = {
 
 type stats_payload = { engine : Engine.stats; service : service_stats }
 
+type equiv_verdict = {
+  ev_benchmark : string;
+  ev_levels : int;
+  ev_refinement_failures : int;
+  ev_counterexamples : int;
+  ev_findings : Diag.t list;
+}
+
 type payload =
   | Pong
   | Stopping
@@ -67,6 +79,7 @@ type payload =
   | Coverage_result of Coverage.result
   | Findings of Diag.t list
   | Stats_result of stats_payload
+  | Tv_result of equiv_verdict
   | Sample of { seed : int; index : int; size : int; name : string;
                 source : string }
 
@@ -405,6 +418,32 @@ let findings_of_json j =
   let* () = check_kind "findings" j in
   Result.bind (list_field "findings" j) (map_result diag_of_json)
 
+(* --- translation-validation verdict --------------------------------------- *)
+
+let equiv_verdict_to_json (v : equiv_verdict) =
+  Json.Obj
+    (header "equiv-verdict"
+    @ [
+        ("benchmark", Json.String v.ev_benchmark);
+        ("levels", Json.Int v.ev_levels);
+        ("refinement_failures", Json.Int v.ev_refinement_failures);
+        ("counterexamples", Json.Int v.ev_counterexamples);
+        ("findings", Json.List (List.map diag_to_json v.ev_findings));
+      ])
+
+let equiv_verdict_of_json j =
+  let* j = as_obj j in
+  let* () = check_kind "equiv-verdict" j in
+  let* ev_benchmark = str_field "benchmark" j in
+  let* ev_levels = int_field "levels" j in
+  let* ev_refinement_failures = int_field "refinement_failures" j in
+  let* ev_counterexamples = int_field "counterexamples" j in
+  let* ev_findings =
+    Result.bind (list_field "findings" j) (map_result diag_of_json)
+  in
+  Ok { ev_benchmark; ev_levels; ev_refinement_failures; ev_counterexamples;
+       ev_findings }
+
 (* --- engine + service statistics ----------------------------------------- *)
 
 let cache_stats_to_json (s : Cache.stats) =
@@ -538,12 +577,15 @@ let corpus_summary_to_json (sp : Corpus.spec) (s : Corpus.summary) =
 
 (* --- request frames ------------------------------------------------------ *)
 
-let mode_to_string = function `Ir -> "ir" | `Full -> "full"
+let mode_to_string = function `Ir -> "ir" | `Full -> "full" | `Tv -> "tv"
 
 let mode_of_string = function
   | "ir" -> Ok `Ir
   | "full" -> Ok `Full
-  | s -> Error (Printf.sprintf "unknown verify mode %S (expected ir or full)" s)
+  | "tv" -> Ok `Tv
+  | s ->
+      Error
+        (Printf.sprintf "unknown verify mode %S (expected ir, full, or tv)" s)
 
 let encode_request ?(id = "") req =
   let head =
@@ -671,6 +713,7 @@ let payload_to_json = function
   | Coverage_result r -> coverage_to_json r
   | Findings ds -> findings_to_json ds
   | Stats_result p -> stats_to_json p
+  | Tv_result v -> equiv_verdict_to_json v
   | Sample { seed; index; size; name; source } ->
       Json.Obj
         (header "corpus-sample"
@@ -692,6 +735,8 @@ let payload_of_json j =
   | "coverage" -> Result.map (fun r -> Coverage_result r) (coverage_of_json j)
   | "findings" -> Result.map (fun ds -> Findings ds) (findings_of_json j)
   | "stats" -> Result.map (fun p -> Stats_result p) (stats_of_json j)
+  | "equiv-verdict" ->
+      Result.map (fun v -> Tv_result v) (equiv_verdict_of_json j)
   | "corpus-sample" ->
       let* seed = int_field "seed" j in
       let* index = int_field "index" j in

@@ -22,8 +22,11 @@ val api_version : int
     is answered with a structured [unsupported-api-version] error. *)
 
 val schema_version : int
-(** [1] — the version stamped on every encoded result object (offline
-    and on the wire). *)
+(** [2] — the version stamped on every encoded result object (offline
+    and on the wire).  v2 added the translation-validation surface
+    (verify mode ["tv"], the ["equiv-verdict"] payload).  Decoders do
+    not reject older versions: a v1 frame can only carry v1 kinds, and
+    those decode unchanged. *)
 
 (** {1 Requests} *)
 
@@ -36,7 +39,10 @@ type request =
       (** Only [query.level] and [query.budget] are meaningful (coverage
           explores its own length set), mirroring
           {!Asipfb.Pipeline.coverage}. *)
-  | Verify of { benchmark : string; mode : [ `Ir | `Full ] }
+  | Verify of { benchmark : string; mode : [ `Ir | `Full | `Tv ] }
+      (** [`Tv] runs the full static checkers plus
+          {!Asipfb_verify.Equiv}'s semantic refinement proof per level,
+          answered with a {!Tv_result}. *)
   | Lint of { benchmark : string option }
       (** [None] lints the whole Table 1 suite, like the CLI. *)
   | Corpus_sample of { seed : int; index : int; size : int option }
@@ -69,6 +75,20 @@ type stats_payload = {
   service : service_stats;
 }
 
+type equiv_verdict = {
+  ev_benchmark : string;
+  ev_levels : int;  (** Optimization levels proved (suite runs 3). *)
+  ev_refinement_failures : int;
+      (** Findings tagged [check=refinement] — discharge failures. *)
+  ev_counterexamples : int;
+      (** Findings tagged [check=counterexample] — concrete divergences. *)
+  ev_findings : Asipfb_diag.Diag.t list;
+      (** The full finding list (IR + legality + refinement). *)
+}
+(** The wire verdict of a [`Tv] verify: a zero
+    [ev_refinement_failures] with empty [ev_findings] is a proof that
+    every level's schedule refines the original. *)
+
 type payload =
   | Pong
   | Stopping
@@ -76,6 +96,7 @@ type payload =
   | Coverage_result of Asipfb_chain.Coverage.result
   | Findings of Asipfb_diag.Diag.t list
   | Stats_result of stats_payload
+  | Tv_result of equiv_verdict  (** Answer to a [`Tv] verify. *)
   | Sample of { seed : int; index : int; size : int; name : string;
                 source : string }
 
@@ -125,6 +146,9 @@ val coverage_of_json : Json.t -> (Asipfb_chain.Coverage.result, string) result
 
 val findings_to_json : Asipfb_diag.Diag.t list -> Json.t
 val findings_of_json : Json.t -> (Asipfb_diag.Diag.t list, string) result
+
+val equiv_verdict_to_json : equiv_verdict -> Json.t
+val equiv_verdict_of_json : Json.t -> (equiv_verdict, string) result
 
 val engine_stats_to_json : Asipfb_engine.Engine.stats -> Json.t
 val engine_stats_of_json :

@@ -94,7 +94,7 @@ let request_key (b : Benchmark.t) req =
       Some
         (digest
            [ "verify"; Engine.verify_ir_key b; Engine.source_key b;
-             (match mode with `Ir -> "ir" | `Full -> "full") ])
+             (match mode with `Ir -> "ir" | `Full -> "full" | `Tv -> "tv") ])
   | _ -> None
 
 let lint_key benchmarks =
@@ -183,7 +183,25 @@ let dispatch t req : Api.cache_status * (Api.payload, Diag.t) result =
               ~verify:(mode :> Engine.verify_mode)
               b
           in
-          Api.Findings a.verify)
+          match mode with
+          | `Ir | `Full -> Api.Findings a.verify
+          | `Tv ->
+              let tagged tag =
+                List.length
+                  (List.filter
+                     (fun (d : Diag.t) ->
+                       List.assoc_opt "check" d.context = Some tag)
+                     a.verify)
+              in
+              Api.Tv_result
+                {
+                  Api.ev_benchmark = b.name;
+                  ev_levels =
+                    List.length Asipfb_sched.Opt_level.all;
+                  ev_refinement_failures = tagged "refinement";
+                  ev_counterexamples = tagged "counterexample";
+                  ev_findings = a.verify;
+                })
   | Api.Lint { benchmark } -> (
       let benchmarks =
         match benchmark with

@@ -89,6 +89,42 @@ let is_pure_def i =
   | Instr.Ret _ | Instr.Label_mark _ ->
       false
 
+(* The nearest following redefinition of [d] — the definition that kills
+   the dead store.  Rest of the same block first, then breadth-first
+   over successors.  [None] when the register is simply never written
+   again (dead because it is never read). *)
+let find_killer (cfg : Cfg.t) ~block ~pos d =
+  let def_in instrs =
+    List.find_opt
+      (fun i ->
+        match Instr.def i with Some d' -> Reg.equal d d' | None -> false)
+      instrs
+  in
+  let rec drop n = function
+    | l when n = 0 -> l
+    | [] -> []
+    | _ :: rest -> drop (n - 1) rest
+  in
+  match def_in (drop (pos + 1) cfg.blocks.(block).instrs) with
+  | Some i -> Some (Instr.opid i)
+  | None ->
+      let visited = Array.make (Array.length cfg.blocks) false in
+      let q = Queue.create () in
+      List.iter (fun s -> Queue.add s q) cfg.blocks.(block).succs;
+      let rec go () =
+        match Queue.take_opt q with
+        | None -> None
+        | Some b when visited.(b) -> go ()
+        | Some b -> (
+            visited.(b) <- true;
+            match def_in cfg.blocks.(b).instrs with
+            | Some i -> Some (Instr.opid i)
+            | None ->
+                List.iter (fun s -> Queue.add s q) cfg.blocks.(b).succs;
+                go ())
+      in
+      go ()
+
 let dead_stores (f : Func.t) (cfg : Cfg.t) =
   let live = Liveness.compute cfg in
   let findings = ref [] in
@@ -102,11 +138,17 @@ let dead_stores (f : Func.t) (cfg : Cfg.t) =
                 Liveness.live_before live ~block:b.index ~pos:(pos + 1)
               in
               if not (Reg.Set.mem d after) then
+                let witness =
+                  match find_killer cfg ~block:b.index ~pos d with
+                  | Some opid -> [ ("killed-by", string_of_int opid) ]
+                  | None -> []
+                in
                 findings :=
                   warn ~func:f.name ~rule:"dead-store"
                     ~context:
-                      [ ("opid", string_of_int (Instr.opid i));
-                        ("register", Reg.to_string d) ]
+                      ([ ("opid", string_of_int (Instr.opid i));
+                         ("register", Reg.to_string d) ]
+                      @ witness)
                     (Format.asprintf "value of [%a] is never used" Instr.pp i)
                   :: !findings
           | Some _ | None -> ())

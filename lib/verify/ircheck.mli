@@ -7,7 +7,9 @@
       assignment) analysis — a register read at a point where some path
       from the entry carries no definition of it;
     - {b dead store}: a pure value-producing instruction whose result is
-      live on no path from the definition (backward liveness);
+      live on no path from the definition (backward liveness).  When a
+      later definition of the same register overwrites the value, its
+      opid rides along as a ["killed-by"] context witness;
     - {b unreachable block}: a non-empty CFG block that no path from the
       entry reaches (typically a labeled block nothing jumps to —
       {!Asipfb_ir.Validate} only catches straight-line fallthrough dead

@@ -175,6 +175,65 @@ and stmt_returns = function
   | Tcall_stmt _ ->
       false
 
+(* [x = x;] has no effect — almost always a typo for a different source
+   or destination. *)
+let self_assign ~func (f : tfunc) =
+  let findings = ref [] in
+  let rec stmt = function
+    | Tassign_var (x, { tdesc = Tvar y; _ }) when x = y ->
+        findings :=
+          warn ~func ~rule:"self-assignment"
+            ~context:[ ("variable", x) ]
+            (Printf.sprintf "%s is assigned to itself" x)
+          :: !findings
+    | Tif (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Tloop (_, body, step) ->
+        List.iter stmt body;
+        List.iter stmt step
+    | Tblock b -> List.iter stmt b
+    | Tdecl _ | Tassign_var _ | Tassign_arr _ | Treturn _ | Tbreak
+    | Tcontinue | Tcall_stmt _ ->
+        ()
+  in
+  List.iter stmt f.tf_body;
+  List.rev !findings
+
+(* A local declaration reusing a parameter's name: every later use binds
+   the local, silently cutting the caller's value off.  Sema uniquifies
+   shadowing declarations to [name$N], so compare on the source name. *)
+let param_shadow ~func (f : tfunc) =
+  let params =
+    Str_set.of_list (List.map (fun (x, _) -> x) f.tf_params)
+  in
+  let base x =
+    match String.index_opt x '$' with
+    | Some i -> String.sub x 0 i
+    | None -> x
+  in
+  let findings = ref [] in
+  let rec stmt = function
+    | Tdecl (_, x, _) when Str_set.mem (base x) params ->
+        findings :=
+          warn ~func ~rule:"parameter-shadowed"
+            ~context:[ ("parameter", base x) ]
+            (Printf.sprintf "local variable %s shadows a parameter" (base x))
+          :: !findings
+    | Tif (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Tloop (_, body, step) ->
+        List.iter stmt body;
+        List.iter stmt step
+    | Tblock b -> List.iter stmt b
+    | Tdecl _ | Tassign_var _ | Tassign_arr _ | Treturn _ | Tbreak
+    | Tcontinue | Tcall_stmt _ ->
+        ()
+  in
+  List.iter stmt f.tf_body;
+  List.rev !findings
+
 let missing_return ~func (f : tfunc) =
   match f.tf_ret with
   | None -> []
@@ -190,7 +249,7 @@ let missing_return ~func (f : tfunc) =
 let check_func ~regions (f : tfunc) =
   let func = f.tf_name in
   unused ~func f @ const_oob ~func ~regions f @ const_cond ~func f
-  @ missing_return ~func f
+  @ self_assign ~func f @ param_shadow ~func f @ missing_return ~func f
 
 let check (p : program) =
   List.concat_map (check_func ~regions:p.tregions) p.tfuncs

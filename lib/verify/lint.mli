@@ -16,6 +16,11 @@
       [=] where [==] was meant is a condition that folds to a constant.
       Loop conditions are exempt: [for (;;)] and [while (1)] desugar to
       a literal [1] condition and are idiomatic;
+    - {b self-assignment}: [x = x;] — no effect, almost always a typo
+      for a different source or destination;
+    - {b parameter-shadowed}: a local declaration reusing a parameter's
+      name, silently cutting the caller's value off for every later
+      use;
     - {b missing-return}: a non-void function with a path that falls
       off the end without a [return].  {!Asipfb_frontend.Lower}
       silently materializes [return 0] on such paths, so this is the

@@ -1,0 +1,140 @@
+(* Seeded schedule corruption for the translation-validation tests.
+
+   Each kind injects one small, realistic miscompile into a program:
+   exactly the silent-breakage classes a buggy scheduler could produce.
+   Site selection is driven by a deterministic PRNG so a failing seed
+   reproduces bit-for-bit. *)
+
+module Types = Asipfb_ir.Types
+module Instr = Asipfb_ir.Instr
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Label = Asipfb_ir.Label
+module Reg = Asipfb_ir.Reg
+module Prng = Asipfb_util.Prng
+
+type kind =
+  | Swap_deps  (* swap an adjacent flow-dependent instruction pair *)
+  | Drop_copy  (* delete a register-to-register move *)
+  | Retarget_jump  (* point a branch at a different label *)
+  | Edit_const  (* perturb an integer literal *)
+
+let all = [ Swap_deps; Drop_copy; Retarget_jump; Edit_const ]
+
+let kind_to_string = function
+  | Swap_deps -> "swap-deps"
+  | Drop_copy -> "drop-copy"
+  | Retarget_jump -> "retarget-jump"
+  | Edit_const -> "edit-const"
+
+(* Candidate sites for one kind in one function body.  A site is a
+   function from the body to the corrupted body. *)
+let sites kind (body : Instr.t list) : (Instr.t list -> Instr.t list) list =
+  let arr = Array.of_list body in
+  let n = Array.length arr in
+  let replace i ins body = List.mapi (fun j x -> if j = i then ins else x) body in
+  let at i = arr.(i) in
+  match kind with
+  | Swap_deps ->
+      (* Adjacent pair where the second reads the first's definition and
+         neither is control flow: swapping changes the value read. *)
+      let ok i =
+        i + 1 < n
+        && (not (Instr.is_control (at i)))
+        && (not (Instr.is_control (at (i + 1))))
+        && (not (Instr.is_label (at i)))
+        && (not (Instr.is_label (at (i + 1))))
+        &&
+        match Instr.def (at i) with
+        | Some d -> List.exists (Reg.equal d) (Instr.uses (at (i + 1)))
+        | None -> false
+      in
+      List.filter_map
+        (fun i ->
+          if ok i then
+            Some
+              (fun body ->
+                List.mapi
+                  (fun j x ->
+                    if j = i then at (i + 1)
+                    else if j = i + 1 then at i
+                    else x)
+                  body)
+          else None)
+        (List.init n Fun.id)
+  | Drop_copy ->
+      List.filter_map
+        (fun i ->
+          match Instr.kind (at i) with
+          | Instr.Mov (_, Instr.Reg _) ->
+              Some (fun body -> List.filteri (fun j _ -> j <> i) body)
+          | _ -> None)
+        (List.init n Fun.id)
+  | Retarget_jump ->
+      let labels =
+        List.filter_map
+          (fun ins ->
+            match Instr.kind ins with
+            | Instr.Label_mark l -> Some l
+            | _ -> None)
+          body
+      in
+      List.filter_map
+        (fun i ->
+          let retarget mk l =
+            match
+              List.find_opt (fun l' -> not (Label.equal l' l)) labels
+            with
+            | Some l' -> Some (fun body -> replace i (mk l') body)
+            | None -> None
+          in
+          match Instr.kind (at i) with
+          | Instr.Jump l ->
+              retarget (fun l' -> Instr.with_kind (at i) (Instr.Jump l')) l
+          | Instr.Cond_jump (c, l) ->
+              retarget
+                (fun l' -> Instr.with_kind (at i) (Instr.Cond_jump (c, l')))
+                l
+          | _ -> None)
+        (List.init n Fun.id)
+  | Edit_const ->
+      let edit_operand = function
+        | Instr.Imm_int k -> Some (Instr.Imm_int (k + 1))
+        | _ -> None
+      in
+      List.filter_map
+        (fun i ->
+          let ins = at i in
+          if Instr.is_label ins then None
+          else
+            let found = ref false in
+            let corrupted =
+              Instr.map_operands
+                (fun op ->
+                  match edit_operand op with
+                  | Some op' when not !found ->
+                      found := true;
+                      op'
+                  | _ -> op)
+                ins
+            in
+            if !found then Some (fun body -> replace i corrupted body)
+            else None)
+        (List.init n Fun.id)
+
+let apply ~seed kind (p : Prog.t) : Prog.t option =
+  let rng = Prng.create ~seed in
+  let candidates =
+    List.concat_map
+      (fun (f : Func.t) ->
+        List.map (fun site -> (f.name, site)) (sites kind f.body))
+      p.funcs
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let fname, site =
+        List.nth candidates (Prng.next_int rng ~bound:(List.length candidates))
+      in
+      Some
+        (Prog.update_func p fname (fun f -> Func.with_body f (site f.body)))

@@ -1,0 +1,278 @@
+(* Small-step TAC semantics with an observation trace.  Kept deliberately
+   naive — the point of this module is to be an obviously correct
+   reference for the refinement checker, not to be fast.  Arithmetic and
+   trap behavior delegate to Asipfb_exec.Ops so this semantics agrees
+   with both interpreters by construction. *)
+
+module Types = Asipfb_ir.Types
+module Reg = Asipfb_ir.Reg
+module Instr = Asipfb_ir.Instr
+module Func = Asipfb_ir.Func
+module Prog = Asipfb_ir.Prog
+module Label = Asipfb_ir.Label
+module Value = Asipfb_exec.Value
+module Memory = Asipfb_exec.Memory
+module Ops = Asipfb_exec.Ops
+
+type event =
+  | Store of { region : string; index : int; value : Value.t }
+  | Call of { callee : string; args : Value.t list }
+  | Return of Value.t option
+  | Trap of { message : string }
+
+let pp_event ppf = function
+  | Store { region; index; value } ->
+      Format.fprintf ppf "store %s[%d] = %a" region index Value.pp value
+  | Call { callee; args } ->
+      Format.fprintf ppf "call %s(%a)" callee
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Value.pp)
+        args
+  | Return None -> Format.fprintf ppf "return"
+  | Return (Some v) -> Format.fprintf ppf "return %a" Value.pp v
+  | Trap { message } -> Format.fprintf ppf "trap: %s" message
+
+let event_to_string e = Format.asprintf "%a" pp_event e
+
+let event_equal a b =
+  match (a, b) with
+  | Store x, Store y ->
+      x.region = y.region && x.index = y.index && Value.equal x.value y.value
+  | Call x, Call y ->
+      x.callee = y.callee
+      && List.length x.args = List.length y.args
+      && List.for_all2 Value.equal x.args y.args
+  | Return None, Return None -> true
+  | Return (Some x), Return (Some y) -> Value.equal x y
+  | Trap x, Trap y -> x.message = y.message
+  | _ -> false
+
+type result =
+  | Returned of Value.t option
+  | Trapped of string
+  | Out_of_fuel
+
+type outcome = {
+  trace : event list;
+  result : result;
+  memory : Memory.t;
+  steps : int;
+}
+
+(* --- configurations ------------------------------------------------------ *)
+
+module Imap = Map.Make (Int)
+
+type frame = {
+  func : Func.t;
+  code : Instr.t array;
+  labels : int Imap.t;  (* label id → instruction index *)
+  pc : int;
+  regs : Value.t Imap.t;  (* register id → value *)
+  ret_to : Reg.t option;  (* caller register awaiting our return value *)
+}
+
+type config = {
+  prog : Prog.t;
+  memory : Memory.t;
+  frames : frame list;  (* innermost first *)
+  trace_rev : event list;
+  steps : int;
+}
+
+type status =
+  | Running of config
+  | Finished of Value.t option
+  | Aborted of string
+
+exception Step_trap of string
+
+let trap fmt = Format.kasprintf (fun m -> raise (Step_trap m)) fmt
+
+let frame_of_func ?ret_to (f : Func.t) =
+  let code = Array.of_list f.body in
+  let labels =
+    snd
+      (Array.fold_left
+         (fun (i, m) instr ->
+           match Instr.kind instr with
+           | Instr.Label_mark l -> (i + 1, Imap.add (Label.id l) i m)
+           | _ -> (i + 1, m))
+         (0, Imap.empty) code)
+  in
+  { func = f; code; labels; pc = 0; regs = Imap.empty; ret_to }
+
+let start ?(inputs = []) (p : Prog.t) =
+  let entry =
+    match Prog.find_func_opt p p.entry with
+    | Some f -> f
+    | None -> invalid_arg ("Semantics.start: unknown entry " ^ p.entry)
+  in
+  let memory = Memory.create p in
+  List.iter (fun (region, data) -> Memory.seed memory region data) inputs;
+  {
+    prog = p;
+    memory;
+    frames = [ frame_of_func entry ];
+    trace_rev = [];
+    steps = 0;
+  }
+
+let trace c = List.rev c.trace_rev
+
+(* --- one step ------------------------------------------------------------ *)
+
+let reg_id (r : Reg.t) = r.id
+
+let operand fr = function
+  | Instr.Imm_int k -> Value.Vint k
+  | Instr.Imm_float f -> Value.Vfloat f
+  | Instr.Reg r -> (
+      match Imap.find_opt (reg_id r) fr.regs with
+      | Some v -> v
+      | None ->
+          trap "register %s read before initialization" (Reg.to_string r))
+
+let as_int v =
+  match v with
+  | Value.Vint i -> i
+  | Value.Vfloat _ -> trap "expected an int value, found a float"
+
+let as_float v =
+  match v with
+  | Value.Vfloat f -> f
+  | Value.Vint _ -> trap "expected a float value, found an int"
+
+let label_pc fr l =
+  match Imap.find_opt (Label.id l) fr.labels with
+  | Some i -> i
+  | None -> trap "unknown label %s" (Label.to_string l)
+
+let set fr d v = { fr with regs = Imap.add (reg_id d) v fr.regs }
+
+(* The terminal statuses drop the configuration, so a step that both
+   observes (Return) and terminates threads its event through
+   [finish]/[abort] below; [run] re-reads the trace from the last
+   Running configuration it held. *)
+type outcome_step =
+  | S_running of config
+  | S_finished of config * Value.t option
+  | S_aborted of config * string
+
+let step_full (c : config) : outcome_step =
+  match c.frames with
+  | [] -> S_aborted (c, "no active frame")
+  | fr :: outer -> (
+      let c = { c with steps = c.steps + 1 } in
+      let continue fr' = S_running { c with frames = fr' :: outer } in
+      let emit c ev = { c with trace_rev = ev :: c.trace_rev } in
+      try
+        if fr.pc >= Array.length fr.code then
+          trap "fell off the end of %s" fr.func.name
+        else
+          let i = fr.code.(fr.pc) in
+          let next = { fr with pc = fr.pc + 1 } in
+          match Instr.kind i with
+          | Instr.Label_mark _ -> continue next
+          | Instr.Binop (op, d, a, b) -> (
+              match Ops.eval_binop op (operand fr a) (operand fr b) with
+              | v -> continue (set next d v)
+              | exception Ops.Trap m -> raise (Step_trap m)
+              | exception Invalid_argument m -> raise (Step_trap m))
+          | Instr.Unop (op, d, a) -> (
+              match Ops.eval_unop op (operand fr a) with
+              | v -> continue (set next d v)
+              | exception Ops.Trap m -> raise (Step_trap m)
+              | exception Invalid_argument m -> raise (Step_trap m))
+          | Instr.Cmp (ty, rel, d, a, b) ->
+              let holds =
+                match ty with
+                | Types.Int ->
+                    Types.eval_relop_int rel
+                      (as_int (operand fr a))
+                      (as_int (operand fr b))
+                | Types.Float ->
+                    Types.eval_relop_float rel
+                      (as_float (operand fr a))
+                      (as_float (operand fr b))
+              in
+              continue (set next d (Value.Vint (if holds then 1 else 0)))
+          | Instr.Mov (d, a) -> continue (set next d (operand fr a))
+          | Instr.Load (_, d, region, idx) -> (
+              let index = as_int (operand fr idx) in
+              match Memory.load c.memory region index with
+              | v -> continue (set next d v)
+              | exception Memory.Bounds (r, i) ->
+                  trap "load %s[%d] out of bounds" r i
+              | exception Invalid_argument m -> raise (Step_trap m))
+          | Instr.Store (_, region, idx, value) -> (
+              let index = as_int (operand fr idx) in
+              let value = operand fr value in
+              match Memory.store c.memory region index value with
+              | () ->
+                  let c = emit c (Store { region; index; value }) in
+                  S_running { c with frames = next :: outer }
+              | exception Memory.Bounds (r, i) ->
+                  trap "store %s[%d] out of bounds" r i
+              | exception Invalid_argument m -> raise (Step_trap m))
+          | Instr.Jump l -> continue { next with pc = label_pc fr l }
+          | Instr.Cond_jump (cond, l) ->
+              if as_int (operand fr cond) <> 0 then
+                continue { next with pc = label_pc fr l }
+              else continue next
+          | Instr.Call (dst, callee, args) -> (
+              match Prog.find_func_opt c.prog callee with
+              | None -> trap "call to unknown function %s" callee
+              | Some f ->
+                  let argv = List.map (operand fr) args in
+                  if List.length f.params <> List.length argv then
+                    trap "%s expects %d argument(s), got %d" callee
+                      (List.length f.params) (List.length argv)
+                  else
+                    let callee_fr = frame_of_func ?ret_to:dst f in
+                    let callee_fr =
+                      List.fold_left2 set callee_fr f.params argv
+                    in
+                    let c = emit c (Call { callee; args = argv }) in
+                    S_running { c with frames = callee_fr :: next :: outer })
+          | Instr.Ret v -> (
+              let value = Option.map (operand fr) v in
+              let c = emit c (Return value) in
+              match outer with
+              | [] -> S_finished (c, value)
+              | caller :: rest -> (
+                  match (fr.ret_to, value) with
+                  | None, _ -> S_running { c with frames = caller :: rest }
+                  | Some d, Some v ->
+                      S_running { c with frames = set caller d v :: rest }
+                  | Some _, None ->
+                      trap "%s returned no value to a value call"
+                        fr.func.name))
+      with Step_trap m ->
+        S_aborted ({ c with trace_rev = Trap { message = m } :: c.trace_rev },
+                   m))
+
+let step (c : config) : status =
+  match step_full c with
+  | S_running c -> Running c
+  | S_finished (_, v) -> Finished v
+  | S_aborted (_, m) -> Aborted m
+
+let run ?(fuel = 50_000_000) ?inputs (p : Prog.t) =
+  let c0 = start ?inputs p in
+  let rec go c n =
+    if n <= 0 then
+      { trace = trace c; result = Out_of_fuel; memory = c.memory;
+        steps = c.steps }
+    else
+      match step_full c with
+      | S_running c' -> go c' (n - 1)
+      | S_finished (c', v) ->
+          { trace = trace c'; result = Returned v; memory = c'.memory;
+            steps = c'.steps }
+      | S_aborted (c', m) ->
+          { trace = trace c'; result = Trapped m; memory = c'.memory;
+            steps = c'.steps }
+  in
+  go c0 fuel

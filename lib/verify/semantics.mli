@@ -1,0 +1,79 @@
+(** Small-step operational semantics for the 3-address code.
+
+    The machine configuration mirrors {!Asipfb_exec.Code}'s compiled
+    form — a register file, region memory, a program counter, and a call
+    stack — but stays directly over the linear {!Asipfb_ir.Func.t} bodies
+    so a step is inspectable and the relation is obviously deterministic.
+
+    Execution produces an {e observation trace}: the sequence of stores,
+    calls, and returns (plus a terminal trap, if any).  Two programs are
+    observationally equivalent on an input exactly when their traces,
+    results, and final memories agree — the ground truth the
+    {!Equiv} refinement checker's counterexamples are stated in.
+
+    Arithmetic and trap behavior delegate to {!Asipfb_exec.Ops}, so this
+    semantics agrees with both interpreters by construction. *)
+
+module Value = Asipfb_exec.Value
+module Memory = Asipfb_exec.Memory
+
+type event =
+  | Store of { region : string; index : int; value : Value.t }
+  | Call of { callee : string; args : Value.t list }
+  | Return of Value.t option
+      (** Emitted for every executed [Ret], innermost frames included. *)
+  | Trap of { message : string }
+      (** Terminal: always the last event of a trapping trace. *)
+
+val pp_event : Format.formatter -> event -> unit
+val event_to_string : event -> string
+val event_equal : event -> event -> bool
+
+type result =
+  | Returned of Value.t option  (** The entry function returned. *)
+  | Trapped of string
+  | Out_of_fuel
+
+type outcome = {
+  trace : event list;  (** Observations, in execution order. *)
+  result : result;
+  memory : Memory.t;  (** Final region memory. *)
+  steps : int;
+}
+
+(** {1 The step relation} *)
+
+type config
+(** A machine configuration: call stack (function, pc, register file),
+    region memory, accumulated trace.  Memory is shared mutable state —
+    a [config] is a point in one run, not a persistent snapshot. *)
+
+type status =
+  | Running of config
+  | Finished of Value.t option
+  | Aborted of string  (** Trap; the message is the trap reason. *)
+
+val start :
+  ?inputs:(string * Value.t array) list -> Asipfb_ir.Prog.t -> config
+(** Initial configuration: zeroed memory seeded with [inputs], one frame
+    at the entry function's first instruction with no registers bound
+    (the suite's entry functions take inputs through memory regions, not
+    parameters).
+    @raise Invalid_argument if the entry function or an input region is
+    unknown, or an input overflows its region. *)
+
+val step : config -> status
+(** One deterministic step.  Total: every error mode is an [Aborted]. *)
+
+val trace : config -> event list
+(** Observations so far, in execution order. *)
+
+val run :
+  ?fuel:int ->
+  ?inputs:(string * Value.t array) list ->
+  Asipfb_ir.Prog.t ->
+  outcome
+(** Iterate {!step} from {!start} for at most [fuel] (default 50,000,000)
+    steps.  Never raises on program behavior: traps, unknown
+    labels/functions, uninitialized reads, type confusion and
+    out-of-bounds accesses all land in [result]/[trace] as traps. *)

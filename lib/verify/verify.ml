@@ -1,9 +1,13 @@
 module Frontend = Asipfb_frontend
 module Diag = Asipfb_diag.Diag
 
-type mode = [ `Off | `Ir | `Full ]
+type mode = [ `Off | `Ir | `Full | `Tv ]
 
-let mode_to_string = function `Off -> "off" | `Ir -> "ir" | `Full -> "full"
+let mode_to_string = function
+  | `Off -> "off"
+  | `Ir -> "ir"
+  | `Full -> "full"
+  | `Tv -> "tv"
 
 let lint_source source =
   match Frontend.Sema.check (Frontend.Parser.parse source) with
@@ -18,3 +22,8 @@ let check_ir prog = Asipfb_ir.Validate.check_diags prog @ Ircheck.check prog
 let check_schedule ~original (sched : Asipfb_sched.Schedule.t) =
   Legality.to_diags (Legality.check ~original sched)
   @ Ircheck.check sched.prog
+
+let check_refinement ~original (sched : Asipfb_sched.Schedule.t) =
+  Equiv.to_diags
+    ~context:[ ("level", Asipfb_sched.Opt_level.to_string sched.level) ]
+    (Equiv.check ~original ~transformed:sched.prog ())

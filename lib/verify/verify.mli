@@ -1,17 +1,21 @@
 (** Static-analysis umbrella: one entry point per checker family, plus
     the [mode] knob the engine and CLI share.
 
-    Three checkers, all reporting {!Asipfb_diag.Diag.t}:
+    Four checkers, all reporting {!Asipfb_diag.Diag.t}:
     - {!Lint} — mini-C source lint over the typed AST;
     - {!Ircheck} — dataflow checks over the 3-address IR
       (with {!Asipfb_ir.Validate}'s structural checks folded in);
-    - {!Legality} — schedule legality proof per optimization level.
+    - {!Legality} — schedule legality proof per optimization level;
+    - {!Equiv} — translation validation: a semantic refinement proof
+      per optimization level, with concrete counterexamples on failure.
 
     [`Ir] runs the first two on the unoptimized program; [`Full] adds
-    the legality proof (and the IR dataflow checks) for every schedule.
-    Lint/IR findings are warnings; legality violations are errors. *)
+    the legality proof (and the IR dataflow checks) for every schedule;
+    [`Tv] adds the refinement proof on top of [`Full].  Lint/IR findings
+    are warnings; legality violations and refinement failures are
+    errors. *)
 
-type mode = [ `Off | `Ir | `Full ]
+type mode = [ `Off | `Ir | `Full | `Tv ]
 
 val mode_to_string : mode -> string
 
@@ -31,3 +35,11 @@ val check_schedule :
     ({!Legality.check}), plus the IR dataflow checks on the transformed
     program — a transformation must not introduce uninitialized reads
     or unreachable blocks either. *)
+
+val check_refinement :
+  original:Asipfb_ir.Prog.t ->
+  Asipfb_sched.Schedule.t ->
+  Asipfb_diag.Diag.t list
+(** Translation validation of one opt-level output: {!Equiv.check}'s
+    verdict as diagnostics, each tagged with the schedule's level.  [[]]
+    is a refinement proof. *)

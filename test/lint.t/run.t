@@ -16,7 +16,7 @@ schema, with an empty findings list when the run is clean) instead of
 the human summary:
 
   $ asipfb lint fir --json
-  {"kind":"findings","schema_version":1,"findings":[]}
+  {"kind":"findings","schema_version":2,"findings":[]}
 
 An unknown benchmark is a one-line error, exit 1:
 
@@ -28,5 +28,5 @@ The report/export drivers accept --verify; a bad mode is rejected in
 the command body (exit 1, no usage dump):
 
   $ asipfb report table1 --verify nope
-  asipfb: invalid verify mode "nope" (expected off, ir, or full)
+  asipfb: invalid verify mode "nope" (expected off, ir, full, or tv)
   [1]

@@ -156,13 +156,24 @@ let request_gen =
       map2
         (fun benchmark mode -> Api.Verify { benchmark; mode })
         bench
-        (oneofl [ `Ir; `Full ]);
+        (oneofl [ `Ir; `Full; `Tv ]);
       map (fun benchmark -> Api.Lint { benchmark }) (option bench);
       map3
         (fun seed index size -> Api.Corpus_sample { seed; index; size })
         small_nat small_nat
         (option (int_range 3 40));
     ]
+
+let equiv_verdict_gen =
+  let open QCheck.Gen in
+  map3
+    (fun ev_benchmark (ev_levels, ev_refinement_failures, ev_counterexamples)
+         ev_findings ->
+      { Api.ev_benchmark; ev_levels; ev_refinement_failures;
+        ev_counterexamples; ev_findings })
+    small_str
+    (triple (int_range 1 3) small_nat small_nat)
+    (list_size (int_range 0 3) diag_gen)
 
 let payload_gen =
   let open QCheck.Gen in
@@ -174,6 +185,7 @@ let payload_gen =
       map (fun r -> Api.Coverage_result r) coverage_gen;
       map (fun ds -> Api.Findings ds) (list_size (int_range 0 3) diag_gen);
       map (fun s -> Api.Stats_result s) stats_payload_gen;
+      map (fun v -> Api.Tv_result v) equiv_verdict_gen;
       map3
         (fun (seed, index) size (name, source) ->
           Api.Sample { seed; index; size; name; source })
@@ -232,6 +244,11 @@ let prop_findings_roundtrip =
     QCheck.Gen.(list_size (int_range 0 4) diag_gen)
     Api.findings_to_json Api.findings_of_json ( = )
     (fun ds -> Json.to_string (Api.findings_to_json ds))
+
+let prop_equiv_verdict_roundtrip =
+  roundtrip "equiv-verdict json round-trip" equiv_verdict_gen
+    Api.equiv_verdict_to_json Api.equiv_verdict_of_json ( = )
+    (fun v -> Json.to_string (Api.equiv_verdict_to_json v))
 
 let prop_engine_stats_roundtrip =
   roundtrip "engine-stats json round-trip" engine_stats_gen
@@ -388,6 +405,32 @@ let test_malformed_frames () =
   in
   Alcotest.(check string) "id echo lost on invalid body is empty" "" r.id;
   Alcotest.(check string) "invalid mode" "protocol-error" (error_kind r)
+
+(* Frames from a schema-v1 peer still decode: a v1 result object can
+   only carry v1 kinds, and the decoders key on "kind", never on the
+   version stamp. *)
+let test_v1_frames_decode () =
+  let line =
+    "{\"api\":1,\"id\":\"old\",\"ok\":true,\"cache\":\"miss\",\
+     \"result\":{\"kind\":\"findings\",\"schema_version\":1,\
+     \"findings\":[]}}"
+  in
+  (match Api.decode_response line with
+  | Ok { body = Ok (Api.Findings []); id = "old"; _ } -> ()
+  | Ok _ -> Alcotest.fail "decoded to the wrong payload"
+  | Error e -> Alcotest.failf "v1 frame rejected: %s" e);
+  let obj =
+    "{\"kind\":\"detect-report\",\"schema_version\":1,\
+     \"completeness\":\"exact\",\"detections\":[]}"
+  in
+  match
+    Result.bind
+      (Result.map_error (fun e -> e) (Json.of_string obj))
+      Api.detect_report_of_json
+  with
+  | Ok { Detect.detections = []; completeness = Detect.Exact } -> ()
+  | Ok _ -> Alcotest.fail "decoded to the wrong report"
+  | Error e -> Alcotest.failf "v1 object rejected: %s" e
 
 let test_unknown_benchmark () =
   let server = make_server () in
@@ -555,6 +598,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_detect_roundtrip;
         QCheck_alcotest.to_alcotest prop_coverage_roundtrip;
         QCheck_alcotest.to_alcotest prop_findings_roundtrip;
+        QCheck_alcotest.to_alcotest prop_equiv_verdict_roundtrip;
         QCheck_alcotest.to_alcotest prop_engine_stats_roundtrip;
         QCheck_alcotest.to_alcotest prop_stats_roundtrip;
         QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -564,6 +608,7 @@ let suite =
         Alcotest.test_case "json parser errors" `Quick test_json_parser_errors;
         Alcotest.test_case "json values" `Quick test_json_values;
         Alcotest.test_case "malformed frames" `Quick test_malformed_frames;
+        Alcotest.test_case "v1 frames decode" `Quick test_v1_frames_decode;
         Alcotest.test_case "unknown benchmark" `Quick test_unknown_benchmark;
         Alcotest.test_case "ping/stats/shutdown" `Quick
           test_ping_stats_shutdown;

@@ -84,6 +84,40 @@ let test_dead_store () =
     "names the first mov" (Some (string_of_int (Instr.opid first)))
     (List.assoc_opt "opid" (List.hd ds).context)
 
+(* The dead-store finding carries the overwriting definition's opid as a
+   "killed-by" witness — same-block and across a branch. *)
+let test_dead_store_killed_by () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let first = Builder.mov b x (Instr.Imm_int 1) in
+  let killer = Builder.mov b x (Instr.Imm_int 2) in
+  let body = [ first; killer; Builder.ret b (Some (Instr.Reg x)) ] in
+  let f = Func.make ~name:"f" ~params:[] ~ret_ty:(Some Types.Int) ~body in
+  (match Ircheck.check_func f with
+  | [ d ] ->
+      Alcotest.(check (option string))
+        "same-block witness"
+        (Some (string_of_int (Instr.opid killer)))
+        (List.assoc_opt "killed-by" d.context)
+  | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds));
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
+  let l = Builder.fresh_label b ~hint:"next" in
+  let first = Builder.mov b x (Instr.Imm_int 1) in
+  let killer = Builder.mov b x (Instr.Imm_int 2) in
+  let body =
+    [ first; Builder.jump b l; Builder.label_mark b l; killer;
+      Builder.ret b (Some (Instr.Reg x)) ]
+  in
+  let f = Func.make ~name:"f" ~params:[] ~ret_ty:(Some Types.Int) ~body in
+  match Ircheck.check_func f with
+  | [ d ] ->
+      Alcotest.(check (option string))
+        "cross-block witness"
+        (Some (string_of_int (Instr.opid killer)))
+        (List.assoc_opt "killed-by" d.context)
+  | ds -> Alcotest.failf "expected one finding, got %d" (List.length ds)
+
 let test_unreachable_block () =
   let b = Builder.create () in
   let x = Builder.fresh_reg b ~ty:Types.Int ~name:"x" in
@@ -149,6 +183,29 @@ let test_lint_loop_condition_exempt () =
     (lint_rules
        "int out[1]; void main() { int i = 0; while (1) { i = i + 1; if (i \
         > 3) break; } out[0] = i; }")
+
+let test_lint_self_assignment () =
+  let ds =
+    Verify.lint_source
+      "int out[1]; void main() { int x = 3; x = x; out[0] = x; }"
+  in
+  Alcotest.(check (list string))
+    "self-assignment" [ "self-assignment" ] (rules ds);
+  Alcotest.(check (option string))
+    "names the variable" (Some "x")
+    (List.assoc_opt "variable" (List.hd ds).context)
+
+let test_lint_param_shadow () =
+  let ds =
+    Verify.lint_source
+      "int out[1]; int f(int a) { if (a > 0) { int a = 2; return a; } \
+       return 0; } void main() { out[0] = f(1); }"
+  in
+  Alcotest.(check (list string))
+    "parameter shadowed" [ "parameter-shadowed" ] (rules ds);
+  Alcotest.(check (option string))
+    "names the parameter" (Some "a")
+    (List.assoc_opt "parameter" (List.hd ds).context)
 
 let test_lint_missing_return () =
   Alcotest.(check (list string))
@@ -279,6 +336,22 @@ let test_engine_verify_cached () =
   Alcotest.(check int) "cold run misses" 4 cold.misses;
   Alcotest.(check int) "warm run hits" (cold.hits + 4) warm.hits
 
+(* `Tv adds one refinement payload per level on top of `Full's 1 IR +
+   3 legality payloads: 7 misses cold, 7 hits warm. *)
+let test_engine_tv_cached () =
+  let engine = Asipfb_engine.Engine.create ~jobs:1 ~cache:true () in
+  let bs = [ List.hd Asipfb_bench_suite.Registry.all ] in
+  ignore (Asipfb_engine.Engine.analyze_all engine ~verify:`Tv bs);
+  let cold = (Asipfb_engine.Engine.stats engine).verify in
+  ignore (Asipfb_engine.Engine.analyze_all engine ~verify:`Tv bs);
+  let warm = (Asipfb_engine.Engine.stats engine).verify in
+  Alcotest.(check int) "cold run misses" 7 cold.misses;
+  Alcotest.(check int) "warm run hits" (cold.hits + 7) warm.hits;
+  (* A clean benchmark proves refinement at every level: no findings. *)
+  match Asipfb_engine.Engine.analyze_all engine ~verify:`Tv bs with
+  | [ (_, Ok a) ] -> Alcotest.(check int) "no findings" 0 (List.length a.verify)
+  | _ -> Alcotest.fail "analyze_all shape"
+
 let suite =
   [
     ( "verify.ircheck",
@@ -287,6 +360,8 @@ let suite =
         Alcotest.test_case "init on all paths clean" `Quick
           test_init_on_all_paths_clean;
         Alcotest.test_case "dead store" `Quick test_dead_store;
+        Alcotest.test_case "dead store killed-by witness" `Quick
+          test_dead_store_killed_by;
         Alcotest.test_case "unreachable block" `Quick test_unreachable_block;
         Alcotest.test_case "suite IR clean" `Quick test_suite_ir_clean;
       ] );
@@ -300,6 +375,10 @@ let suite =
           test_lint_constant_condition;
         Alcotest.test_case "loop condition exempt" `Quick
           test_lint_loop_condition_exempt;
+        Alcotest.test_case "self assignment" `Quick
+          test_lint_self_assignment;
+        Alcotest.test_case "parameter shadowed" `Quick
+          test_lint_param_shadow;
         Alcotest.test_case "missing return" `Quick test_lint_missing_return;
         Alcotest.test_case "all paths return" `Quick
           test_lint_return_on_all_paths_clean;
@@ -321,5 +400,6 @@ let suite =
           test_pipeline_verify_checkpoint;
         Alcotest.test_case "verify results cached" `Quick
           test_engine_verify_cached;
+        Alcotest.test_case "tv results cached" `Quick test_engine_tv_cached;
       ] );
   ]

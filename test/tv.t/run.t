@@ -1,0 +1,40 @@
+Translation validation CLI: the semantic refinement checker behind
+--verify tv and the equiv subcommand.
+
+An unknown verify mode is a one-line error listing every valid mode,
+including tv (exit 1, no usage dump):
+
+  $ asipfb report table1 --verify bogus
+  asipfb: invalid verify mode "bogus" (expected off, ir, full, or tv)
+  [1]
+
+The client-side mode check names tv too:
+
+  $ asipfb client verify fir --mode bogus
+  asipfb: invalid verify mode "bogus" (expected ir, full, or tv)
+  [1]
+
+A clean benchmark proves refinement at every level:
+
+  $ asipfb equiv fir
+  fir O0: refines
+  fir O1: refines
+  fir O2: refines
+  3 pair(s) checked, 0 refinement failure(s)
+
+A deliberately corrupted schedule is rejected with a concrete,
+reference-interpreter-confirmed counterexample (exit 1):
+
+  $ asipfb equiv fir -O 2 --corrupt edit-const --seed 3
+  asipfb: equiv: 1 refinement failure(s)
+  fir O2: FAILS (1 obligation(s))
+    filter.b6: [cut-edge] k.22 live into b3: (add 1 r22@b6) vs (add 2 r22@b6) at exit of b6
+    counterexample (attempt 1, ref-confirmed): trace index 39: store output[1] = -0.00951924 vs store output[1] = -0.00368944
+  1 pair(s) checked, 1 refinement failure(s)
+  [1]
+
+An invalid corruption kind lists the mutation vocabulary:
+
+  $ asipfb equiv fir --corrupt frobnicate
+  asipfb: invalid corruption "frobnicate" (expected swap-deps, drop-copy, retarget-jump, edit-const)
+  [1]
