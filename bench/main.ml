@@ -14,6 +14,7 @@
      asip     - extension X2: chained-instruction selection and speedup
      vliw     - extension X3: multiple-issue speedups at widths 1/2/4/8
      resched  - extension X4: schedule-level vs counting chain speedup
+     timing   - extension X6: per-benchmark timing-closure reports
      ablation_pipelining - A1: loop-carried search on/off
      ablation_cleanup    - A2: scalar cleanup passes on/off
      pipeline     - full compile+profile+optimize of the suite (1 domain)
@@ -50,6 +51,7 @@ let artifacts suite =
      fun () -> Asipfb.Experiments.ablation_pipelining suite);
     ("ablation_cleanup", fun () -> Asipfb.Experiments.ablation_cleanup suite);
     ("codegen", fun () -> Asipfb.Experiments.codegen_report suite);
+    ("timing", fun () -> Asipfb.Experiments.timing_report suite);
     ("ablation_motion", fun () -> Asipfb.Experiments.ablation_motion suite);
     ("opmix", fun () -> Asipfb.Experiments.opmix_report suite);
     ("extra", fun () -> Asipfb.Experiments.extra_report suite);
@@ -205,6 +207,46 @@ let engine_baseline ~path =
           (Asipfb_corpus.Corpus.spec ~seed:42 ~count:corpus_programs ()))
   in
   let sim_ips, sim_ref_ips, sim_speedup = sim_throughput () in
+  (* Timing-model baseline: the full-suite timing-closure pass under
+     each machine description — wall time plus the suite's mean
+     estimated and measured speedups, so successive PRs track both the
+     cost of the pass and the numbers it produces.  Analyses come from
+     the warm cache; the wall time is selection + codegen + target
+     simulation only. *)
+  let timing_model =
+    let suite =
+      (Asipfb.Pipeline.run_suite ~engine:cached ~on_error:`Raise ()).analyses
+    in
+    List.map
+      (fun u ->
+        let t, reports =
+          wall (fun () ->
+              List.map
+                (fun a ->
+                  Asipfb.Timing.of_analysis ~uarch:u a
+                    Asipfb_sched.Opt_level.O1)
+                suite)
+        in
+        let mean f =
+          List.fold_left (fun acc r -> acc +. f r) 0.0 reports
+          /. Float.max 1.0 (float_of_int (List.length reports))
+        in
+        ( Asipfb_asip.Uarch.name u,
+          t,
+          mean (fun (r : Asipfb.Timing.report) -> r.t_estimated_speedup),
+          mean (fun (r : Asipfb.Timing.report) -> r.t_measured_speedup) ))
+      [ Asipfb_asip.Uarch.flat; Asipfb_asip.Uarch.risc5 ]
+  in
+  let timing_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (name, s, est, meas) ->
+           Printf.sprintf
+             "{\"uarch\": \"%s\", \"seconds\": %.6f, \
+              \"estimated_speedup\": %.3f, \"measured_speedup\": %.3f}"
+             name s est meas)
+         timing_model)
+  in
   let sweep_json =
     String.concat ", "
       (List.map
@@ -216,7 +258,7 @@ let engine_baseline ~path =
   let json =
     Printf.sprintf
       "{\n\
-      \  \"schema_version\": 5,\n\
+      \  \"schema_version\": 6,\n\
       \  \"recommended_domain_count\": %d,\n\
       \  \"jobs\": %d,\n\
       \  \"sequential_s\": %.6f,\n\
@@ -237,6 +279,9 @@ let engine_baseline ~path =
       \  \"sim_instrs_per_s\": %.0f,\n\
       \  \"sim_ref_instrs_per_s\": %.0f,\n\
       \  \"sim_speedup\": %.3f,\n\
+      \  \"timing_model\": [\n\
+      \    %s\n\
+      \  ],\n\
       \  \"stages\": %s\n\
        }\n"
       recommended best_jobs seq_s par_s par_speedup sweep_json cold_s warm_s
@@ -248,7 +293,7 @@ let engine_baseline ~path =
          (Asipfb_service.Api.engine_stats_to_json warm))
       corpus_programs corpus_s
       (float_of_int corpus_programs /. Float.max 1e-9 corpus_s)
-      corpus_sum.dynamic_ops sim_ips sim_ref_ips sim_speedup
+      corpus_sum.dynamic_ops sim_ips sim_ref_ips sim_speedup timing_json
       (Metrics.to_json Metrics.global)
   in
   Out_channel.with_open_text path (fun oc -> output_string oc json);
@@ -269,7 +314,13 @@ let engine_baseline ~path =
     (warm.base.misses + warm.sched.misses)
     verify_s corpus_programs corpus_s
     (float_of_int corpus_programs /. Float.max 1e-9 corpus_s)
-    corpus_sum.ok (sim_ips /. 1e6) (sim_ref_ips /. 1e6) sim_speedup
+    corpus_sum.ok (sim_ips /. 1e6) (sim_ref_ips /. 1e6) sim_speedup;
+  List.iter
+    (fun (name, s, est, meas) ->
+      Printf.printf
+        "timing model (%s): %.3fs, mean estimated %.2fx, measured %.2fx\n"
+        name s est meas)
+    timing_model
 
 let flag_value name =
   let n = Array.length Sys.argv in

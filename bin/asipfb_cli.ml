@@ -247,42 +247,65 @@ let cmd_coverage name level budget json =
           end)
         (find_benchmark name))
 
-let cmd_design name area dot =
+let cmd_design name area uarch clock dot json =
   wrap (fun () ->
+      let* u = Asipfb.Timing.uarch_of ?clock uarch in
       Result.map
         (fun b ->
           let a = Asipfb.Pipeline.analyze b in
-          let sched = Asipfb.Pipeline.sched a Asipfb_sched.Opt_level.O1 in
-          let config =
-            { Asipfb_asip.Select.default_config with area_budget = area }
-          in
-          let choices =
-            Asipfb_asip.Select.choose config sched ~profile:a.profile
-          in
-          let est =
-            Asipfb_asip.Speedup.estimate choices ~profile:a.profile
-          in
-          print_string (Asipfb_asip.Isa.render choices);
-          let nets = List.map Asipfb_asip.Netlist.of_choice choices in
-          print_string (Asipfb_asip.Netlist.summary nets);
-          Printf.printf
-            "baseline %d cycles -> %d cycles: speedup %.2fx (area %.1f)\n"
-            est.baseline_cycles est.asip_cycles est.speedup est.total_area;
-          match dot with
-          | Some path ->
-              let oc = open_out path in
-              output_string oc (Asipfb_asip.Netlist.to_dot nets);
-              close_out oc;
-              Printf.printf "netlist written to %s\n" path
-          | None -> ())
+          if json then
+            (* The same assembly the daemon's "timing" op answers with,
+               so offline --json bytes equal the wire payload. *)
+            print_endline
+              (Asipfb_service.Json.to_string
+                 (Asipfb_service.Api.timing_report_to_json
+                    (Asipfb.Timing.of_analysis ~uarch:u ~area a
+                       Asipfb_sched.Opt_level.O1)))
+          else begin
+            let sched = Asipfb.Pipeline.sched a Asipfb_sched.Opt_level.O1 in
+            let config =
+              { Asipfb_asip.Select.default_config with area_budget = area;
+                uarch = u }
+            in
+            let choices, rejected =
+              Asipfb_asip.Select.choose_report config sched
+                ~profile:a.profile
+            in
+            let est =
+              Asipfb_asip.Speedup.estimate ~uarch:u ~prog:a.prog choices
+                ~profile:a.profile
+            in
+            List.iter
+              (fun d ->
+                prerr_endline ("asipfb: " ^ Asipfb_diag.Diag.to_string d))
+              rejected;
+            print_string (Asipfb_asip.Isa.render choices);
+            let nets = List.map Asipfb_asip.Netlist.of_choice choices in
+            print_string (Asipfb_asip.Netlist.summary nets);
+            (* The per-instruction timing-closure lines only appear when a
+               machine description was asked for, keeping the flat default
+               output byte-stable. *)
+            if uarch <> "flat" || clock <> None then
+              print_string (Asipfb_asip.Netlist.timing_summary ~uarch:u nets);
+            Printf.printf
+              "baseline %d cycles -> %d cycles: speedup %.2fx (area %.1f)\n"
+              est.baseline_cycles est.asip_cycles est.speedup est.total_area;
+            match dot with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Asipfb_asip.Netlist.to_dot nets);
+                close_out oc;
+                Printf.printf "netlist written to %s\n" path
+            | None -> ()
+          end)
         (find_benchmark name))
 
 let artifact_names =
   [ "table1"; "figure3"; "figure4"; "figure_l3"; "figure_l5"; "table2";
     "figure5"; "figure6";
     "table3"; "ilp"; "asip"; "vliw"; "resched"; "ablation_pipelining";
-    "ablation_cleanup"; "codegen"; "ablation_motion"; "opmix"; "extra";
-    "validation_unroll" ]
+    "ablation_cleanup"; "codegen"; "timing"; "ablation_motion"; "opmix";
+    "extra"; "validation_unroll" ]
 
 (* Write the machine-readable error report — the Service.Api diagnostics
    envelope, so file reports, lint --json, and daemon error frames all
@@ -313,9 +336,17 @@ type engine_opts = {
   retries : int;
   retry_backoff : float;
   task_timeout : float option;
+  uarch : string;
+  clock : float option;
 }
 
+(* Resolve the machine-description flags to a Uarch.t; an unknown preset
+   or non-positive clock is a clean one-line error. *)
+let resolve_uarch (o : engine_opts) =
+  Asipfb.Timing.uarch_of ?clock:o.clock o.uarch
+
 let make_engine (o : engine_opts) =
+  let* uarch = resolve_uarch o in
   let* chaos =
     match (o.chaos_seed, o.chaos_rate) with
     | None, Some _ -> Error "--chaos-rate requires --chaos-seed"
@@ -340,7 +371,8 @@ let make_engine (o : engine_opts) =
   let jobs = if o.jobs = 0 then None else Some o.jobs in
   Ok
     (Asipfb_engine.Engine.create ?jobs ?cache_dir:o.cache_dir
-       ~cache:(not o.no_cache) ~policy ?chaos ())
+       ~cache:(not o.no_cache) ~policy ?chaos
+       ~uarch:(Asipfb_asip.Uarch.key uarch) ())
 
 let jobs_arg =
   let doc =
@@ -398,15 +430,35 @@ let task_timeout_arg =
   Arg.(value & opt (some float) None
        & info [ "task-timeout" ] ~docv:"SECONDS" ~doc)
 
+let uarch_arg =
+  let doc =
+    Printf.sprintf
+      "Microarchitecture preset for the timing model (one of: %s).  \
+       $(b,flat) is the legacy single-cycle model; $(b,risc5) pipelines \
+       multi-cycle multiply/divide/load/float units behind a tighter \
+       clock."
+      (String.concat ", " Asipfb_asip.Uarch.names)
+  in
+  Arg.(value & opt string "flat" & info [ "uarch" ] ~docv:"NAME" ~doc)
+
+let clock_arg =
+  let doc =
+    "Override the preset's clock period (the combinational-delay budget \
+     per cycle, in adder-delay units).  Chains whose critical path \
+     exceeds it are rejected with a structured clock-violation \
+     diagnostic."
+  in
+  Arg.(value & opt (some float) None & info [ "clock" ] ~docv:"PERIOD" ~doc)
+
 let engine_opts_term =
   let mk jobs cache_dir no_cache chaos_seed chaos_rate retries retry_backoff
-      task_timeout =
+      task_timeout uarch clock =
     { jobs; cache_dir; no_cache; chaos_seed; chaos_rate; retries;
-      retry_backoff; task_timeout }
+      retry_backoff; task_timeout; uarch; clock }
   in
   Term.(const mk $ jobs_arg $ cache_dir_arg $ no_cache_arg $ chaos_seed_arg
         $ chaos_rate_arg $ retries_arg $ retry_backoff_arg
-        $ task_timeout_arg)
+        $ task_timeout_arg $ uarch_arg $ clock_arg)
 
 let timings_arg =
   let doc =
@@ -524,6 +576,7 @@ let diag_json_arg =
 let cmd_report artifact keep_going diag_json verify opts timings =
   wrap (fun () ->
       let* verify = find_verify_mode verify in
+      let* uarch = resolve_uarch opts in
       let* engine = make_engine opts in
       let suite = run_suite ~verify ~engine ~keep_going ~diag_json () in
       let finish r = if timings then print_timings engine; r in
@@ -544,14 +597,15 @@ let cmd_report artifact keep_going diag_json verify opts timings =
             Ok (Asipfb.Experiments.figure_per_benchmark suite ~length:4)
         | "table3" -> Ok (Asipfb.Experiments.table3 suite)
         | "ilp" -> Ok (Asipfb.Experiments.ilp_report suite)
-        | "asip" -> Ok (Asipfb.Experiments.asip_report suite)
-        | "vliw" -> Ok (Asipfb.Experiments.vliw_report suite)
-        | "resched" -> Ok (Asipfb.Experiments.resched_report suite)
+        | "asip" -> Ok (Asipfb.Experiments.asip_report ~uarch suite)
+        | "vliw" -> Ok (Asipfb.Experiments.vliw_report ~uarch suite)
+        | "resched" -> Ok (Asipfb.Experiments.resched_report ~uarch suite)
         | "ablation_pipelining" ->
             Ok (Asipfb.Experiments.ablation_pipelining suite)
         | "ablation_cleanup" ->
             Ok (Asipfb.Experiments.ablation_cleanup suite)
-        | "codegen" -> Ok (Asipfb.Experiments.codegen_report suite)
+        | "codegen" -> Ok (Asipfb.Experiments.codegen_report ~uarch suite)
+        | "timing" -> Ok (Asipfb.Experiments.timing_report ~uarch suite)
         | "ablation_motion" ->
             Ok (Asipfb.Experiments.ablation_motion suite)
         | "opmix" -> Ok (Asipfb.Experiments.opmix_report suite)
@@ -793,7 +847,7 @@ let lint_cmd =
    a counterexample) that each scheduled program refines its original.
    --corrupt deliberately mutates the schedule first — the self-test the
    CI smoke gate runs to check the checker still rejects. *)
-let cmd_equiv name level corrupt seed =
+let cmd_equiv name level corrupt seed uarch clock =
   let module Equiv = Asipfb_verify.Equiv in
   let module Mutate = Asipfb_verify.Mutate in
   wrap (fun () ->
@@ -806,6 +860,18 @@ let cmd_equiv name level corrupt seed =
         match level with
         | None -> Ok Asipfb_sched.Opt_level.all
         | Some s -> Result.map (fun l -> [ l ]) (find_level s)
+      in
+      (* With a machine description the run also validates timing
+         closure: every selected chain must fit the clock and the
+         measured speedup must agree with the estimate.  Without the
+         flags the output is byte-identical to the legacy behavior. *)
+      let* timing_uarch =
+        match (uarch, clock) with
+        | None, None -> Ok None
+        | name, clock ->
+            Result.map Option.some
+              (Asipfb.Timing.uarch_of ?clock
+                 (Option.value name ~default:"flat"))
       in
       let* kind =
         match corrupt with
@@ -867,6 +933,50 @@ let cmd_equiv name level corrupt seed =
                         counterexample))
             levels)
         benchmarks;
+      (match timing_uarch with
+      | None -> ()
+      | Some u ->
+          List.iter
+            (fun (b : Asipfb_bench_suite.Benchmark.t) ->
+              let a = Asipfb.Pipeline.analyze b in
+              List.iter
+                (fun lvl ->
+                  let tag =
+                    Printf.sprintf "%s %s" b.name
+                      (Asipfb_sched.Opt_level.to_string lvl)
+                  in
+                  let r = Asipfb.Timing.of_analysis ~uarch:u a lvl in
+                  let violations =
+                    List.filter
+                      (fun (c : Asipfb.Timing.chain_report) ->
+                        c.cr_slack < -1e-9)
+                      r.t_chains
+                  in
+                  if violations <> [] then begin
+                    incr failed;
+                    List.iter
+                      (fun (c : Asipfb.Timing.chain_report) ->
+                        Printf.printf
+                          "%s: TIMING VIOLATION %s delay %.2f > clock %.2f\n"
+                          tag c.cr_mnemonic c.cr_delay r.t_clock)
+                      violations
+                  end
+                  else if not (Asipfb.Timing.agrees r) then begin
+                    incr failed;
+                    Printf.printf
+                      "%s: TIMING DISAGREEMENT estimated %.2fx vs measured \
+                       %.2fx (tolerance %.0f%%)\n"
+                      tag r.t_estimated_speedup r.t_measured_speedup
+                      (100.0 *. Asipfb_asip.Speedup.agreement_tolerance)
+                  end
+                  else
+                    Printf.printf
+                      "%s: timing closed (%s, estimated %.2fx, measured \
+                       %.2fx)\n"
+                      tag r.t_uarch r.t_estimated_speedup
+                      r.t_measured_speedup)
+                levels)
+            benchmarks);
       Printf.printf "%d pair(s) checked, %d refinement failure(s)\n"
         (List.length benchmarks * List.length levels)
         !failed;
@@ -896,12 +1006,21 @@ let equiv_cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
            ~doc:"Mutation-site PRNG seed for $(b,--corrupt).")
   in
+  let equiv_uarch =
+    Arg.(value & opt (some string) None
+         & info [ "uarch" ] ~docv:"NAME"
+             ~doc:
+               "Also validate timing closure under this microarchitecture \
+                preset: every selected chain must fit the clock and the \
+                measured speedup must agree with the estimate.")
+  in
   Cmd.v
     (Cmd.info "equiv"
        ~doc:
          "Translation validation: prove each scheduled program refines \
           its original, or refute with a concrete counterexample trace.")
-    Term.(const cmd_equiv $ benchmark $ level $ corrupt $ seed)
+    Term.(const cmd_equiv $ benchmark $ level $ corrupt $ seed
+          $ equiv_uarch $ clock_arg)
 
 (* --- analysis service: serve + client ------------------------------------ *)
 
@@ -1015,6 +1134,9 @@ let render_payload (p : Service.Api.payload) =
   | Service.Api.Sample { source; _ } ->
       print_string source;
       Ok ()
+  | Service.Api.Timing_result r ->
+      json (Service.Api.timing_report_to_json r);
+      Ok ()
 
 let run_client socket meta req =
   let* c = Service.Client.connect ~socket in
@@ -1070,6 +1192,12 @@ let cmd_client_corpus_sample seed index size socket meta =
   wrap (fun () ->
       run_client socket meta
         (Service.Api.Corpus_sample { seed; index; size }))
+
+let cmd_client_timing name level uarch clock socket meta =
+  wrap (fun () ->
+      let* level = find_level level in
+      run_client socket meta
+        (Service.Api.Timing { benchmark = name; level; uarch; clock }))
 
 let client_cmd =
   let simple name ~doc req =
@@ -1141,6 +1269,13 @@ let client_cmd =
            ~doc:"Regenerate one corpus program's source via the daemon.")
         Term.(const cmd_client_corpus_sample $ seed $ index $ size
               $ socket_arg $ meta_arg);
+      Cmd.v
+        (Cmd.info "timing"
+           ~doc:
+             "Timing-closure report (estimated vs. measured speedup, \
+              per-chain slack) via the daemon.")
+        Term.(const cmd_client_timing $ benchmark_arg $ level_arg
+              $ uarch_arg $ clock_arg $ socket_arg $ meta_arg);
     ]
 
 (* --- command wiring ------------------------------------------------------ *)
@@ -1226,10 +1361,22 @@ let design_cmd =
              ~doc:"Also write the chained units' structural netlists as a \
                    Graphviz file.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Print the timing-closure report as JSON (the service \
+                schema's timing-report object; byte-identical to the \
+                daemon's response for the same query).  Includes the \
+                measured Tsim speedup next to the counting estimate.")
+  in
   Cmd.v
     (Cmd.info "design"
-       ~doc:"Select a chained-instruction set under an area budget.")
-    Term.(const cmd_design $ benchmark_arg $ area_arg $ dot)
+       ~doc:
+         "Select a chained-instruction set under an area budget and a \
+          machine description's clock.")
+    Term.(const cmd_design $ benchmark_arg $ area_arg $ uarch_arg
+          $ clock_arg $ dot $ json)
 
 let cmd_export dir keep_going diag_json verify opts timings =
   wrap (fun () ->

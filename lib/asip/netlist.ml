@@ -1,11 +1,8 @@
 type port = { port_name : string; direction : [ `In | `Out ] }
 
-type node = {
-  node_name : string;
-  unit_class : string;
-  area : float;
-  delay : float;
-}
+(* Nodes carry only their unit class: area and delay are looked up in the
+   cost model / machine description, never duplicated per node. *)
+type node = { node_name : string; unit_class : string }
 
 type wire = { from_end : string; to_end : string; is_forwarding : bool }
 
@@ -37,13 +34,7 @@ let is_store cls = cls = "store" || cls = "fstore"
 let of_choice (c : Select.choice) : t =
   let nodes =
     List.mapi
-      (fun idx cls ->
-        {
-          node_name = short_node cls idx;
-          unit_class = cls;
-          area = Cost.unit_area cls;
-          delay = Cost.unit_delay cls;
-        })
+      (fun idx cls -> { node_name = short_node cls idx; unit_class = cls })
       c.classes
   in
   (* Operand ports: two for the first unit, one extra per later unit (its
@@ -100,9 +91,24 @@ let of_choice (c : Select.choice) : t =
     wires = operand_wires @ forwarding_wires @ result_wires;
   }
 
-let total_area t = Asipfb_util.Listx.sum_by (fun n -> n.area) t.nodes
+let total_area t =
+  Asipfb_util.Listx.sum_by (fun n -> Cost.unit_area n.unit_class) t.nodes
 
-let critical_delay t = Asipfb_util.Listx.sum_by (fun n -> n.delay) t.nodes
+let critical_delay ?(uarch = Uarch.flat) t =
+  Asipfb_util.Listx.sum_by
+    (fun n -> Uarch.unit_delay uarch n.unit_class)
+    t.nodes
+
+(* Cumulative arrival time at each node's output as the data ripples down
+   the forwarding chain — the per-instruction critical path. *)
+let critical_path ?(uarch = Uarch.flat) t =
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (arrival, acc) (n : node) ->
+            let arrival = arrival +. Uarch.unit_delay uarch n.unit_class in
+            (arrival, (n.node_name, n.unit_class, arrival) :: acc))
+          (0.0, []) t.nodes))
 
 let to_dot nets =
   let buf = Buffer.create 2048 in
@@ -145,4 +151,16 @@ let summary nets =
          Printf.sprintf "%-28s %d FUs  area %5.1f  delay %4.2f\n"
            t.netlist_name (List.length t.nodes) (total_area t)
            (critical_delay t))
+       nets)
+
+let timing_summary ~uarch nets =
+  let clock = Uarch.clock uarch in
+  String.concat ""
+    (List.map
+       (fun t ->
+         let delay = critical_delay ~uarch t in
+         let slack = clock -. delay in
+         Printf.sprintf "%-28s delay %4.2f  clock %4.2f  slack %+5.2f  %s\n"
+           t.netlist_name delay clock slack
+           (if slack >= -1e-9 then "fits" else "VIOLATES"))
        nets)

@@ -6,15 +6,17 @@
     instruction, a small structural netlist — operand ports, one
     functional-unit node per chain member, the forwarding wires between
     them, and the result port — plus a Graphviz rendering of the whole
-    extension datapath. *)
+    extension datapath.
+
+    Nodes carry only their unit class; area is looked up in {!Cost} and
+    timing in the machine description ({!Uarch}), so the scalars are
+    never duplicated per node. *)
 
 type port = { port_name : string; direction : [ `In | `Out ] }
 
 type node = {
   node_name : string;  (** Unique within the netlist, e.g. "mul0". *)
   unit_class : string;  (** Chain class implemented by this FU. *)
-  area : float;
-  delay : float;
 }
 
 type wire = {
@@ -39,10 +41,23 @@ val of_choice : Select.choice -> t
     ending in a store exposes no result port. *)
 
 val total_area : t -> float
-val critical_delay : t -> float
+
+val critical_delay : ?uarch:Uarch.t -> t -> float
+(** Combinational critical path through the cascade under [uarch]
+    (default {!Uarch.flat}). *)
+
+val critical_path : ?uarch:Uarch.t -> t -> (string * string * float) list
+(** Per-node cumulative arrival times down the forwarding chain:
+    [(node_name, unit_class, arrival)] in datapath order — the last
+    entry's arrival is {!critical_delay}. *)
 
 val to_dot : t list -> string
 (** All chained units as one Graphviz digraph, one cluster per unit. *)
 
 val summary : t list -> string
-(** One line per netlist: name, FUs, area, delay. *)
+(** One line per netlist: name, FUs, area, delay (legacy flat timing,
+    byte-stable for existing goldens). *)
+
+val timing_summary : uarch:Uarch.t -> t list -> string
+(** One line per netlist: critical path, clock, slack, and whether the
+    cascade fits the configured clock period. *)

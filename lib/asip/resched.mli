@@ -21,6 +21,7 @@ type estimate = {
 }
 
 val estimate :
+  ?uarch:Uarch.t ->
   Asipfb_sched.Schedule.t ->
   profile:Asipfb_sim.Profile.t ->
   choices:Select.choice list ->
@@ -28,4 +29,6 @@ val estimate :
   estimate
 (** [estimate sched ~profile ~choices ~detections] — [detections] must be
     the detector output the [choices] were made from (it carries the
-    static occurrences whose edges are collapsed). *)
+    static occurrences whose edges are collapsed).  With [?uarch], flow
+    edges and issue costs carry per-opcode latencies (the default
+    reproduces the legacy single-cycle lengths). *)

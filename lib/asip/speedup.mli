@@ -1,18 +1,42 @@
 (** Cycle-count speedup estimation for a chosen chained-instruction set.
 
-    The baseline machine executes one operation per cycle, so baseline
-    cycles = total dynamic operations (the profile total).  Each dynamic
-    occurrence of a chosen length-k chain executes in one chained cycle
-    instead of k, saving k−1 cycles.  Selection masked overlapping
-    occurrences, so savings add. *)
+    The baseline machine executes each operation in its uarch latency
+    (one cycle per op under {!Uarch.flat}, where baseline cycles equal
+    the profile total exactly).  Each dynamic occurrence of a chosen
+    chain executes in the chained instruction's cycles instead of its
+    members' summed latencies; selection masked overlapping occurrences,
+    so savings add. *)
+
+type chain_timing = {
+  ct_classes : string list;
+  ct_delay : float;  (** Critical path through the cascade. *)
+  ct_slack : float;  (** Clock period minus critical path. *)
+}
 
 type estimate = {
-  baseline_cycles : int;
+  baseline_cycles : int;  (** Latency-weighted dynamic cycles. *)
   saved_cycles : int;
   asip_cycles : int;
   speedup : float;  (** baseline / asip; 1.0 when nothing was chosen. *)
   total_area : float;  (** Area of all chosen chained units. *)
+  uarch_name : string;
+  clock : float;  (** Effective clock period of the uarch. *)
+  chain_timings : chain_timing list;
+      (** Critical-path slack of each chosen instruction, in selection
+          order. *)
 }
 
+val agreement_tolerance : float
+(** Pinned bound on the relative gap between this estimate's speedup and
+    {!Tsim}'s measured speedup — asserted by the property tests and the
+    timing smoke under both presets. *)
+
 val estimate :
-  Select.choice list -> profile:Asipfb_sim.Profile.t -> estimate
+  ?uarch:Uarch.t ->
+  ?prog:Asipfb_ir.Prog.t ->
+  Select.choice list ->
+  profile:Asipfb_sim.Profile.t ->
+  estimate
+(** [uarch] defaults to {!Uarch.flat}.  With [prog], baseline cycles are
+    latency-weighted over the program's instructions; without it they
+    fall back to the profile total (exact for [flat]). *)

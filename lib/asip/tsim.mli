@@ -7,15 +7,27 @@
     literally the same code as {!Asipfb_sim.Interp}'s — this module only
     owns chained dispatch and the cycle model — which turns the selection
     stage's *estimated* speedup into a *measured* one, with output
-    equality against the base program checked by the test suite. *)
+    equality against the base program checked by the test suite.
+
+    With a machine description ([?uarch]), the cycle model charges real
+    latencies: a base op costs its class latency, a chained instruction
+    its critical-path cycles, and [baseline_cycles] prices the same
+    execution with every op at its own latency and no chaining.  Without
+    one, the legacy flat model applies (every slot one cycle, baseline =
+    dynamic op count) — bit-identical to the pre-uarch simulator. *)
 
 exception Runtime_error of string
 
 type outcome = {
   return_value : Asipfb_sim.Value.t option;
   memory : Asipfb_sim.Memory.t;
-  cycles : int;  (** Executed target instructions (labels free). *)
-  chained_executed : int;  (** How many cycles were chained instructions. *)
+  cycles : int;
+      (** Executed cycles under the cycle model (labels free); equals
+          executed target instructions on the flat model. *)
+  baseline_cycles : int;
+      (** Latency-weighted cycles of the same execution without chaining;
+          equals [ops_executed] on the flat model. *)
+  chained_executed : int;  (** How many executed slots were chained. *)
   ops_executed : int;
       (** Underlying operations, including those inside chains — equals the
           base simulator's dynamic count on equivalent code. *)
@@ -24,10 +36,11 @@ type outcome = {
 val run :
   ?fuel:int ->
   ?inputs:(string * Asipfb_sim.Value.t array) list ->
+  ?uarch:Uarch.t ->
   Target.tprog ->
   outcome
 (** @raise Runtime_error on traps, unknown labels, or fuel exhaustion. *)
 
 val measured_speedup : outcome -> float
-(** ops_executed / cycles — the cycle-count win the chained ISA delivers
-    on this input. *)
+(** baseline_cycles / cycles — the cycle-count win the chained ISA
+    delivers on this input under the simulated machine. *)

@@ -1,0 +1,116 @@
+module Diag = Asipfb_diag.Diag
+module Chainop = Asipfb_chain.Chainop
+
+type op_timing = { latency : int; ii : int; delay : float }
+
+type t = {
+  uarch_name : string;
+  clock_period : float;
+  timings : (string * op_timing) list;
+}
+
+let name u = u.uarch_name
+let clock u = u.clock_period
+
+let with_clock u ~clock =
+  if clock <= 0.0 then invalid_arg "Uarch.with_clock: non-positive clock";
+  { u with clock_period = clock }
+
+let key u = Printf.sprintf "%s@%g" u.uarch_name u.clock_period
+
+(* Single-cycle fully pipelined unit. *)
+let t1 delay = { latency = 1; ii = 1; delay }
+
+(* Pipelined multi-cycle unit (accepts a new op every cycle). *)
+let piped latency delay = { latency; ii = 1; delay }
+
+(* Non-pipelined multi-cycle unit (ii = latency). *)
+let blocking latency delay = { latency; ii = latency; delay }
+
+(* The delays are the historical Cost table verbatim: under [flat] every
+   derived number must match the pre-uarch pipeline byte-for-byte. *)
+let flat =
+  {
+    uarch_name = "flat";
+    clock_period = 1.8;
+    timings =
+      [
+        ("add", t1 0.30); ("subtract", t1 0.30);
+        ("multiply", t1 0.75); ("divide", t1 1.60);
+        ("logic", t1 0.10); ("shift", t1 0.20);
+        ("compare", t1 0.25);
+        ("load", t1 0.55); ("store", t1 0.50);
+        ("fadd", t1 0.60); ("fsub", t1 0.60);
+        ("fmultiply", t1 0.85); ("fdivide", t1 1.90);
+        ("fcompare", t1 0.35);
+        ("fload", t1 0.55); ("fstore", t1 0.50);
+      ];
+  }
+
+(* A pipelined 5-stage RISC-style scalar core.  The tighter 1.5 clock
+   vetoes cascades the flat model accepted (anything in (1.5, 1.8]), and
+   the multi-cycle latencies make chains that absorb a multiply or a load
+   worth more than the same number of single-cycle ALU ops. *)
+let risc5 =
+  {
+    uarch_name = "risc5";
+    clock_period = 1.5;
+    timings =
+      [
+        ("add", t1 0.30); ("subtract", t1 0.30);
+        ("multiply", piped 3 0.75); ("divide", blocking 16 1.60);
+        ("logic", t1 0.10); ("shift", t1 0.20);
+        ("compare", t1 0.25);
+        ("load", piped 2 0.55); ("store", t1 0.50);
+        ("fadd", piped 3 0.60); ("fsub", piped 3 0.60);
+        ("fmultiply", piped 4 0.85); ("fdivide", blocking 20 1.90);
+        ("fcompare", piped 2 0.35);
+        ("fload", piped 2 0.55); ("fstore", t1 0.50);
+      ];
+  }
+
+let presets = [ flat; risc5 ]
+let names = List.map name presets
+let find n = List.find_opt (fun u -> u.uarch_name = n) presets
+
+let timing_opt u cls = List.assoc_opt cls u.timings
+
+let timing u cls =
+  match timing_opt u cls with
+  | Some t -> t
+  | None ->
+      raise
+        (Diag.Diag_error
+           (Diag.make ~stage:Diag.Selection
+              ~context:
+                [ ("kind", "unknown-chain-class"); ("class", cls);
+                  ("uarch", u.uarch_name) ]
+              (Printf.sprintf "unknown chain class %S (uarch %s)" cls
+                 u.uarch_name)))
+
+let unit_delay u cls = (timing u cls).delay
+let latency u cls = (timing u cls).latency
+let ii u cls = (timing u cls).ii
+
+let instr_latency u i =
+  match Chainop.class_of i with
+  | Some cls -> (
+      match timing_opt u cls with Some t -> t.latency | None -> 1)
+  | None -> 1
+
+let chain_delay u classes =
+  Asipfb_util.Listx.sum_by (unit_delay u) classes
+
+let chain_latency u classes =
+  List.fold_left (fun acc cls -> acc + latency u cls) 0 classes
+
+(* Tiny epsilon so a path exactly equal to the clock stays one cycle even
+   when the float sum lands a last-ulp above it. *)
+let eps = 1e-9
+
+let chain_cycles u classes =
+  let d = chain_delay u classes in
+  max 1 (int_of_float (Float.ceil ((d /. u.clock_period) -. eps)))
+
+let chain_slack u classes = u.clock_period -. chain_delay u classes
+let fits_clock u classes = chain_delay u classes <= u.clock_period +. eps

@@ -205,16 +205,30 @@ let ilp_report suite =
     ~headers:[ "Benchmark"; "ILP O0"; "ILP O1"; "ILP O2" ]
     ~rows ()
 
-let asip_report suite =
+(* The selection config for an optional machine description: [None]
+   reproduces the legacy flat-model choices (and output bytes) exactly. *)
+let select_config uarch =
+  match uarch with
+  | None -> Asipfb_asip.Select.default_config
+  | Some u -> { Asipfb_asip.Select.default_config with uarch = u }
+
+let uarch_estimate uarch (a : Pipeline.analysis) choices =
+  match uarch with
+  | None -> Asipfb_asip.Speedup.estimate choices ~profile:a.profile
+  | Some u ->
+      Asipfb_asip.Speedup.estimate ~uarch:u ~prog:a.prog choices
+        ~profile:a.profile
+
+let asip_report ?uarch suite =
   let buf = Buffer.create 2048 in
   List.iter
     (fun (a : Pipeline.analysis) ->
       let sched = Pipeline.sched a Opt_level.O1 in
       let choices =
-        Asipfb_asip.Select.choose Asipfb_asip.Select.default_config sched
+        Asipfb_asip.Select.choose (select_config uarch) sched
           ~profile:a.profile
       in
-      let est = Asipfb_asip.Speedup.estimate choices ~profile:a.profile in
+      let est = uarch_estimate uarch a choices in
       Buffer.add_string buf
         (Printf.sprintf
            "%s: %d chained instructions, area %.1f, cycles %d -> %d (speedup %.2fx)\n"
@@ -228,14 +242,19 @@ let total_detection suite_rows =
   Asipfb_util.Listx.sum_by (fun (e : Combine.entry) -> e.combined_freq)
     suite_rows
 
-let vliw_report suite =
+let vliw_report ?uarch suite =
   let widths = [ 1; 2; 4; 8 ] in
+  let latency =
+    Option.map
+      (fun u i -> Asipfb_asip.Uarch.instr_latency u i)
+      uarch
+  in
   let rows =
     List.map
       (fun (a : Pipeline.analysis) ->
         let sched = Pipeline.sched a Opt_level.O1 in
         let est =
-          Asipfb_sched.Vliw.characterize ~widths sched.prog
+          Asipfb_sched.Vliw.characterize ~widths ?latency sched.prog
             ~profile:a.profile
         in
         a.benchmark.name
@@ -250,12 +269,12 @@ let vliw_report suite =
     ~headers:[ "Benchmark"; "1-issue"; "2-issue"; "4-issue"; "8-issue" ]
     ~rows ()
 
-let resched_report suite =
+let resched_report ?uarch suite =
   let rows =
     List.map
       (fun (a : Pipeline.analysis) ->
         let sched = Pipeline.sched a Opt_level.O1 in
-        let config = Asipfb_asip.Select.default_config in
+        let config = select_config uarch in
         let choices =
           Asipfb_asip.Select.choose config sched ~profile:a.profile
         in
@@ -268,12 +287,10 @@ let resched_report suite =
                 sched ~profile:a.profile)
             config.lengths
         in
-        let counting =
-          Asipfb_asip.Speedup.estimate choices ~profile:a.profile
-        in
+        let counting = uarch_estimate uarch a choices in
         let schedule_level =
-          Asipfb_asip.Resched.estimate sched ~profile:a.profile ~choices
-            ~detections
+          Asipfb_asip.Resched.estimate ?uarch sched ~profile:a.profile
+            ~choices ~detections
         in
         [ a.benchmark.name;
           Printf.sprintf "%.2fx" counting.speedup;
@@ -361,7 +378,7 @@ let ablation_cleanup suite =
   in
   top "without cleanup" raw_total ^ top "with cleanup" cleaned_total
 
-let codegen_report suite =
+let codegen_report ?uarch suite =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     "| Benchmark | chained execs | measured cycles | measured | estimated |\n";
@@ -371,12 +388,12 @@ let codegen_report suite =
     (fun (a : Pipeline.analysis) ->
       let sched = Pipeline.sched a Opt_level.O1 in
       let choices =
-        Asipfb_asip.Select.choose Asipfb_asip.Select.default_config sched
+        Asipfb_asip.Select.choose (select_config uarch) sched
           ~profile:a.profile
       in
       let target = Asipfb_asip.Codegen.generate_for_choices ~choices a.prog in
       let inputs = a.benchmark.inputs () in
-      let t_out = Asipfb_asip.Tsim.run target ~inputs in
+      let t_out = Asipfb_asip.Tsim.run ?uarch target ~inputs in
       (* Assert output equality against the reference run. *)
       List.iter
         (fun region ->
@@ -391,9 +408,7 @@ let codegen_report suite =
               (Printf.sprintf "codegen output mismatch: %s/%s"
                  a.benchmark.name region))
         a.benchmark.output_regions;
-      let estimate =
-        Asipfb_asip.Speedup.estimate choices ~profile:a.profile
-      in
+      let estimate = uarch_estimate uarch a choices in
       Buffer.add_string buf
         (Printf.sprintf "| %-9s | %13d | %15d | %7.2fx | %8.2fx |\n"
            a.benchmark.name t_out.chained_executed t_out.cycles
@@ -576,6 +591,13 @@ let extra_report _suite =
            (Asipfb_asip.Tsim.measured_speedup t_out)))
     Asipfb_bench_suite.Extra.all;
   Buffer.contents buf
+
+let timing_report ?uarch suite =
+  String.concat ""
+    (List.map
+       (fun (a : Pipeline.analysis) ->
+         Timing.to_text (Timing.of_analysis ?uarch a Opt_level.O1))
+       suite)
 
 let validation_unroll suite =
   let unrolled_entries =

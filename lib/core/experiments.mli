@@ -48,16 +48,20 @@ val ilp_report : suite -> string
 (** Extension X1: per-benchmark ops/cycle after compaction at each level —
     the multiple-issue characterization the paper's conclusion proposes. *)
 
-val asip_report : suite -> string
+val asip_report : ?uarch:Asipfb_asip.Uarch.t -> suite -> string
 (** Extension X2: chained-instruction selection under an area budget and
-    the estimated per-benchmark cycle-count speedup. *)
+    the estimated per-benchmark cycle-count speedup.  With [?uarch] the
+    selection is latency-weighted and clock-vetoed under that machine
+    description; the default reproduces the flat-model output bytes. *)
 
-val vliw_report : suite -> string
+val vliw_report : ?uarch:Asipfb_asip.Uarch.t -> suite -> string
 (** Extension X3: resource-constrained multiple-issue characterization —
     estimated dynamic cycles and speedup at issue widths 1/2/4/8 over the
-    O1-transformed code (the paper's proposed next feedback channel). *)
+    O1-transformed code (the paper's proposed next feedback channel).
+    With [?uarch] list scheduling uses per-opcode latencies as DDG edge
+    weights. *)
 
-val resched_report : suite -> string
+val resched_report : ?uarch:Asipfb_asip.Uarch.t -> suite -> string
 (** Extension X4: schedule-level speedup of the selected chain set
     (critical-path shortening on the compacted schedule) next to the
     counting estimate of {!Asipfb_asip.Speedup} — how much of the win
@@ -74,7 +78,7 @@ val ablation_cleanup : suite -> string
     (constant folding, copy propagation, DCE) run before the study —
     checks that the reported sequences are not lowering artifacts. *)
 
-val codegen_report : suite -> string
+val codegen_report : ?uarch:Asipfb_asip.Uarch.t -> suite -> string
 (** Extension X5: retargeted code generation — fuse the selected chains in
     the actual code, execute on the ASIP target simulator, and report the
     *measured* cycles, chained-instruction usage, and speedup next to the
@@ -102,6 +106,13 @@ val extra_report : suite -> string
     application mix (matmul, xcorr, acs, quant — see
     {!Asipfb_bench_suite.Extra}).  The [suite] argument is unused (the mix
     is fixed) but kept for uniformity with the other artifacts. *)
+
+val timing_report : ?uarch:Asipfb_asip.Uarch.t -> suite -> string
+(** Extension X6: the timing-closure feedback report — one
+    {!Timing.to_text} block per benchmark at O1 under the given machine
+    description (default flat): estimated vs. measured speedup, per-chain
+    critical path and slack against the clock, and the structured
+    clock-violation rejections. *)
 
 val validation_unroll : suite -> string
 (** Validation V1: detection stability under physical loop unrolling.  The

@@ -1,0 +1,118 @@
+module Opt_level = Asipfb_sched.Opt_level
+module Uarch = Asipfb_asip.Uarch
+module Select = Asipfb_asip.Select
+module Speedup = Asipfb_asip.Speedup
+module Tsim = Asipfb_asip.Tsim
+module Codegen = Asipfb_asip.Codegen
+module Isa = Asipfb_asip.Isa
+module Diag = Asipfb_diag.Diag
+
+type chain_report = {
+  cr_mnemonic : string;
+  cr_classes : string list;
+  cr_delay : float;
+  cr_slack : float;
+  cr_cycles : int;
+  cr_latency_sum : int;
+}
+
+type report = {
+  t_benchmark : string;
+  t_level : Opt_level.t;
+  t_uarch : string;
+  t_clock : float;
+  t_baseline_cycles : int;
+  t_asip_cycles : int;
+  t_estimated_speedup : float;
+  t_measured_cycles : int;
+  t_measured_speedup : float;
+  t_total_area : float;
+  t_chains : chain_report list;
+  t_rejected : Diag.t list;
+}
+
+let uarch_of ?clock name =
+  match Uarch.find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown uarch %S (known: %s)" name
+           (String.concat ", " Uarch.names))
+  | Some u -> (
+      match clock with
+      | None -> Ok u
+      | Some c ->
+          if c <= 0.0 then Error "clock period must be positive"
+          else Ok (Uarch.with_clock u ~clock:c))
+
+let of_analysis ?(uarch = Uarch.flat) ?area (a : Pipeline.analysis) level =
+  let sched = Pipeline.sched a level in
+  let config =
+    { Select.default_config with
+      uarch;
+      area_budget =
+        Option.value area ~default:Select.default_config.area_budget }
+  in
+  let choices, rejected = Select.choose_report config sched ~profile:a.profile in
+  let est = Speedup.estimate ~uarch ~prog:a.prog choices ~profile:a.profile in
+  let target = Codegen.generate_for_choices ~choices a.prog in
+  let t_out = Tsim.run ~uarch target ~inputs:(a.benchmark.inputs ()) in
+  {
+    t_benchmark = a.benchmark.name;
+    t_level = level;
+    t_uarch = Uarch.name uarch;
+    t_clock = Uarch.clock uarch;
+    t_baseline_cycles = est.baseline_cycles;
+    t_asip_cycles = est.asip_cycles;
+    t_estimated_speedup = est.speedup;
+    t_measured_cycles = t_out.cycles;
+    t_measured_speedup = Tsim.measured_speedup t_out;
+    t_total_area = est.total_area;
+    t_chains =
+      List.map
+        (fun (c : Select.choice) ->
+          {
+            cr_mnemonic = Isa.mnemonic c.classes;
+            cr_classes = c.classes;
+            cr_delay = Uarch.chain_delay uarch c.classes;
+            cr_slack = Uarch.chain_slack uarch c.classes;
+            cr_cycles = Uarch.chain_cycles uarch c.classes;
+            cr_latency_sum = Uarch.chain_latency uarch c.classes;
+          })
+        choices;
+    t_rejected = rejected;
+  }
+
+let run ?uarch ?area b level =
+  of_analysis ?uarch ?area (Pipeline.analyze b) level
+
+let agreement (r : report) =
+  if r.t_estimated_speedup <= 0.0 then infinity
+  else
+    Float.abs (r.t_measured_speedup -. r.t_estimated_speedup)
+    /. r.t_estimated_speedup
+
+let agrees r = agreement r <= Speedup.agreement_tolerance
+
+let to_text (r : report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%s @ %s (uarch %s, clock %.2f): estimated %.2fx, measured %.2fx, \
+        area %.1f\n"
+       r.t_benchmark (Opt_level.to_string r.t_level) r.t_uarch r.t_clock
+       r.t_estimated_speedup r.t_measured_speedup r.t_total_area);
+  Buffer.add_string buf
+    (Printf.sprintf "  baseline %d cycles -> asip %d (measured %d)\n"
+       r.t_baseline_cycles r.t_asip_cycles r.t_measured_cycles);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-24s delay %4.2f  slack %+5.2f  cycles %d  absorbs %d\n"
+           c.cr_mnemonic c.cr_delay c.cr_slack c.cr_cycles c.cr_latency_sum))
+    r.t_chains;
+  List.iter
+    (fun (d : Diag.t) ->
+      Buffer.add_string buf (Printf.sprintf "  rejected: %s\n" d.message))
+    r.t_rejected;
+  Buffer.contents buf

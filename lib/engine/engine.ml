@@ -24,6 +24,7 @@ type base = { prog : Asipfb_ir.Prog.t; outcome : Asipfb_sim.Interp.outcome }
 
 type t = {
   jobs : int;
+  uarch : string;
   sup : Supervise.t;
   base_cache : base Cache.t;
   sched_cache : Schedule.t Cache.t;
@@ -40,31 +41,38 @@ type stats = {
 (* Bump on any change to the analysis semantics or payload layout: the
    revision is part of every key, so old disk entries simply stop
    matching. *)
-let schema_revision = "asipfb-engine-3"
+let schema_revision = "asipfb-engine-4"
 
 let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
 (* Base payloads embed simulated outcomes, so the key also carries the
    execution-core revision: a semantics change in the simulator must
    invalidate cached profiles even when the source is unchanged. *)
-let source_key (b : Benchmark.t) =
+(* Every key carries the machine-description identity: analyses are
+   uarch-independent today, but downstream consumers (timing reports,
+   daemon memos) key on these digests, so two uarchs must never share an
+   entry. *)
+let source_key ?(uarch = "flat") (b : Benchmark.t) =
   key
-    [ schema_revision; Asipfb_exec.Code.version; "base"; b.name; b.source ]
+    [ schema_revision; Asipfb_exec.Code.version; "base"; uarch; b.name;
+      b.source ]
 
-let sched_key (b : Benchmark.t) level =
-  key [ schema_revision; "sched"; b.name; b.source; Opt_level.to_string level ]
-
-let verify_ir_key (b : Benchmark.t) =
-  key [ schema_revision; "verify-ir"; b.name; b.source ]
-
-let verify_tv_key (b : Benchmark.t) level =
+let sched_key ?(uarch = "flat") (b : Benchmark.t) level =
   key
-    [ schema_revision; "verify-tv"; b.name; b.source;
+    [ schema_revision; "sched"; uarch; b.name; b.source;
       Opt_level.to_string level ]
 
-let verify_sched_key (b : Benchmark.t) level =
+let verify_ir_key ?(uarch = "flat") (b : Benchmark.t) =
+  key [ schema_revision; "verify-ir"; uarch; b.name; b.source ]
+
+let verify_tv_key ?(uarch = "flat") (b : Benchmark.t) level =
   key
-    [ schema_revision; "verify-sched"; b.name; b.source;
+    [ schema_revision; "verify-tv"; uarch; b.name; b.source;
+      Opt_level.to_string level ]
+
+let verify_sched_key ?(uarch = "flat") (b : Benchmark.t) level =
+  key
+    [ schema_revision; "verify-sched"; uarch; b.name; b.source;
       Opt_level.to_string level ]
 
 let cache_diag label = function
@@ -83,7 +91,8 @@ let cache_diag label = function
            "cache %s failed (%s); disk persistence disabled for this run" op
            message)
 
-let create ?jobs ?cache_dir ?(cache = true) ?policy ?chaos () =
+let create ?jobs ?cache_dir ?(cache = true) ?policy ?chaos
+    ?(uarch = "flat") () =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let sup = Supervise.create ?policy ?chaos () in
   let mk label =
@@ -93,6 +102,7 @@ let create ?jobs ?cache_dir ?(cache = true) ?policy ?chaos () =
   in
   {
     jobs;
+    uarch;
     sup;
     base_cache = mk "base";
     sched_cache = mk "sched";
@@ -103,6 +113,7 @@ let sequential () =
   create ~jobs:1 ~cache:false ~policy:Supervise.Policy.off ()
 
 let jobs t = t.jobs
+let uarch t = t.uarch
 let supervisor t = t.sup
 
 let stats t =
@@ -165,11 +176,13 @@ let base t ?faults ?ctx b =
   match faults with
   | Some _ -> compute_base t ?faults ?ctx b
   | None ->
-      Cache.find_or_compute t.base_cache ~key:(source_key b) (fun () ->
+      Cache.find_or_compute t.base_cache ~key:(source_key ~uarch:t.uarch b)
+        (fun () ->
           compute_base t ?ctx b)
 
 let sched_for t (b : Benchmark.t) prog level =
-  Cache.find_or_compute t.sched_cache ~key:(sched_key b level) (fun () ->
+  Cache.find_or_compute t.sched_cache ~key:(sched_key ~uarch:t.uarch b level)
+    (fun () ->
       Metrics.timed Metrics.global "sched" (fun () ->
           Schedule.optimize ~level prog))
 
@@ -177,13 +190,15 @@ let sched_for t (b : Benchmark.t) prog level =
    source (IR checks) or on (source, level) (legality), both covered by
    the content key. *)
 let verify_ir_for t (b : Benchmark.t) prog =
-  Cache.find_or_compute t.verify_cache ~key:(verify_ir_key b) (fun () ->
+  Cache.find_or_compute t.verify_cache ~key:(verify_ir_key ~uarch:t.uarch b)
+    (fun () ->
       Metrics.timed Metrics.global "verify" (fun () ->
           Asipfb_verify.Verify.lint_source b.source
           @ Asipfb_verify.Verify.check_ir prog))
 
 let verify_sched_for t (b : Benchmark.t) prog level sched =
-  Cache.find_or_compute t.verify_cache ~key:(verify_sched_key b level)
+  Cache.find_or_compute t.verify_cache
+    ~key:(verify_sched_key ~uarch:t.uarch b level)
     (fun () ->
       Metrics.timed Metrics.global "verify" (fun () ->
           Asipfb_verify.Verify.check_schedule ~original:prog sched))
@@ -192,7 +207,8 @@ let verify_sched_for t (b : Benchmark.t) prog level sched =
    own metrics stage (and cache key family) rather than folding into
    "verify". *)
 let verify_tv_for t (b : Benchmark.t) prog level sched =
-  Cache.find_or_compute t.verify_cache ~key:(verify_tv_key b level)
+  Cache.find_or_compute t.verify_cache
+    ~key:(verify_tv_key ~uarch:t.uarch b level)
     (fun () ->
       Metrics.timed Metrics.global "verify-tv" (fun () ->
           Asipfb_verify.Verify.check_refinement ~original:prog sched))

@@ -16,8 +16,9 @@
     {2 Cache keys}
 
     Every cache key is the hex digest of the engine schema revision, the
-    payload kind, the benchmark name, its full mini-C source, and (for
-    sched payloads) the optimization level.  A source edit, level change,
+    payload kind, the machine-description (uarch) name, the benchmark
+    name, its full mini-C source, and (for sched payloads) the
+    optimization level.  A source edit, level change,
     or engine revision therefore changes the key — stale hits are
     impossible by construction, and invalidation needs no bookkeeping.
     Fault-injected base runs are never cached (their outcome depends on
@@ -63,6 +64,7 @@ val create :
   ?cache:bool ->
   ?policy:Asipfb_supervise.Supervise.Policy.t ->
   ?chaos:Asipfb_supervise.Chaos.config ->
+  ?uarch:string ->
   unit ->
   t
 (** [jobs] defaults to {!Pool.default_jobs}[ ()]; [1] is the sequential
@@ -73,7 +75,11 @@ val create :
     [policy] (default {!Asipfb_supervise.Supervise.Policy.default})
     governs retry/backoff, the per-task watchdog, and quarantine; every
     task of {!analyze_all} runs under it.  [chaos] attaches the
-    deterministic fault injector to the task and cache seams. *)
+    deterministic fault injector to the task and cache seams.
+
+    [uarch] (default ["flat"]) names the machine description the run is
+    analyzed under; it is folded into every content key, so timing models
+    never share cache entries. *)
 
 val sequential : unit -> t
 (** [create ~jobs:1 ~cache:false ~policy:Policy.off ()] — recompute
@@ -82,8 +88,11 @@ val sequential : unit -> t
 
 val jobs : t -> int
 
+val uarch : t -> string
+(** Name of the machine description this engine keys its caches under. *)
+
 val schema_revision : string
-(** The engine payload schema revision (e.g. ["asipfb-engine-3"]) — a
+(** The engine payload schema revision (e.g. ["asipfb-engine-4"]) — a
     component of every content key, exported so external surfaces (the
     service daemon's [stats] response, the bench baseline) can report
     which analysis schema produced their numbers. *)
@@ -108,23 +117,28 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 
-val source_key : Asipfb_bench_suite.Benchmark.t -> string
+val source_key : ?uarch:string -> Asipfb_bench_suite.Benchmark.t -> string
 (** Content key of the benchmark's base payload.  Includes the
     execution-core revision ([Asipfb_exec.Code.version]) alongside the
-    engine schema, since the payload embeds simulated outcomes. *)
+    engine schema.  [uarch] defaults to ["flat"], matching
+    {!create}'s default. *)
 
 val sched_key :
+  ?uarch:string ->
   Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
 (** Content key of one (benchmark, level) schedule payload. *)
 
-val verify_ir_key : Asipfb_bench_suite.Benchmark.t -> string
+val verify_ir_key :
+  ?uarch:string -> Asipfb_bench_suite.Benchmark.t -> string
 (** Content key of a benchmark's lint + IR-check findings. *)
 
 val verify_sched_key :
+  ?uarch:string ->
   Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
 (** Content key of one (benchmark, level) legality-proof result. *)
 
 val verify_tv_key :
+  ?uarch:string ->
   Asipfb_bench_suite.Benchmark.t -> Asipfb_sched.Opt_level.t -> string
 (** Content key of one (benchmark, level) translation-validation
     result. *)

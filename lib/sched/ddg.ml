@@ -148,9 +148,22 @@ let carried_edges ops =
   done;
   List.rev !acc
 
-let build ?(carried = false) ops =
+let build ?(carried = false) ?latency ops =
   let edges =
     intra_edges ops @ (if carried then carried_edges ops else [])
+  in
+  (* Per-opcode latencies reweight register def->use flow only: memory
+     and ordering edges constrain issue order, not result availability. *)
+  let edges =
+    match latency with
+    | None -> edges
+    | Some lat ->
+        List.map
+          (fun e ->
+            if e.kind = Flow && e.via_register then
+              { e with latency = max 1 (lat ops.(e.src)) }
+            else e)
+          edges
   in
   let n = Array.length ops in
   let succ = Array.make n [] and pred = Array.make n [] in

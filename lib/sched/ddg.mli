@@ -30,11 +30,15 @@ type edge = {
 
 type t
 
-val build : ?carried:bool -> Asipfb_ir.Instr.t array -> t
+val build :
+  ?carried:bool -> ?latency:(Asipfb_ir.Instr.t -> int) -> Asipfb_ir.Instr.t array -> t
 (** [build ops] computes all intra-iteration edges.  With [~carried:true],
     also the distance-1 edges that arise when the list is a loop body
     executed repeatedly (register values and memory state flowing around
-    the back edge). *)
+    the back edge).  With [~latency], register def→use flow edges carry
+    the producing instruction's per-opcode latency (clamped to ≥ 1)
+    instead of the default single cycle — how a machine description
+    reaches the scheduler without this library depending on it. *)
 
 val ops : t -> Asipfb_ir.Instr.t array
 val edges : t -> edge list

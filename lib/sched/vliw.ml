@@ -40,11 +40,11 @@ let criticality ddg n =
   done;
   height
 
-let schedule_block m ops =
+let schedule_block ?latency m ops =
   let n = Array.length ops in
   if n = 0 then ([||], 0)
   else begin
-    let ddg = Ddg.build ~carried:false ops in
+    let ddg = Ddg.build ~carried:false ?latency ops in
     let height = criticality ddg n in
     let cycle = Array.make n (-1) in
     let unscheduled_preds = Array.make n 0 in
@@ -105,25 +105,27 @@ let block_exec_count profile (ops : Instr.t list) =
       max acc (Asipfb_sim.Profile.count profile ~opid:(Instr.opid i)))
     0 ops
 
-let dynamic_cycles m prog ~profile =
+let dynamic_cycles ?latency m prog ~profile =
   List.fold_left
     (fun acc (f : Asipfb_ir.Func.t) ->
       let cfg = Asipfb_cfg.Cfg.build f in
       Array.fold_left
         (fun acc (b : Asipfb_cfg.Cfg.block) ->
-          let _, len = schedule_block m (Array.of_list b.instrs) in
+          let _, len = schedule_block ?latency m (Array.of_list b.instrs) in
           acc + (len * block_exec_count profile b.instrs))
         acc cfg.blocks)
     0 prog.Asipfb_ir.Prog.funcs
 
-let characterize ?(widths = [ 1; 2; 4; 8 ]) prog ~profile =
+let characterize ?(widths = [ 1; 2; 4; 8 ]) ?latency prog ~profile =
   let per_width =
-    List.map (fun w -> (w, dynamic_cycles (machine w) prog ~profile)) widths
+    List.map
+      (fun w -> (w, dynamic_cycles ?latency (machine w) prog ~profile))
+      widths
   in
   let scalar_cycles =
     match List.assoc_opt 1 per_width with
     | Some c -> c
-    | None -> dynamic_cycles scalar prog ~profile
+    | None -> dynamic_cycles ?latency scalar prog ~profile
   in
   { widths = per_width; scalar_cycles }
 

@@ -23,10 +23,13 @@ val machine : ?mem_ports:int -> ?float_units:int -> int -> machine
 val scalar : machine
 (** The 1-issue baseline: every op takes its own cycle. *)
 
-val schedule_block : machine -> Asipfb_ir.Instr.t array -> int array * int
+val schedule_block :
+  ?latency:(Asipfb_ir.Instr.t -> int) ->
+  machine -> Asipfb_ir.Instr.t array -> int array * int
 (** [schedule_block m ops] list-schedules one block under dependences and
     resources; returns per-op cycles and the schedule length.  Priority is
-    longest-path-to-exit (critical path first). *)
+    longest-path-to-exit (critical path first).  [?latency] reweights the
+    register flow edges with per-opcode latencies (see {!Ddg.build}). *)
 
 type estimate = {
   widths : (int * int) list;  (** (issue width, dynamic cycles). *)
@@ -35,6 +38,7 @@ type estimate = {
 
 val characterize :
   ?widths:int list ->
+  ?latency:(Asipfb_ir.Instr.t -> int) ->
   Asipfb_ir.Prog.t ->
   profile:Asipfb_sim.Profile.t ->
   estimate

@@ -3,6 +3,7 @@
    offline CLI's --json output, so daemon and CLI share one schema. *)
 
 module Pipeline = Asipfb.Pipeline
+module Timing = Asipfb.Timing
 module Opt_level = Asipfb_sched.Opt_level
 module Detect = Asipfb_chain.Detect
 module Coverage = Asipfb_chain.Coverage
@@ -15,9 +16,11 @@ module Corpus = Asipfb_corpus.Corpus
 let api_version = 1
 
 (* v2 added the translation-validation surface: verify mode "tv" and the
-   "equiv-verdict" payload.  Decoders are lenient on schema_version, so
-   v1 frames (which can only carry v1 kinds) still decode. *)
-let schema_version = 2
+   "equiv-verdict" payload.  v3 added the microarchitecture-aware timing
+   surface: the "timing" op and the "timing-report" payload.  Decoders
+   are lenient on schema_version, so v1/v2 frames (which can only carry
+   the kinds of their era) still decode. *)
+let schema_version = 3
 
 type request =
   | Ping
@@ -28,6 +31,8 @@ type request =
   | Verify of { benchmark : string; mode : [ `Ir | `Full | `Tv ] }
   | Lint of { benchmark : string option }
   | Corpus_sample of { seed : int; index : int; size : int option }
+  | Timing of { benchmark : string; level : Opt_level.t; uarch : string;
+                clock : float option }
 
 let request_op = function
   | Ping -> "ping"
@@ -38,6 +43,7 @@ let request_op = function
   | Verify _ -> "verify"
   | Lint _ -> "lint"
   | Corpus_sample _ -> "corpus-sample"
+  | Timing _ -> "timing"
 
 type cache_status = Hit | Join | Miss | Uncached
 
@@ -82,6 +88,7 @@ type payload =
   | Tv_result of equiv_verdict
   | Sample of { seed : int; index : int; size : int; name : string;
                 source : string }
+  | Timing_result of Timing.report
 
 type response = {
   id : string;
@@ -444,6 +451,71 @@ let equiv_verdict_of_json j =
   Ok { ev_benchmark; ev_levels; ev_refinement_failures; ev_counterexamples;
        ev_findings }
 
+(* --- microarchitecture timing report -------------------------------------- *)
+
+let chain_report_to_json (c : Timing.chain_report) =
+  Json.Obj
+    [
+      ("mnemonic", Json.String c.cr_mnemonic);
+      ("classes", Json.List (List.map (fun s -> Json.String s) c.cr_classes));
+      ("delay", Json.Float c.cr_delay);
+      ("slack", Json.Float c.cr_slack);
+      ("cycles", Json.Int c.cr_cycles);
+      ("latency_sum", Json.Int c.cr_latency_sum);
+    ]
+
+let chain_report_of_json j =
+  let* j = as_obj j in
+  let* cr_mnemonic = str_field "mnemonic" j in
+  let* cr_classes = str_list_field "classes" j in
+  let* cr_delay = float_field "delay" j in
+  let* cr_slack = float_field "slack" j in
+  let* cr_cycles = int_field "cycles" j in
+  let* cr_latency_sum = int_field "latency_sum" j in
+  Ok { Timing.cr_mnemonic; cr_classes; cr_delay; cr_slack; cr_cycles;
+       cr_latency_sum }
+
+let timing_report_to_json (r : Timing.report) =
+  Json.Obj
+    (header "timing-report"
+    @ [
+        ("benchmark", Json.String r.t_benchmark);
+        ("level", Json.Int (Opt_level.to_int r.t_level));
+        ("uarch", Json.String r.t_uarch);
+        ("clock", Json.Float r.t_clock);
+        ("baseline_cycles", Json.Int r.t_baseline_cycles);
+        ("asip_cycles", Json.Int r.t_asip_cycles);
+        ("estimated_speedup", Json.Float r.t_estimated_speedup);
+        ("measured_cycles", Json.Int r.t_measured_cycles);
+        ("measured_speedup", Json.Float r.t_measured_speedup);
+        ("total_area", Json.Float r.t_total_area);
+        ("chains", Json.List (List.map chain_report_to_json r.t_chains));
+        ("rejected", Json.List (List.map diag_to_json r.t_rejected));
+      ])
+
+let timing_report_of_json j =
+  let* j = as_obj j in
+  let* () = check_kind "timing-report" j in
+  let* t_benchmark = str_field "benchmark" j in
+  let* t_level = Result.bind (field "level" j) level_of_json in
+  let* t_uarch = str_field "uarch" j in
+  let* t_clock = float_field "clock" j in
+  let* t_baseline_cycles = int_field "baseline_cycles" j in
+  let* t_asip_cycles = int_field "asip_cycles" j in
+  let* t_estimated_speedup = float_field "estimated_speedup" j in
+  let* t_measured_cycles = int_field "measured_cycles" j in
+  let* t_measured_speedup = float_field "measured_speedup" j in
+  let* t_total_area = float_field "total_area" j in
+  let* t_chains =
+    Result.bind (list_field "chains" j) (map_result chain_report_of_json)
+  in
+  let* t_rejected =
+    Result.bind (list_field "rejected" j) (map_result diag_of_json)
+  in
+  Ok { Timing.t_benchmark; t_level; t_uarch; t_clock; t_baseline_cycles;
+       t_asip_cycles; t_estimated_speedup; t_measured_cycles;
+       t_measured_speedup; t_total_area; t_chains; t_rejected }
+
 (* --- engine + service statistics ----------------------------------------- *)
 
 let cache_stats_to_json (s : Cache.stats) =
@@ -612,6 +684,12 @@ let encode_request ?(id = "") req =
         [ ("seed", Json.Int seed); ("index", Json.Int index);
           ( "size",
             match size with Some s -> Json.Int s | None -> Json.Null ) ]
+    | Timing { benchmark; level; uarch; clock } ->
+        [ ("benchmark", Json.String benchmark);
+          ("level", Json.Int (Opt_level.to_int level));
+          ("uarch", Json.String uarch);
+          ( "clock",
+            match clock with Some c -> Json.Float c | None -> Json.Null ) ]
   in
   Json.to_string (Json.Obj (head @ rest))
 
@@ -694,13 +772,35 @@ let decode_request line =
                           with
                           | Ok req -> Ok (id, req)
                           | Error e -> fail e)
+                      | "timing" -> (
+                          match
+                            let* benchmark = str_field "benchmark" j in
+                            let* level =
+                              Result.bind (field "level" j) level_of_json
+                            in
+                            let* uarch = str_field "uarch" j in
+                            let* clock =
+                              match opt_field "clock" j with
+                              | None -> Ok None
+                              | Some v -> (
+                                  match Json.to_float v with
+                                  | Some c -> Ok (Some c)
+                                  | None ->
+                                      Error
+                                        "field \"clock\" must be a number \
+                                         or null")
+                            in
+                            Ok (Timing { benchmark; level; uarch; clock })
+                          with
+                          | Ok req -> Ok (id, req)
+                          | Error e -> fail e)
                       | op ->
                           Error
                             (protocol_error ~context:[ ("op", op) ]
                                (Printf.sprintf
                                   "unknown op %S (known: ping, stats, \
                                    shutdown, detect, coverage, verify, \
-                                   lint, corpus-sample)"
+                                   lint, corpus-sample, timing)"
                                   op))))))
       | _ -> Error (protocol_error "frame must be a JSON object"))
 
@@ -724,6 +824,7 @@ let payload_to_json = function
             ("name", Json.String name);
             ("source", Json.String source);
           ])
+  | Timing_result r -> timing_report_to_json r
 
 let payload_of_json j =
   let* j = as_obj j in
@@ -744,6 +845,8 @@ let payload_of_json j =
       let* name = str_field "name" j in
       let* source = str_field "source" j in
       Ok (Sample { seed; index; size; name; source })
+  | "timing-report" ->
+      Result.map (fun r -> Timing_result r) (timing_report_of_json j)
   | kind -> Error (Printf.sprintf "unknown result kind %S" kind)
 
 let encode_response (r : response) =

@@ -22,11 +22,13 @@ val api_version : int
     is answered with a structured [unsupported-api-version] error. *)
 
 val schema_version : int
-(** [2] — the version stamped on every encoded result object (offline
+(** [3] — the version stamped on every encoded result object (offline
     and on the wire).  v2 added the translation-validation surface
-    (verify mode ["tv"], the ["equiv-verdict"] payload).  Decoders do
-    not reject older versions: a v1 frame can only carry v1 kinds, and
-    those decode unchanged. *)
+    (verify mode ["tv"], the ["equiv-verdict"] payload); v3 added the
+    microarchitecture-aware timing surface (the ["timing"] op and the
+    ["timing-report"] payload).  Decoders do not reject older versions:
+    a v1/v2 frame can only carry the kinds of its era, and those decode
+    unchanged. *)
 
 (** {1 Requests} *)
 
@@ -47,6 +49,12 @@ type request =
       (** [None] lints the whole Table 1 suite, like the CLI. *)
   | Corpus_sample of { seed : int; index : int; size : int option }
       (** Regenerate one corpus program's source (pure, uncached). *)
+  | Timing of { benchmark : string; level : Asipfb_sched.Opt_level.t;
+                uarch : string; clock : float option }
+      (** The timing-closure report under machine description [uarch]
+          (a {!Asipfb_asip.Uarch} preset name), with [clock] optionally
+          overriding the preset's clock period.  Answered with a
+          {!Timing_result}. *)
 
 val request_op : request -> string
 (** The wire [op] name, e.g. ["corpus-sample"]. *)
@@ -99,6 +107,9 @@ type payload =
   | Tv_result of equiv_verdict  (** Answer to a [`Tv] verify. *)
   | Sample of { seed : int; index : int; size : int; name : string;
                 source : string }
+  | Timing_result of Asipfb.Timing.report
+      (** Answer to a [Timing] request: estimated vs. measured speedup,
+          per-chain critical path and slack, clock-violation rejections. *)
 
 type response = {
   id : string;  (** Echo of the request's [id] ([""] if absent). *)
@@ -149,6 +160,9 @@ val findings_of_json : Json.t -> (Asipfb_diag.Diag.t list, string) result
 
 val equiv_verdict_to_json : equiv_verdict -> Json.t
 val equiv_verdict_of_json : Json.t -> (equiv_verdict, string) result
+
+val timing_report_to_json : Asipfb.Timing.report -> Json.t
+val timing_report_of_json : Json.t -> (Asipfb.Timing.report, string) result
 
 val engine_stats_to_json : Asipfb_engine.Engine.stats -> Json.t
 val engine_stats_of_json :

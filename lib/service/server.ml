@@ -95,6 +95,13 @@ let request_key (b : Benchmark.t) req =
         (digest
            [ "verify"; Engine.verify_ir_key b; Engine.source_key b;
              (match mode with `Ir -> "ir" | `Full -> "full" | `Tv -> "tv") ])
+  | Api.Timing { level; uarch; clock; _ } ->
+      Some
+        (digest
+           [ "timing"; Engine.source_key b; Engine.sched_key b level; uarch;
+             (match clock with
+             | Some c -> Printf.sprintf "%h" c
+             | None -> "-") ])
   | _ -> None
 
 let lint_key benchmarks =
@@ -220,6 +227,18 @@ let dispatch t req : Api.cache_status * (Api.payload, Diag.t) result =
                 (List.concat_map
                    (fun (a : Pipeline.analysis) -> a.verify)
                    r.analyses)))
+  | Api.Timing { benchmark; level; uarch; clock } -> (
+      match Asipfb.Timing.uarch_of ?clock uarch with
+      | Error msg ->
+          ( Api.Uncached,
+            Error
+              (Diag.make ~stage:Diag.Selection
+                 ~context:[ ("kind", "unknown-uarch"); ("uarch", uarch) ]
+                 msg) )
+      | Ok u ->
+          with_benchmark t benchmark req (fun b ->
+              let a = Engine.analyze t.engine b in
+              Api.Timing_result (Asipfb.Timing.of_analysis ~uarch:u a level)))
   | Api.Corpus_sample { seed; index; size } -> (
       match
         let source = Asipfb_corpus.Gen.source ~seed ?size ~index () in

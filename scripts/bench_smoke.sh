@@ -44,4 +44,24 @@ awk '
     printf "bench smoke: sim throughput %.1fM instrs/s (%.2fx vs reference)\n", ips / 1e6, spd
   }' "$out"
 
+#   - timing_model (schema 6): one entry per machine description; both
+#     presets must report mean estimated and measured speedups >= 1.0
+#     (a chained ISA never loses cycles), and the two must agree within
+#     the pinned 50% tolerance.
+awk '
+  /"uarch":/ {
+    line = $0; n++
+    est = line; sub(/.*"estimated_speedup": /, "", est); sub(/[,}].*/, "", est)
+    meas = line; sub(/.*"measured_speedup": /, "", meas); sub(/[,}].*/, "", meas)
+    est += 0; meas += 0
+    if (est < 1.0 || meas < 1.0) { print "bench smoke: timing model speedup below 1.0: " line; bad = 1 }
+    gap = meas - est; if (gap < 0) gap = -gap
+    if (est <= 0 || gap / est > 0.50) { print "bench smoke: timing model estimate/measurement disagree: " line; bad = 1 }
+  }
+  END {
+    if (n != 2) { print "bench smoke: expected 2 timing_model entries, saw " n; bad = 1 }
+    if (!bad) printf "bench smoke: timing model within tolerance for %d preset(s)\n", n
+    exit bad
+  }' "$out"
+
 echo "bench smoke: wrote $out"

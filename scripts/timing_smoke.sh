@@ -1,0 +1,71 @@
+#!/bin/sh
+# Timing smoke: the microarchitecture-aware timing model must
+# (a) be conservative on the flat (legacy) description: across all 12
+#     Table 1 benchmarks, no candidate is rejected for a clock
+#     violation (the flat clock admits every feasible cascade),
+# (b) change selection under the pipelined risc5 description for at
+#     least one benchmark (latency-weighted savings re-rank candidates),
+# (c) never select a chain that misses the clock: every chosen chain
+#     has non-negative slack under both descriptions,
+# (d) keep the counting estimate honest: estimated and Tsim-measured
+#     speedups agree within the pinned tolerance (50%) everywhere.
+# Usage: sh scripts/timing_smoke.sh
+set -eu
+
+dune build bin/asipfb_cli.exe
+
+workdir=$(mktemp -d timing_smoke.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+run="dune exec bin/asipfb_cli.exe --"
+
+$run report timing --uarch flat > "$workdir/flat.out"
+$run report timing --uarch risc5 > "$workdir/risc5.out"
+
+# (a) flat: zero clock-violation rejections
+if grep -q "rejected:" "$workdir/flat.out"; then
+  echo "timing smoke: flat description rejected a candidate" >&2
+  grep "rejected:" "$workdir/flat.out" >&2
+  exit 1
+fi
+
+# (c) no selected chain misses the clock (negative slack), either preset
+for f in flat risc5; do
+  if grep -q "slack -" "$workdir/$f.out"; then
+    echo "timing smoke: $f selected a chain with negative slack" >&2
+    grep "slack -" "$workdir/$f.out" >&2
+    exit 1
+  fi
+done
+
+# (b) the pipelined description changes at least one selection
+# (selected-chain lines only: two-space indent, mnemonic first)
+sed -n 's/^  \(CHN_[A-Z0-9_]*\) .*/\1/p' "$workdir/flat.out" \
+  > "$workdir/flat.isa"
+sed -n 's/^  \(CHN_[A-Z0-9_]*\) .*/\1/p' "$workdir/risc5.out" \
+  > "$workdir/risc5.isa"
+if cmp -s "$workdir/flat.isa" "$workdir/risc5.isa"; then
+  echo "timing smoke: risc5 selections identical to flat" >&2
+  exit 1
+fi
+
+# (d) estimate vs measurement within tolerance, 12 benchmarks x 2
+for f in flat risc5; do
+  awk '
+    /: estimated / {
+      est = $0; sub(/.*estimated /, "", est); sub(/x.*/, "", est)
+      meas = $0; sub(/.*measured /, "", meas); sub(/x.*/, "", meas)
+      gap = meas - est; if (gap < 0) gap = -gap
+      if (est <= 0 || gap / est > 0.50) { print "disagreement: " $0; bad = 1 }
+      n++
+    }
+    END {
+      if (n != 12) { print "expected 12 benchmarks, saw " n; bad = 1 }
+      exit bad
+    }' "$workdir/$f.out" || {
+    echo "timing smoke: $f estimate/measurement gate failed" >&2
+    exit 1
+  }
+done
+
+echo "timing smoke: 12 benchmarks x {flat,risc5}: flat rejects nothing, risc5 re-selects, every selected chain closes timing, estimates within 50% of measurement"

@@ -16,7 +16,7 @@ schema, with an empty findings list when the run is clean) instead of
 the human summary:
 
   $ asipfb lint fir --json
-  {"kind":"findings","schema_version":2,"findings":[]}
+  {"kind":"findings","schema_version":3,"findings":[]}
 
 An unknown benchmark is a one-line error, exit 1:
 

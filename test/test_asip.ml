@@ -1,10 +1,16 @@
 (* ASIP design tests: cost model, selection under budget, speedup math,
-   ISA rendering. *)
+   ISA rendering, and the timing model (flat byte-compatibility,
+   estimate-vs-measurement agreement under both machine descriptions). *)
 
 module Cost = Asipfb_asip.Cost
 module Select = Asipfb_asip.Select
 module Speedup = Asipfb_asip.Speedup
 module Isa = Asipfb_asip.Isa
+module Uarch = Asipfb_asip.Uarch
+module Tsim = Asipfb_asip.Tsim
+module Codegen = Asipfb_asip.Codegen
+module Timing = Asipfb.Timing
+module Registry = Asipfb_bench_suite.Registry
 module Opt_level = Asipfb_sched.Opt_level
 
 let test_cost_model () =
@@ -22,8 +28,16 @@ let test_cost_model () =
     (Cost.unit_delay "multiply" +. Cost.unit_delay "add")
     (Cost.chain_delay [ "multiply"; "add" ]);
   (match Cost.unit_area "quantum" with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "unknown class must raise")
+  | exception Asipfb_diag.Diag.Diag_error d ->
+      Alcotest.(check (option string)) "diag kind" (Some "unknown-chain-class")
+        (List.assoc_opt "kind" d.context)
+  | _ -> Alcotest.fail "unknown class must raise a structured diagnostic");
+  (match Cost.unit_delay "quantum" with
+  | exception Asipfb_diag.Diag.Diag_error d ->
+      Alcotest.(check (option string)) "delay diag kind"
+        (Some "unknown-chain-class")
+        (List.assoc_opt "kind" d.context)
+  | _ -> Alcotest.fail "unknown class must raise a structured diagnostic")
 
 let test_feasibility () =
   Alcotest.(check bool) "MAC feasible" true
@@ -147,6 +161,96 @@ let test_end_to_end_speedup_sensible () =
         (est.speedup >= 1.0 && est.speedup <= 4.0))
     [ "fir"; "sewha"; "smooth" ]
 
+(* --- timing model -------------------------------------------------------- *)
+
+(* Reports are memoized per (benchmark, preset): the property below
+   samples with repetition and a report costs an analysis plus a full
+   target simulation. *)
+let timing_memo : (string * string, Timing.report) Hashtbl.t =
+  Hashtbl.create 8
+
+let timing_report name preset =
+  let key = (name, Uarch.name preset) in
+  match Hashtbl.find_opt timing_memo key with
+  | Some r -> r
+  | None ->
+      let r = Timing.run ~uarch:preset (Registry.find name) Opt_level.O1 in
+      Hashtbl.add timing_memo key r;
+      r
+
+(* The counting estimate and the cycle-accurate measurement stay within
+   the pinned tolerance on every benchmark, under both the flat and the
+   pipelined machine description. *)
+let prop_estimate_measurement_agree =
+  QCheck.Test.make
+    ~name:"estimated speedup agrees with measured (both presets)" ~count:10
+    QCheck.(pair (int_range 0 (List.length Registry.all - 1)) bool)
+    (fun (i, pipelined) ->
+      let b = List.nth Registry.all i in
+      let preset = if pipelined then Uarch.risc5 else Uarch.flat in
+      let r = timing_report b.name preset in
+      if Timing.agrees r then true
+      else
+        QCheck.Test.fail_reportf
+          "%s under %s: estimated %.3fx vs measured %.3fx (tolerance %.0f%%)"
+          b.name (Uarch.name preset) r.t_estimated_speedup
+          r.t_measured_speedup
+          (100.0 *. Speedup.agreement_tolerance))
+
+(* The flat description is byte-compatible with the legacy model: the
+   uarch-aware estimator and simulator reproduce the pre-uarch numbers
+   field for field, pinned on fir's golden values. *)
+let test_flat_matches_legacy () =
+  let a = analysis_of "fir" in
+  let sched = Asipfb.Pipeline.sched a Opt_level.O1 in
+  let choices =
+    Select.choose Select.default_config sched ~profile:a.profile
+  in
+  let legacy = Speedup.estimate choices ~profile:a.profile in
+  let flat =
+    Speedup.estimate ~uarch:Uarch.flat ~prog:a.prog choices
+      ~profile:a.profile
+  in
+  Alcotest.(check int) "baseline cycles" legacy.baseline_cycles
+    flat.baseline_cycles;
+  Alcotest.(check int) "saved cycles" legacy.saved_cycles flat.saved_cycles;
+  Alcotest.(check int) "asip cycles" legacy.asip_cycles flat.asip_cycles;
+  Alcotest.(check (float 1e-12)) "speedup" legacy.speedup flat.speedup;
+  Alcotest.(check (float 1e-12)) "total area" legacy.total_area
+    flat.total_area;
+  (* golden numbers: a change here is a cost-model change, not noise *)
+  Alcotest.(check int) "fir flat baseline pinned" 40739
+    flat.baseline_cycles;
+  Alcotest.(check int) "fir flat asip pinned" 32882 flat.asip_cycles;
+  let target = Codegen.generate_for_choices ~choices a.prog in
+  let inputs = a.benchmark.inputs () in
+  let legacy_out = Tsim.run target ~inputs in
+  let flat_out = Tsim.run ~uarch:Uarch.flat target ~inputs in
+  Alcotest.(check int) "measured cycles" legacy_out.cycles flat_out.cycles;
+  Alcotest.(check int) "measured baseline" legacy_out.baseline_cycles
+    flat_out.baseline_cycles;
+  Alcotest.(check int) "ops executed" legacy_out.ops_executed
+    flat_out.ops_executed
+
+(* Under the pipelined preset every *selected* chain closes timing; the
+   candidates that do not are rejected with a structured diagnostic. *)
+let test_pipelined_chains_fit_clock () =
+  let r = timing_report "fir" Uarch.risc5 in
+  List.iter
+    (fun (c : Timing.chain_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s slack %.2f non-negative" c.cr_mnemonic
+           c.cr_slack)
+        true
+        (c.cr_slack >= -1e-9))
+    r.t_chains;
+  List.iter
+    (fun (d : Asipfb_diag.Diag.t) ->
+      Alcotest.(check (option string)) "rejection kind"
+        (Some "clock-violation")
+        (List.assoc_opt "kind" d.context))
+    r.t_rejected
+
 let suite =
   [
     ( "asip",
@@ -164,5 +268,10 @@ let suite =
         Alcotest.test_case "isa rendering" `Quick test_isa_rendering;
         Alcotest.test_case "suite speedups sensible" `Slow
           test_end_to_end_speedup_sensible;
+        Alcotest.test_case "flat matches legacy model" `Quick
+          test_flat_matches_legacy;
+        Alcotest.test_case "pipelined chains fit clock" `Quick
+          test_pipelined_chains_fit_clock;
+        QCheck_alcotest.to_alcotest prop_estimate_measurement_agree;
       ] );
   ]

@@ -13,6 +13,7 @@ module Opt_level = Asipfb_sched.Opt_level
 module Detect = Asipfb_chain.Detect
 module Coverage = Asipfb_chain.Coverage
 module Diag = Asipfb_diag.Diag
+module Timing = Asipfb.Timing
 module Engine = Asipfb_engine.Engine
 module Cache = Asipfb_engine.Cache
 module Supervise = Asipfb_supervise.Supervise
@@ -130,6 +131,36 @@ let engine_stats_gen =
     (pair cache_stats_gen cache_stats_gen)
     (pair cache_stats_gen supervise_stats_gen)
 
+let level_gen = QCheck.Gen.oneofl [ Opt_level.O0; Opt_level.O1; Opt_level.O2 ]
+
+let chain_report_gen =
+  let open QCheck.Gen in
+  map3
+    (fun (cr_mnemonic, cr_classes) (cr_delay, cr_slack)
+         (cr_cycles, cr_latency_sum) ->
+      { Timing.cr_mnemonic; cr_classes; cr_delay; cr_slack; cr_cycles;
+        cr_latency_sum })
+    (pair small_str classes_gen)
+    (pair pos_float nice_float)
+    (pair small_nat small_nat)
+
+let timing_report_gen =
+  let open QCheck.Gen in
+  map3
+    (fun ((t_benchmark, t_level), (t_uarch, t_clock))
+         ((t_baseline_cycles, t_asip_cycles),
+          (t_estimated_speedup, t_measured_cycles))
+         ((t_measured_speedup, t_total_area), (t_chains, t_rejected)) ->
+      { Timing.t_benchmark; t_level; t_uarch; t_clock; t_baseline_cycles;
+        t_asip_cycles; t_estimated_speedup; t_measured_cycles;
+        t_measured_speedup; t_total_area; t_chains; t_rejected })
+    (pair (pair small_str level_gen) (pair small_str pos_float))
+    (pair (pair small_nat small_nat) (pair pos_float small_nat))
+    (pair (pair pos_float pos_float)
+       (pair
+          (list_size (int_range 0 3) chain_report_gen)
+          (list_size (int_range 0 2) diag_gen)))
+
 let stats_payload_gen =
   let open QCheck.Gen in
   map2
@@ -162,6 +193,12 @@ let request_gen =
         (fun seed index size -> Api.Corpus_sample { seed; index; size })
         small_nat small_nat
         (option (int_range 3 40));
+      map3
+        (fun (benchmark, level) uarch clock ->
+          Api.Timing { benchmark; level; uarch; clock })
+        (pair bench level_gen)
+        (oneofl [ "flat"; "risc5"; "nosuch" ])
+        (option pos_float);
     ]
 
 let equiv_verdict_gen =
@@ -192,6 +229,7 @@ let payload_gen =
         (pair small_nat small_nat)
         (int_range 3 40)
         (pair small_str small_str);
+      map (fun r -> Api.Timing_result r) timing_report_gen;
     ]
 
 let response_gen =
@@ -249,6 +287,11 @@ let prop_equiv_verdict_roundtrip =
   roundtrip "equiv-verdict json round-trip" equiv_verdict_gen
     Api.equiv_verdict_to_json Api.equiv_verdict_of_json ( = )
     (fun v -> Json.to_string (Api.equiv_verdict_to_json v))
+
+let prop_timing_report_roundtrip =
+  roundtrip "timing-report json round-trip" timing_report_gen
+    Api.timing_report_to_json Api.timing_report_of_json ( = )
+    (fun r -> Json.to_string (Api.timing_report_to_json r))
 
 let prop_engine_stats_roundtrip =
   roundtrip "engine-stats json round-trip" engine_stats_gen
@@ -432,6 +475,29 @@ let test_v1_frames_decode () =
   | Ok _ -> Alcotest.fail "decoded to the wrong report"
   | Error e -> Alcotest.failf "v1 object rejected: %s" e
 
+(* Likewise for schema-v2 frames (pre-timing): the v2 kinds decode
+   unchanged after the v3 bump, so old peers keep working. *)
+let test_v2_frames_decode () =
+  let line =
+    "{\"api\":1,\"id\":\"v2\",\"ok\":true,\"cache\":\"miss\",\
+     \"result\":{\"kind\":\"equiv-verdict\",\"schema_version\":2,\
+     \"benchmark\":\"fir\",\"levels\":3,\"refinement_failures\":0,\
+     \"counterexamples\":0,\"findings\":[]}}"
+  in
+  match Api.decode_response line with
+  | Ok
+      { body =
+          Ok
+            (Api.Tv_result
+               { Api.ev_benchmark = "fir"; ev_levels = 3;
+                 ev_refinement_failures = 0; ev_counterexamples = 0;
+                 ev_findings = [] });
+        id = "v2";
+        _ } ->
+      ()
+  | Ok _ -> Alcotest.fail "decoded to the wrong payload"
+  | Error e -> Alcotest.failf "v2 frame rejected: %s" e
+
 let test_unknown_benchmark () =
   let server = make_server () in
   let line =
@@ -466,6 +532,39 @@ let test_ping_stats_shutdown () =
     (Server.stopping server)
 
 (* --- in-flight dedup across concurrent clients ---------------------------- *)
+
+(* The timing op end-to-end through the daemon: a flat-uarch request
+   answers with a timing report whose measurement agrees with the
+   estimate, and an unknown preset is a structured error, not a crash. *)
+let test_timing_op () =
+  let server = make_server () in
+  let line =
+    Api.encode_request
+      (Api.Timing
+         { benchmark = "fir"; level = Opt_level.O1; uarch = "flat";
+           clock = None })
+  in
+  (match (response_of server line).body with
+  | Ok (Api.Timing_result r) ->
+      Alcotest.(check string) "uarch echoed" "flat" r.Timing.t_uarch;
+      Alcotest.(check bool) "estimate and measurement agree" true
+        (Timing.agrees r);
+      Alcotest.(check int) "flat rejects nothing" 0
+        (List.length r.Timing.t_rejected)
+  | Ok _ -> Alcotest.fail "expected a timing report"
+  | Error d -> Alcotest.failf "timing request failed: %s" d.message);
+  (* identical request is memoized *)
+  Alcotest.(check string) "second request hits" "hit"
+    (Api.cache_status_to_string (response_of server line).cache);
+  let bad =
+    Api.encode_request
+      (Api.Timing
+         { benchmark = "fir"; level = Opt_level.O1; uarch = "vliw9000";
+           clock = None })
+  in
+  let r = response_of server bad in
+  Alcotest.(check string) "unknown preset kind" "unknown-uarch"
+    (error_kind r)
 
 let test_concurrent_dedup () =
   let engine = Engine.create ~jobs:1 () in
@@ -599,6 +698,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_coverage_roundtrip;
         QCheck_alcotest.to_alcotest prop_findings_roundtrip;
         QCheck_alcotest.to_alcotest prop_equiv_verdict_roundtrip;
+        QCheck_alcotest.to_alcotest prop_timing_report_roundtrip;
         QCheck_alcotest.to_alcotest prop_engine_stats_roundtrip;
         QCheck_alcotest.to_alcotest prop_stats_roundtrip;
         QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -609,7 +709,9 @@ let suite =
         Alcotest.test_case "json values" `Quick test_json_values;
         Alcotest.test_case "malformed frames" `Quick test_malformed_frames;
         Alcotest.test_case "v1 frames decode" `Quick test_v1_frames_decode;
+        Alcotest.test_case "v2 frames decode" `Quick test_v2_frames_decode;
         Alcotest.test_case "unknown benchmark" `Quick test_unknown_benchmark;
+        Alcotest.test_case "timing op" `Quick test_timing_op;
         Alcotest.test_case "ping/stats/shutdown" `Quick
           test_ping_stats_shutdown;
         Alcotest.test_case "concurrent dedup" `Quick test_concurrent_dedup;
